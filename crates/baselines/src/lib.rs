@@ -1,0 +1,24 @@
+//! # loki-baselines
+//!
+//! The two baseline serving systems Loki is evaluated against (Section 6.1):
+//!
+//! * [`inferline::InferLineController`] — an *InferLine-style* controller: pipeline-
+//!   aware hardware scaling with a fixed (most accurate) model variant per task. It
+//!   minimizes the number of active servers while demand fits, but cannot trade
+//!   accuracy for throughput, so its SLO violations climb once demand exceeds the
+//!   cluster's maximum-accuracy capacity.
+//! * [`proteus::ProteusController`] — a *Proteus-style* controller: per-model accuracy
+//!   scaling that is pipeline-agnostic. Each task is managed independently based on the
+//!   arrival rate observed *at that task*; the controller neither anticipates workload
+//!   multiplication along the pipeline nor powers down unused servers (the whole
+//!   cluster stays active), reproducing the two weaknesses the paper attributes to
+//!   applying single-model accuracy scaling to pipelines.
+//!
+//! Both controllers implement [`loki_sim::Controller`], so they can be swapped for the
+//! Loki controller in any simulation or benchmark.
+
+pub mod inferline;
+pub mod proteus;
+
+pub use inferline::InferLineController;
+pub use proteus::ProteusController;

@@ -1,0 +1,49 @@
+//! Section 6.5 runtime analysis: the Load Balancer's MostAccurateFirst routing
+//! computation (the paper measures ~0.15 ms per run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loki_core::perf::FanoutOverrides;
+use loki_core::MostAccurateFirst;
+use loki_pipeline::{zoo, TaskId, VariantId};
+use loki_sim::{WorkerId, WorkerView};
+
+/// Build a full 20-worker assignment over a pipeline (most accurate variants, replicas
+/// spread round-robin over the tasks).
+fn workers_for(graph: &loki_pipeline::PipelineGraph, cluster: usize) -> Vec<WorkerView> {
+    let mut out = Vec::new();
+    let tasks: Vec<usize> = graph.tasks().map(|(id, _)| id.index()).collect();
+    for i in 0..cluster {
+        let t = tasks[i % tasks.len()];
+        let k = graph.task(TaskId(t)).most_accurate_variant();
+        out.push(WorkerView {
+            id: WorkerId(i),
+            variant: Some(VariantId::new(t, k)),
+            max_batch: 8,
+            queue_len: 0,
+            swapping: false,
+        });
+    }
+    out
+}
+
+fn bench_load_balancer(c: &mut Criterion) {
+    let fanout = FanoutOverrides::new();
+    let mut group = c.benchmark_group("load_balancer");
+    for (name, graph) in [
+        ("traffic", zoo::traffic_analysis_pipeline(250.0)),
+        ("social", zoo::social_media_pipeline(250.0)),
+    ] {
+        let workers = workers_for(&graph, 20);
+        group.bench_function(format!("most_accurate_first_{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(MostAccurateFirst::build_routing(
+                    &graph, &workers, 800.0, &fanout,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_balancer);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Section 6.5 runtime analysis: the Resource Manager's allocation latency.
+//!
+//! The paper measures the Gurobi MILP at ~500 ms per solve; here we measure (a) the
+//! greedy allocator, (b) the bounded MILP solve the controller actually uses (800 ms
+//! budget, warm-started with the greedy incumbent), on both evaluation pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loki_core::allocator::{AllocationContext, Allocator};
+use loki_core::greedy::GreedyAllocator;
+use loki_core::milp_alloc::MilpAllocator;
+use loki_core::perf::FanoutOverrides;
+use loki_pipeline::zoo;
+use loki_sim::DropPolicy;
+use std::time::Duration;
+
+fn bench_allocators(c: &mut Criterion) {
+    let fanout = FanoutOverrides::new();
+    let pipelines = vec![
+        ("traffic", zoo::traffic_analysis_pipeline(250.0), 1100.0),
+        ("social", zoo::social_media_pipeline(250.0), 900.0),
+        ("tiny", zoo::tiny_pipeline(100.0), 400.0),
+    ];
+
+    let mut group = c.benchmark_group("resource_manager");
+    group.sample_size(10);
+    for (name, graph, demand) in &pipelines {
+        let ctx = AllocationContext {
+            graph,
+            cluster_size: 20,
+            demand_qps: *demand,
+            fanout: &fanout,
+            drop_policy: DropPolicy::OpportunisticRerouting,
+            slo_divisor: 2.0,
+            comm_ms: 2.0,
+            upgrade_with_leftover: true,
+        };
+        let greedy = GreedyAllocator::new();
+        group.bench_function(format!("greedy_{name}"), |b| {
+            b.iter(|| std::hint::black_box(greedy.allocate(&ctx)))
+        });
+    }
+    // The bounded MILP solve is only benchmarked on the tiny pipeline with Criterion's
+    // statistics; the full-pipeline MILP latency is reported by the ablation_allocator
+    // binary (it is dominated by the configured time budget).
+    let (_, tiny, demand) = &pipelines[2];
+    let ctx = AllocationContext {
+        graph: tiny,
+        cluster_size: 20,
+        demand_qps: *demand,
+        fanout: &fanout,
+        drop_policy: DropPolicy::OpportunisticRerouting,
+        slo_divisor: 2.0,
+        comm_ms: 2.0,
+        upgrade_with_leftover: true,
+    };
+    let milp = MilpAllocator::new(Duration::from_millis(800), 2_000);
+    group.bench_function("milp_tiny", |b| {
+        b.iter(|| std::hint::black_box(milp.allocate(&ctx)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocators);
+criterion_main!(benches);

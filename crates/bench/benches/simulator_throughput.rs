@@ -1,0 +1,35 @@
+//! Throughput of the discrete-event simulator itself: how many simulated requests per
+//! wall-clock second the engine processes with the full Loki controller attached. This
+//! is not a paper figure but bounds how large the figure sweeps can be made.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use loki_core::{LokiConfig, LokiController};
+use loki_pipeline::zoo;
+use loki_sim::{SimConfig, Simulation};
+use loki_workload::{generate_arrivals, generators, ArrivalProcess};
+
+fn bench_simulator(c: &mut Criterion) {
+    let graph = zoo::traffic_analysis_pipeline(250.0);
+    let trace = generators::constant(30, 300.0);
+    let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, 11);
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(arrivals.len() as u64));
+    group.bench_function("traffic_300qps_30s", |b| {
+        b.iter(|| {
+            let controller = LokiController::new(graph.clone(), LokiConfig::with_greedy());
+            let config = SimConfig {
+                cluster_size: 20,
+                initial_demand_hint: Some(300.0),
+                drain_s: 10.0,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(&graph, config, controller);
+            std::hint::black_box(sim.run(&arrivals))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

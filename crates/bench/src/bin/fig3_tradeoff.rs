@@ -1,0 +1,24 @@
+//! FIG3 — the accuracy/throughput trade-off of the EfficientNet model variants (the
+//! premise of accuracy scaling), plus the same curve for every other family in the zoo.
+//!
+//! Run: `cargo run --release -p loki-bench --bin fig3_tradeoff`
+
+use loki_pipeline::zoo;
+
+fn main() {
+    println!("# FIG3: accuracy-throughput tradeoff per model family (batch size 8)");
+    for (family, variants) in zoo::all_families() {
+        println!("\n## {family}");
+        println!("{:<20} {:>12} {:>16} {:>16}", "variant", "accuracy", "qps(batch=8)", "qps(batch=1)");
+        for v in &variants {
+            println!(
+                "{:<20} {:>12.3} {:>16.1} {:>16.1}",
+                v.name,
+                v.accuracy,
+                v.throughput_qps(8),
+                v.throughput_qps(1)
+            );
+        }
+    }
+    println!("\n(The paper's Figure 3 plots the EfficientNet column: lower accuracy => higher throughput.)");
+}

@@ -1,0 +1,23 @@
+//! FIG5 — end-to-end comparison on the traffic-analysis pipeline: Loki vs an
+//! InferLine-style hardware-scaling-only system vs a Proteus-style pipeline-agnostic
+//! accuracy-scaling system, driven by an Azure-Functions-like diurnal trace.
+//!
+//! Run: `cargo run --release -p loki-bench --bin fig5_traffic [duration=1200] [peak=1500]`
+
+use loki_bench::*;
+use loki_pipeline::zoo;
+
+fn main() {
+    let cfg = ExperimentConfig::default().from_args();
+    let graph = zoo::traffic_analysis_pipeline(cfg.slo_ms);
+    let trace = traffic_trace(&cfg);
+    let results = run_comparison(&graph, &trace, &cfg);
+    print_comparison_timeseries(
+        "FIG5: traffic-analysis pipeline, Azure-like diurnal trace",
+        &trace,
+        &results,
+        cfg.bucket_s,
+    );
+    print_summary_table(&results);
+    print_headline_ratios(&results);
+}

@@ -1,0 +1,25 @@
+//! FIG6 — end-to-end comparison on the social-media pipeline (ResNet classification
+//! feeding CLIP-ViT captioning), driven by a Twitter-like bursty trace.
+//!
+//! Run: `cargo run --release -p loki-bench --bin fig6_social [duration=1200] [peak=1200]`
+
+use loki_bench::*;
+use loki_pipeline::zoo;
+
+fn main() {
+    let mut cfg = ExperimentConfig::default();
+    cfg.peak_qps = 1200.0;
+    cfg.base_qps = 60.0;
+    let cfg = cfg.from_args();
+    let graph = zoo::social_media_pipeline(cfg.slo_ms);
+    let trace = social_trace(&cfg);
+    let results = run_comparison(&graph, &trace, &cfg);
+    print_comparison_timeseries(
+        "FIG6: social-media pipeline, Twitter-like bursty trace",
+        &trace,
+        &results,
+        cfg.bucket_s,
+    );
+    print_summary_table(&results);
+    print_headline_ratios(&results);
+}

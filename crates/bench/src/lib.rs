@@ -1,0 +1,324 @@
+//! # loki-bench
+//!
+//! The experiment harness that regenerates every table and figure of the Loki
+//! evaluation (Section 6). Each figure has a dedicated binary under `src/bin/` (see
+//! `EXPERIMENTS.md` at the repository root for the full index), and the Criterion
+//! benches under `benches/` reproduce the Section 6.5 runtime measurements.
+//!
+//! The helpers in this crate wire together the pipeline zoo, the workload generators,
+//! the simulator, the Loki controller, and the two baselines so the individual figure
+//! binaries stay small and declarative.
+
+use loki_baselines::{InferLineController, ProteusController};
+use loki_core::{LokiConfig, LokiController};
+use loki_pipeline::PipelineGraph;
+use loki_sim::{Controller, IntervalMetrics, SimConfig, SimResult, Simulation};
+use loki_workload::{generate_arrivals, generators, ArrivalProcess, Trace};
+
+/// Common knobs for an end-to-end comparison experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Number of workers in the cluster (20, as in the paper).
+    pub cluster_size: usize,
+    /// End-to-end latency SLO (ms).
+    pub slo_ms: f64,
+    /// Simulated duration in seconds (the day-long traces are compressed into this).
+    pub duration_s: usize,
+    /// Peak demand of the trace, in QPS.
+    pub peak_qps: f64,
+    /// Off-peak floor of the trace, in QPS.
+    pub base_qps: f64,
+    /// Seed for trace generation and the simulator.
+    pub seed: u64,
+    /// Reporting bucket for printed time series, in seconds.
+    pub bucket_s: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            cluster_size: 20,
+            slo_ms: 250.0,
+            duration_s: 1200,
+            peak_qps: 1500.0,
+            base_qps: 80.0,
+            seed: 42,
+            bucket_s: 60,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parse simple `key=value` command-line overrides (`duration=600 peak=1200 ...`).
+    pub fn from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            let Some((key, value)) = arg.split_once('=') else { continue };
+            match key {
+                "cluster" => self.cluster_size = value.parse().unwrap_or(self.cluster_size),
+                "slo" => self.slo_ms = value.parse().unwrap_or(self.slo_ms),
+                "duration" => self.duration_s = value.parse().unwrap_or(self.duration_s),
+                "peak" => self.peak_qps = value.parse().unwrap_or(self.peak_qps),
+                "base" => self.base_qps = value.parse().unwrap_or(self.base_qps),
+                "seed" => self.seed = value.parse().unwrap_or(self.seed),
+                "bucket" => self.bucket_s = value.parse().unwrap_or(self.bucket_s),
+                _ => eprintln!("ignoring unknown argument {key}={value}"),
+            }
+        }
+        self
+    }
+}
+
+/// The Azure-Functions-like diurnal trace used for the traffic-analysis pipeline.
+pub fn traffic_trace(cfg: &ExperimentConfig) -> Trace {
+    generators::azure_like_diurnal(cfg.seed, cfg.duration_s, cfg.base_qps, cfg.peak_qps)
+}
+
+/// The Twitter-like bursty trace used for the social-media pipeline.
+pub fn social_trace(cfg: &ExperimentConfig) -> Trace {
+    generators::twitter_like_bursty(cfg.seed ^ 0x5eed, cfg.duration_s, cfg.base_qps, cfg.peak_qps)
+}
+
+/// The simulator configuration shared by all end-to-end experiments.
+pub fn sim_config(cfg: &ExperimentConfig, trace: &Trace) -> SimConfig {
+    SimConfig {
+        cluster_size: cfg.cluster_size,
+        control_interval_s: 10.0,
+        routing_interval_s: 1.0,
+        metrics_interval_s: 1.0,
+        seed: cfg.seed,
+        initial_demand_hint: Some(trace.qps_at(0).max(1.0)),
+        drain_s: 20.0,
+        ..SimConfig::default()
+    }
+}
+
+/// Run one controller over a trace and return the simulation result.
+pub fn run_controller<C: Controller>(
+    graph: &PipelineGraph,
+    trace: &Trace,
+    cfg: &ExperimentConfig,
+    controller: C,
+) -> SimResult {
+    let arrivals = generate_arrivals(trace, ArrivalProcess::Poisson, cfg.seed);
+    let mut sim = Simulation::new(graph, sim_config(cfg, trace), controller);
+    sim.run(&arrivals)
+}
+
+/// Run the three systems of the end-to-end comparison (Loki, InferLine-style,
+/// Proteus-style) over the same pipeline and trace.
+pub fn run_comparison(
+    graph: &PipelineGraph,
+    trace: &Trace,
+    cfg: &ExperimentConfig,
+) -> Vec<(String, SimResult)> {
+    let mut out = Vec::new();
+    let loki = LokiController::new(graph.clone(), LokiConfig::with_greedy());
+    out.push(("loki".to_string(), run_controller(graph, trace, cfg, loki)));
+    let inferline = InferLineController::with_defaults(graph.clone());
+    out.push((
+        "inferline".to_string(),
+        run_controller(graph, trace, cfg, inferline),
+    ));
+    let proteus = ProteusController::with_defaults(graph.clone());
+    out.push((
+        "proteus".to_string(),
+        run_controller(graph, trace, cfg, proteus),
+    ));
+    out
+}
+
+/// Aggregate per-second interval metrics into coarser buckets for printing.
+pub fn bucketize(intervals: &[IntervalMetrics], bucket_s: usize) -> Vec<IntervalMetrics> {
+    let mut out: Vec<IntervalMetrics> = Vec::new();
+    for chunk in intervals.chunks(bucket_s.max(1)) {
+        let mut agg = IntervalMetrics {
+            start_s: chunk[0].start_s,
+            cluster_size: chunk[0].cluster_size,
+            ..Default::default()
+        };
+        let mut active_sum = 0usize;
+        for m in chunk {
+            agg.arrivals += m.arrivals;
+            agg.completed_on_time += m.completed_on_time;
+            agg.completed_late += m.completed_late;
+            agg.dropped += m.dropped;
+            agg.accuracy_sum += m.accuracy_sum;
+            agg.accuracy_count += m.accuracy_count;
+            agg.rerouted += m.rerouted;
+            active_sum += m.active_workers;
+        }
+        agg.active_workers = (active_sum as f64 / chunk.len() as f64).round() as usize;
+        out.push(agg);
+    }
+    out
+}
+
+/// Print the end-to-end comparison as the four stacked time series of Figures 5/6:
+/// demand, system accuracy, cluster utilization, and SLO-violation ratio.
+pub fn print_comparison_timeseries(
+    title: &str,
+    trace: &Trace,
+    results: &[(String, SimResult)],
+    bucket_s: usize,
+) {
+    println!("# {title}");
+    println!("# one row per {bucket_s}s bucket; acc/util/viol reported per system");
+    let header: Vec<String> = results.iter().map(|(n, _)| n.clone()).collect();
+    println!(
+        "{:>7} {:>9}  {}  {}  {}",
+        "time_s",
+        "demand",
+        header
+            .iter()
+            .map(|n| format!("{:>9}", format!("acc_{n}")))
+            .collect::<Vec<_>>()
+            .join(" "),
+        header
+            .iter()
+            .map(|n| format!("{:>10}", format!("util_{n}")))
+            .collect::<Vec<_>>()
+            .join(" "),
+        header
+            .iter()
+            .map(|n| format!("{:>10}", format!("viol_{n}")))
+            .collect::<Vec<_>>()
+            .join(" "),
+    );
+    let buckets: Vec<Vec<IntervalMetrics>> = results
+        .iter()
+        .map(|(_, r)| bucketize(&r.intervals, bucket_s))
+        .collect();
+    let rows = buckets.iter().map(|b| b.len()).min().unwrap_or(0);
+    for row in 0..rows {
+        let t = buckets[0][row].start_s;
+        let demand: f64 = (0..bucket_s)
+            .map(|i| trace.qps_at(t as usize + i))
+            .sum::<f64>()
+            / bucket_s as f64;
+        let accs: Vec<String> = buckets
+            .iter()
+            .map(|b| format!("{:>9.4}", b[row].mean_accuracy()))
+            .collect();
+        let utils: Vec<String> = buckets
+            .iter()
+            .map(|b| format!("{:>10.3}", b[row].cluster_utilization()))
+            .collect();
+        let viols: Vec<String> = buckets
+            .iter()
+            .map(|b| format!("{:>10.4}", b[row].slo_violation_ratio()))
+            .collect();
+        println!(
+            "{:>7.0} {:>9.1}  {}  {}  {}",
+            t,
+            demand,
+            accs.join(" "),
+            utils.join(" "),
+            viols.join(" ")
+        );
+    }
+}
+
+/// Print the whole-run summary rows (the numbers quoted in the paper's text).
+pub fn print_summary_table(results: &[(String, SimResult)]) {
+    println!();
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "system", "arrivals", "on_time", "late", "dropped", "slo_viol", "accuracy", "mean_util"
+    );
+    for (name, r) in results {
+        let s = &r.summary;
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12.4} {:>12.4} {:>10.3}",
+            name,
+            s.total_arrivals,
+            s.total_on_time,
+            s.total_late,
+            s.total_dropped,
+            s.slo_violation_ratio,
+            s.system_accuracy,
+            s.mean_utilization
+        );
+    }
+}
+
+/// Derived headline ratios comparing Loki with the baselines (capacity, violation
+/// reduction, off-peak server saving).
+pub fn print_headline_ratios(results: &[(String, SimResult)]) {
+    let get = |name: &str| results.iter().find(|(n, _)| n == name).map(|(_, r)| r);
+    let (Some(loki), Some(inferline), Some(proteus)) =
+        (get("loki"), get("inferline"), get("proteus"))
+    else {
+        return;
+    };
+    let viol_reduction = if loki.summary.slo_violation_ratio > 0.0 {
+        proteus.summary.slo_violation_ratio / loki.summary.slo_violation_ratio
+    } else {
+        f64::INFINITY
+    };
+    let capacity_gain =
+        loki.summary.peak_goodput as f64 / inferline.summary.peak_goodput.max(1) as f64;
+    let server_saving = proteus.summary.max_active_workers as f64
+        / loki.summary.min_active_workers.max(1) as f64;
+    println!();
+    println!("headline ratios (Loki vs baselines):");
+    println!(
+        "  peak goodput vs hardware-scaling-only (InferLine-style): {capacity_gain:.2}x (paper: ~2.5-2.7x)"
+    );
+    println!(
+        "  SLO-violation reduction vs pipeline-agnostic accuracy scaling (Proteus-style): {viol_reduction:.1}x (paper: ~10x)"
+    );
+    println!(
+        "  off-peak active servers, Proteus-style vs Loki: {server_saving:.2}x fewer with Loki (paper: ~2.67x)"
+    );
+    println!(
+        "  Loki accuracy {:.3} vs Proteus-style {:.3} (paper: Loki drops up to ~20% less accuracy)",
+        loki.summary.system_accuracy, proteus.summary.system_accuracy
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_pipeline::zoo;
+
+    #[test]
+    fn bucketize_preserves_totals() {
+        let intervals: Vec<IntervalMetrics> = (0..10)
+            .map(|i| IntervalMetrics {
+                start_s: i as f64,
+                arrivals: 10,
+                completed_on_time: 8,
+                completed_late: 1,
+                dropped: 1,
+                accuracy_sum: 8.0,
+                accuracy_count: 9,
+                active_workers: 5,
+                cluster_size: 20,
+                rerouted: 0,
+            })
+            .collect();
+        let buckets = bucketize(&intervals, 5);
+        assert_eq!(buckets.len(), 2);
+        let total_arrivals: u64 = buckets.iter().map(|b| b.arrivals).sum();
+        assert_eq!(total_arrivals, 100);
+        assert_eq!(buckets[0].active_workers, 5);
+    }
+
+    #[test]
+    fn small_comparison_runs_end_to_end() {
+        let cfg = ExperimentConfig {
+            duration_s: 60,
+            peak_qps: 150.0,
+            base_qps: 40.0,
+            bucket_s: 20,
+            ..Default::default()
+        };
+        let graph = zoo::traffic_analysis_pipeline(cfg.slo_ms);
+        let trace = traffic_trace(&cfg);
+        let results = run_comparison(&graph, &trace, &cfg);
+        assert_eq!(results.len(), 3);
+        for (name, r) in &results {
+            assert!(r.summary.total_arrivals > 0, "{name} saw no arrivals");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The Resource-Manager allocation interface shared by the greedy and MILP engines.
+
+use crate::config::{AllocatorBackend, LokiConfig};
+use crate::greedy::GreedyAllocator;
+use crate::milp_alloc::MilpAllocator;
+use crate::perf::FanoutOverrides;
+use loki_pipeline::PipelineGraph;
+use loki_sim::{AllocationPlan, DropPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Which regime the Resource Manager ended up in for a given demand level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingMode {
+    /// The demand fits on a subset of the cluster with the most accurate variants:
+    /// hardware scaling minimizes the number of active servers (Step 1, Eq. 11).
+    Hardware,
+    /// The demand exceeds the cluster's capacity at maximum accuracy: accuracy scaling
+    /// maximizes system accuracy subject to serving the demand (Step 2, Eq. 12).
+    Accuracy,
+    /// The demand exceeds the cluster's capacity even at minimum accuracy: the plan
+    /// provisions for the maximum servable demand and the excess will be dropped or
+    /// delayed by the data plane.
+    Saturated,
+}
+
+/// Everything an allocator needs to produce a plan.
+#[derive(Debug, Clone)]
+pub struct AllocationContext<'a> {
+    /// The pipeline being served.
+    pub graph: &'a PipelineGraph,
+    /// Number of workers in the cluster (`S`).
+    pub cluster_size: usize,
+    /// Estimated root demand to provision for (QPS).
+    pub demand_qps: f64,
+    /// Observed fan-out overrides from worker heartbeats.
+    pub fanout: &'a FanoutOverrides,
+    /// Drop policy to embed in the produced plan.
+    pub drop_policy: DropPolicy,
+    /// SLO headroom divisor (2.0 in the paper).
+    pub slo_divisor: f64,
+    /// Per-hop communication latency (ms).
+    pub comm_ms: f64,
+    /// Whether to spend leftover servers on upgrading a fraction of traffic.
+    pub upgrade_with_leftover: bool,
+}
+
+/// The result of one Resource-Manager allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AllocationOutcome {
+    /// The plan handed to the data plane.
+    pub plan: AllocationPlan,
+    /// Which scaling regime produced it.
+    pub mode: ScalingMode,
+    /// Number of servers the plan activates.
+    pub servers_used: usize,
+    /// Expected end-to-end system accuracy under this plan (assuming MostAccurateFirst
+    /// routing saturates the most accurate instances first).
+    pub expected_accuracy: f64,
+    /// The demand (QPS) the plan was provisioned for.
+    pub demand_planned: f64,
+    /// The maximum demand (QPS) the plan can actually absorb.
+    pub servable_demand: f64,
+}
+
+/// A Resource-Manager allocation engine.
+pub trait Allocator {
+    /// Human-readable engine name.
+    fn name(&self) -> &str;
+    /// Produce an allocation for the given context.
+    fn allocate(&self, ctx: &AllocationContext<'_>) -> AllocationOutcome;
+}
+
+/// The concrete allocator selected by [`LokiConfig::backend`].
+#[derive(Debug, Clone)]
+pub enum AllocatorKind {
+    /// Fast greedy allocation (also the MILP warm start).
+    Greedy(GreedyAllocator),
+    /// Exact MILP allocation via `loki-milp`.
+    Milp(MilpAllocator),
+}
+
+impl AllocatorKind {
+    /// Build the allocator requested by a configuration.
+    pub fn from_config(config: &LokiConfig) -> Self {
+        match config.backend {
+            AllocatorBackend::Greedy => AllocatorKind::Greedy(GreedyAllocator::new()),
+            AllocatorBackend::Milp => AllocatorKind::Milp(MilpAllocator::new(
+                config.milp_time_budget,
+                config.milp_node_limit,
+            )),
+        }
+    }
+}
+
+impl Allocator for AllocatorKind {
+    fn name(&self) -> &str {
+        match self {
+            AllocatorKind::Greedy(a) => a.name(),
+            AllocatorKind::Milp(a) => a.name(),
+        }
+    }
+
+    fn allocate(&self, ctx: &AllocationContext<'_>) -> AllocationOutcome {
+        match self {
+            AllocatorKind::Greedy(a) => a.allocate(ctx),
+            AllocatorKind::Milp(a) => a.allocate(ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_kind_follows_config() {
+        let greedy = AllocatorKind::from_config(&LokiConfig::with_greedy());
+        assert!(matches!(greedy, AllocatorKind::Greedy(_)));
+        assert_eq!(greedy.name(), "greedy");
+        let milp = AllocatorKind::from_config(&LokiConfig::with_milp());
+        assert!(matches!(milp, AllocatorKind::Milp(_)));
+        assert_eq!(milp.name(), "milp");
+    }
+}

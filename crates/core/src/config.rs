@@ -1,0 +1,109 @@
+//! Configuration of the Loki controller.
+
+use loki_sim::DropPolicy;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Which resource-allocation engine the Resource Manager uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum AllocatorBackend {
+    /// The exact MILP formulation of Section 4.1, solved with `loki-milp`
+    /// (branch-and-bound with the greedy solution as warm start). Matches the paper's
+    /// Gurobi-based implementation; slower but optimal.
+    Milp,
+    /// A greedy allocator that mirrors the structure of the MILP (hardware scaling
+    /// first, then pipeline-aware accuracy degradation). Orders of magnitude faster,
+    /// near-optimal on the evaluated pipelines, and used as the MILP warm start.
+    #[default]
+    Greedy,
+}
+
+/// Configuration of the Loki controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LokiConfig {
+    /// Allocation engine.
+    pub backend: AllocatorBackend,
+    /// Resource Manager invocation interval in seconds (10 s in the paper).
+    pub control_interval_s: f64,
+    /// Load Balancer refresh interval in seconds.
+    pub routing_interval_s: f64,
+    /// Runtime drop policy pushed to the data plane (opportunistic rerouting is Loki's
+    /// full mechanism; the alternatives exist for the Figure 7 ablation).
+    pub drop_policy: DropPolicy,
+    /// Divisor applied to the latency SLO to reserve queueing headroom. The paper
+    /// divides the SLO by two ("a query may wait for the current batch to finish
+    /// before its own batch starts").
+    pub slo_headroom_divisor: f64,
+    /// One-way communication latency between servers in milliseconds (subtracted from
+    /// the SLO once per hop along a path).
+    pub comm_latency_ms: f64,
+    /// Relative demand change (e.g. 0.05 = 5%) below which the Resource Manager keeps
+    /// the previous plan instead of re-allocating.
+    pub replan_threshold: f64,
+    /// Wall-clock budget for a single MILP solve.
+    pub milp_time_budget: Duration,
+    /// Maximum branch-and-bound nodes per MILP solve.
+    pub milp_node_limit: usize,
+    /// When true, spend servers left over after accuracy scaling on upgrading a
+    /// fraction of the traffic to more accurate variants.
+    pub upgrade_with_leftover: bool,
+    /// Multiplier applied to the demand estimate before provisioning, so that workers
+    /// run below saturation and queueing delays stay within the SLO headroom (i.e. a
+    /// target utilization of `1 / provisioning_margin`).
+    pub provisioning_margin: f64,
+}
+
+impl Default for LokiConfig {
+    fn default() -> Self {
+        Self {
+            backend: AllocatorBackend::Greedy,
+            control_interval_s: 10.0,
+            routing_interval_s: 1.0,
+            drop_policy: DropPolicy::OpportunisticRerouting,
+            slo_headroom_divisor: 2.0,
+            comm_latency_ms: 2.0,
+            replan_threshold: 0.05,
+            milp_time_budget: Duration::from_millis(800),
+            milp_node_limit: 2_000,
+            upgrade_with_leftover: true,
+            provisioning_margin: 1.25,
+        }
+    }
+}
+
+impl LokiConfig {
+    /// A configuration using the exact MILP allocator.
+    pub fn with_milp() -> Self {
+        Self {
+            backend: AllocatorBackend::Milp,
+            ..Self::default()
+        }
+    }
+
+    /// A configuration using the greedy allocator.
+    pub fn with_greedy() -> Self {
+        Self {
+            backend: AllocatorBackend::Greedy,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = LokiConfig::default();
+        assert!((c.control_interval_s - 10.0).abs() < 1e-12);
+        assert!((c.slo_headroom_divisor - 2.0).abs() < 1e-12);
+        assert_eq!(c.drop_policy, DropPolicy::OpportunisticRerouting);
+    }
+
+    #[test]
+    fn backend_constructors() {
+        assert_eq!(LokiConfig::with_milp().backend, AllocatorBackend::Milp);
+        assert_eq!(LokiConfig::with_greedy().backend, AllocatorBackend::Greedy);
+    }
+}

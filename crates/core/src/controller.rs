@@ -1,0 +1,285 @@
+//! The Loki controller: glues the Resource Manager (allocation) and the Load Balancer
+//! (routing) behind the simulator's [`Controller`] interface, mirroring the Controller
+//! component of Figure 4.
+
+use crate::allocator::{AllocationContext, AllocationOutcome, Allocator, AllocatorKind};
+use crate::config::LokiConfig;
+use crate::load_balancer::MostAccurateFirst;
+use crate::perf::FanoutOverrides;
+use loki_pipeline::PipelineGraph;
+use loki_sim::{AllocationPlan, Controller, ObservedState, RoutingPlan};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Runtime statistics of the control plane, used for the Section 6.5 runtime analysis.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Number of Resource-Manager allocations performed.
+    pub allocations: usize,
+    /// Total wall-clock time spent in allocation (seconds).
+    pub allocation_time_s: f64,
+    /// Wall-clock time of the most recent allocation (seconds).
+    pub last_allocation_time_s: f64,
+    /// Number of Load-Balancer routing computations.
+    pub routings: usize,
+    /// Total wall-clock time spent computing routing tables (seconds).
+    pub routing_time_s: f64,
+}
+
+impl ControllerStats {
+    /// Mean allocation time in milliseconds.
+    pub fn mean_allocation_ms(&self) -> f64 {
+        if self.allocations == 0 {
+            0.0
+        } else {
+            1000.0 * self.allocation_time_s / self.allocations as f64
+        }
+    }
+
+    /// Mean routing time in milliseconds.
+    pub fn mean_routing_ms(&self) -> f64 {
+        if self.routings == 0 {
+            0.0
+        } else {
+            1000.0 * self.routing_time_s / self.routings as f64
+        }
+    }
+}
+
+/// The Loki controller.
+pub struct LokiController {
+    graph: PipelineGraph,
+    config: LokiConfig,
+    allocator: AllocatorKind,
+    fanout: FanoutOverrides,
+    last_outcome: Option<AllocationOutcome>,
+    last_planned_demand: f64,
+    /// Runtime statistics (allocation / routing latency, invocation counts).
+    pub stats: ControllerStats,
+}
+
+impl LokiController {
+    /// Create a controller for a pipeline with the given configuration.
+    pub fn new(graph: PipelineGraph, config: LokiConfig) -> Self {
+        graph.validate().expect("pipeline graph must be valid");
+        let allocator = AllocatorKind::from_config(&config);
+        Self {
+            graph,
+            config,
+            allocator,
+            fanout: FanoutOverrides::new(),
+            last_outcome: None,
+            last_planned_demand: 0.0,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The pipeline this controller serves.
+    pub fn graph(&self) -> &PipelineGraph {
+        &self.graph
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &LokiConfig {
+        &self.config
+    }
+
+    /// The most recent allocation outcome, if any.
+    pub fn last_outcome(&self) -> Option<&AllocationOutcome> {
+        self.last_outcome.as_ref()
+    }
+
+    /// Run a one-off allocation for a specific demand and cluster size without going
+    /// through the simulator. Used by the Figure 1 phase analysis and by capacity
+    /// planning tools.
+    pub fn allocate_for_demand(&mut self, demand_qps: f64, cluster_size: usize) -> AllocationOutcome {
+        let ctx = AllocationContext {
+            graph: &self.graph,
+            cluster_size,
+            demand_qps,
+            fanout: &self.fanout,
+            drop_policy: self.config.drop_policy,
+            slo_divisor: self.config.slo_headroom_divisor,
+            comm_ms: self.config.comm_latency_ms,
+            upgrade_with_leftover: self.config.upgrade_with_leftover,
+        };
+        let start = Instant::now();
+        let outcome = self.allocator.allocate(&ctx);
+        let elapsed = start.elapsed().as_secs_f64();
+        self.stats.allocations += 1;
+        self.stats.allocation_time_s += elapsed;
+        self.stats.last_allocation_time_s = elapsed;
+        self.last_outcome = Some(outcome.clone());
+        self.last_planned_demand = demand_qps;
+        outcome
+    }
+
+    /// The demand estimate to provision for, given the observations.
+    fn demand_estimate(&self, observed: &ObservedState<'_>) -> f64 {
+        if observed.demand.is_empty() {
+            observed.initial_demand_hint.unwrap_or(0.0)
+        } else {
+            observed
+                .demand
+                .provisioning_estimate()
+                .max(observed.initial_demand_hint.unwrap_or(0.0))
+        }
+    }
+
+    /// Whether the demand changed enough (or the current plan became insufficient) to
+    /// warrant a re-allocation.
+    fn needs_replan(&self, demand: f64) -> bool {
+        let Some(outcome) = &self.last_outcome else {
+            return true;
+        };
+        let relative_change = (demand - self.last_planned_demand).abs()
+            / self.last_planned_demand.max(1.0);
+        if relative_change > self.config.replan_threshold {
+            return true;
+        }
+        // The estimate is within the threshold but the plan cannot absorb it.
+        demand > outcome.servable_demand * 1.02 && outcome.servable_demand > 0.0
+    }
+}
+
+impl Controller for LokiController {
+    fn name(&self) -> &str {
+        "loki"
+    }
+
+    fn control_interval_s(&self) -> f64 {
+        self.config.control_interval_s
+    }
+
+    fn routing_interval_s(&self) -> f64 {
+        self.config.routing_interval_s
+    }
+
+    fn plan(&mut self, observed: &ObservedState<'_>) -> Option<AllocationPlan> {
+        // Heartbeat aggregation: adopt the observed multiplicative factors.
+        if !observed.observed_fanout.is_empty() {
+            self.fanout = observed.observed_fanout.clone();
+        }
+        // Provision for the estimate times the margin so workers run below saturation.
+        let demand = self.demand_estimate(observed) * self.config.provisioning_margin;
+        if !self.needs_replan(demand) {
+            return None;
+        }
+        let outcome = self.allocate_for_demand(demand, observed.cluster_size);
+        Some(outcome.plan)
+    }
+
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+        let demand = self.demand_estimate(observed) * self.config.provisioning_margin;
+        let start = Instant::now();
+        let plan =
+            MostAccurateFirst::build_routing(&self.graph, &observed.workers, demand, &self.fanout);
+        self.stats.routings += 1;
+        self.stats.routing_time_s += start.elapsed().as_secs_f64();
+        Some(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::ScalingMode;
+    use loki_pipeline::zoo;
+    use loki_sim::{SimConfig, Simulation};
+    use loki_workload::{generate_arrivals, generators, ArrivalProcess};
+
+    /// Maximum demand a 20-worker cluster can absorb with the most accurate variants.
+    fn full_cluster_hw_capacity(g: &loki_pipeline::PipelineGraph) -> f64 {
+        let perf = crate::perf::PerfModel::new(g, 2.0, 2.0);
+        let best: Vec<usize> = g.tasks().map(|(_, t)| t.most_accurate_variant()).collect();
+        perf.max_servable_demand(&best, 20, &crate::perf::FanoutOverrides::new())
+    }
+
+    #[test]
+    fn allocate_for_demand_tracks_phases() {
+        let g = zoo::traffic_analysis_pipeline(250.0);
+        let hw_cap = full_cluster_hw_capacity(&g);
+        let mut ctl = LokiController::new(g, LokiConfig::with_greedy());
+        let low = ctl.allocate_for_demand(100.0, 20);
+        assert_eq!(low.mode, ScalingMode::Hardware);
+        let high = ctl.allocate_for_demand(hw_cap * 1.5, 20);
+        assert_eq!(high.mode, ScalingMode::Accuracy);
+        assert!(ctl.stats.allocations == 2);
+        assert!(ctl.stats.mean_allocation_ms() >= 0.0);
+        assert!(ctl.last_outcome().is_some());
+    }
+
+    #[test]
+    fn replan_only_on_significant_demand_change() {
+        let g = zoo::traffic_analysis_pipeline(250.0);
+        let mut ctl = LokiController::new(g, LokiConfig::with_greedy());
+        ctl.allocate_for_demand(200.0, 20);
+        assert!(!ctl.needs_replan(205.0), "a 2.5% change should not trigger a replan");
+        assert!(ctl.needs_replan(400.0), "a 2x change must trigger a replan");
+    }
+
+    #[test]
+    fn end_to_end_simulation_with_loki_controller() {
+        let g = zoo::traffic_analysis_pipeline(250.0);
+        let controller = LokiController::new(g.clone(), LokiConfig::with_greedy());
+        let trace = generators::constant(40, 120.0);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, 3);
+        let config = SimConfig {
+            cluster_size: 20,
+            control_interval_s: 5.0,
+            initial_demand_hint: Some(120.0),
+            drain_s: 15.0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&g, config, controller);
+        let result = sim.run(&arrivals);
+        assert!(result.summary.total_arrivals > 4000);
+        assert!(
+            result.summary.slo_violation_ratio < 0.05,
+            "violations {}",
+            result.summary.slo_violation_ratio
+        );
+        assert!(
+            result.summary.system_accuracy > 0.95,
+            "accuracy {}",
+            result.summary.system_accuracy
+        );
+        // Hardware scaling: nowhere near the whole cluster should be needed.
+        assert!(result.summary.max_active_workers < 20);
+        let ctl = sim.into_controller();
+        assert!(ctl.stats.allocations >= 1);
+        assert!(ctl.stats.routings >= 1);
+    }
+
+    #[test]
+    fn overload_simulation_scales_accuracy_not_violations() {
+        let g = zoo::traffic_analysis_pipeline(250.0);
+        let hw_cap = full_cluster_hw_capacity(&g);
+        // Demand well beyond the best-accuracy capacity of the full cluster, but
+        // within what accuracy scaling can absorb.
+        let mut probe = LokiController::new(g.clone(), LokiConfig::with_greedy());
+        let max_cap = probe.allocate_for_demand(100_000.0, 20).servable_demand;
+        let demand = (hw_cap * 1.5).min(max_cap * 0.85);
+        let controller = LokiController::new(g.clone(), LokiConfig::with_greedy());
+        let trace = generators::constant(40, demand);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, 17);
+        let config = SimConfig {
+            cluster_size: 20,
+            control_interval_s: 5.0,
+            initial_demand_hint: Some(demand),
+            drain_s: 20.0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&g, config, controller);
+        let result = sim.run(&arrivals);
+        // Accuracy scaling should keep most requests within the SLO while lowering
+        // accuracy below the maximum.
+        assert!(
+            result.summary.slo_violation_ratio < 0.2,
+            "violations {}",
+            result.summary.slo_violation_ratio
+        );
+        assert!(result.summary.system_accuracy < g.max_accuracy() - 0.01);
+        assert!(result.summary.system_accuracy > g.min_accuracy());
+    }
+}

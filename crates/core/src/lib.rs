@@ -1,0 +1,36 @@
+//! # loki-core
+//!
+//! The Loki controller (HPDC'24): an inference-serving control plane that combines
+//! **hardware scaling** and **accuracy scaling** for ML inference pipelines.
+//!
+//! The controller has two cooperating components, mirroring Figure 4 of the paper:
+//!
+//! * the **Resource Manager** ([`allocator`], [`greedy`], [`milp_alloc`]) periodically
+//!   decides which model variants to host, with how many replicas and which maximum
+//!   batch size. It first tries *hardware scaling* — serve the estimated demand with
+//!   the most accurate variants on as few servers as possible — and, when the whole
+//!   cluster cannot absorb the demand at maximum accuracy, switches to *accuracy
+//!   scaling* — maximize system accuracy subject to serving the demand (Section 4).
+//!   Both steps can be solved exactly with the bundled MILP solver (`loki-milp`,
+//!   standing in for Gurobi) or with a fast greedy allocator that mirrors the MILP's
+//!   structure and doubles as its warm start.
+//! * the **Load Balancer** ([`load_balancer`]) turns an allocation into per-worker
+//!   routing tables with the `MostAccurateFirst` algorithm (Algorithm 1), plus the
+//!   backup tables and per-task latency budgets that drive early dropping and
+//!   opportunistic rerouting at the workers (Section 5).
+//!
+//! [`controller::LokiController`] packages both behind the [`loki_sim::Controller`]
+//! interface so the whole system can be driven by the discrete-event simulator.
+
+pub mod allocator;
+pub mod config;
+pub mod controller;
+pub mod greedy;
+pub mod load_balancer;
+pub mod milp_alloc;
+pub mod perf;
+
+pub use allocator::{AllocationOutcome, Allocator, AllocatorKind, ScalingMode};
+pub use config::LokiConfig;
+pub use controller::{ControllerStats, LokiController};
+pub use load_balancer::MostAccurateFirst;

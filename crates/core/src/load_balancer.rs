@@ -1,0 +1,334 @@
+//! The Load Balancer: the `MostAccurateFirst` request-routing algorithm (Algorithm 1)
+//! and the backup tables used by opportunistic rerouting (Section 5).
+//!
+//! `MostAccurateFirst` walks the pipeline graph in topological order and, for every
+//! task, saturates its workers in non-increasing order of single-model accuracy: the
+//! estimated demand is poured into the most accurate worker until its profiled capacity
+//! is full, then into the next one, and so on. Because end-to-end pipeline accuracy is
+//! monotone in the single-model accuracies, giving every node the most accurate worker
+//! available for its traffic maximizes end-to-end accuracy for the given allocation.
+//!
+//! Workers left with spare capacity afterwards are advertised in per-task *backup
+//! tables*; the data plane consults them when a query falls behind its latency budget
+//! (opportunistic rerouting, Section 5.2).
+
+use crate::perf::{FanoutOverrides, PerfModel};
+use loki_pipeline::{PipelineGraph, TaskId, VariantId};
+use loki_sim::{BackupWorker, RoutingPlan, WorkerId, WorkerView};
+use std::collections::HashMap;
+
+/// The `MostAccurateFirst` routing-table builder.
+#[derive(Debug, Clone, Default)]
+pub struct MostAccurateFirst;
+
+/// Internal per-worker routing state.
+#[derive(Debug, Clone)]
+struct WorkerState {
+    id: WorkerId,
+    variant: VariantId,
+    accuracy: f64,
+    capacity: f64,
+    capacity_left: f64,
+    incoming: f64,
+    exec_time_ms: f64,
+}
+
+impl MostAccurateFirst {
+    /// Build routing tables for the current worker assignments and estimated demand.
+    ///
+    /// `demand_qps` is the estimated root arrival rate; `fanout` carries observed
+    /// multiplicative factors (profiled values are used where no observation exists).
+    pub fn build_routing(
+        graph: &PipelineGraph,
+        workers: &[WorkerView],
+        demand_qps: f64,
+        fanout: &FanoutOverrides,
+    ) -> RoutingPlan {
+        let perf = PerfModel::new(graph, 1.0, 0.0);
+        // Group workers by task, sorted most-accurate-first (ties by id for
+        // determinism).
+        let mut by_task: HashMap<usize, Vec<WorkerState>> = HashMap::new();
+        for w in workers {
+            let Some(variant) = w.variant else { continue };
+            if w.swapping {
+                // A worker still loading its model has no usable capacity right now;
+                // it will be picked up at the next routing refresh.
+                continue;
+            }
+            let profile = graph.variant(variant);
+            let capacity = profile.throughput_qps(w.max_batch);
+            by_task.entry(variant.task).or_default().push(WorkerState {
+                id: w.id,
+                variant,
+                accuracy: profile.accuracy,
+                capacity,
+                capacity_left: capacity,
+                incoming: 0.0,
+                exec_time_ms: profile.batch_latency_ms(w.max_batch),
+            });
+        }
+        for states in by_task.values_mut() {
+            states.sort_by(|a, b| {
+                b.accuracy
+                    .partial_cmp(&a.accuracy)
+                    .unwrap()
+                    .then(a.id.cmp(&b.id))
+            });
+        }
+
+        let mut plan = RoutingPlan::default();
+
+        // Frontend: pour the root demand into the root task's workers.
+        let root = graph.root().index();
+        if let Some(states) = by_task.get_mut(&root) {
+            let assignments = Self::saturate(states, demand_qps);
+            for (id, routed) in assignments {
+                if routed > 0.0 {
+                    plan.frontend.push((id, routed));
+                }
+            }
+        }
+
+        // Walk tasks in topological order, assigning each worker's outgoing traffic to
+        // downstream workers most-accurate-first.
+        for task_id in graph.topological_order() {
+            let t = task_id.index();
+            let children: Vec<TaskId> = graph.task(task_id).children.iter().map(|e| e.child).collect();
+            if children.is_empty() {
+                continue;
+            }
+            let upstream: Vec<(WorkerId, VariantId, f64)> = by_task
+                .get(&t)
+                .map(|states| {
+                    states
+                        .iter()
+                        .map(|s| (s.id, s.variant, s.incoming))
+                        .collect()
+                })
+                .unwrap_or_default();
+            for (worker_id, variant, incoming) in upstream {
+                for &child in &children {
+                    let outgoing = incoming * perf.fanout(variant, child, fanout);
+                    let Some(child_states) = by_task.get_mut(&child.index()) else {
+                        continue;
+                    };
+                    let assignments = Self::saturate(child_states, outgoing);
+                    let total: f64 = assignments.iter().map(|(_, r)| r).sum();
+                    if total <= 0.0 {
+                        continue;
+                    }
+                    let table: Vec<(WorkerId, f64)> = assignments
+                        .into_iter()
+                        .filter(|(_, r)| *r > 0.0)
+                        .map(|(id, r)| (id, r / total))
+                        .collect();
+                    plan.downstream.insert((worker_id, child.index()), table);
+                }
+            }
+        }
+
+        // Per-task default tables (used for queries whose upstream worker has no
+        // specific entry, e.g. right after a re-allocation): proportional to capacity.
+        for (task, states) in &by_task {
+            let table: Vec<(WorkerId, f64)> = states
+                .iter()
+                .map(|s| (s.id, s.capacity.max(1e-9)))
+                .collect();
+            plan.downstream_default.insert(*task, table);
+        }
+
+        // Backup tables: leftover capacity per task, most accurate first.
+        for (task, states) in &by_task {
+            let mut backups: Vec<BackupWorker> = states
+                .iter()
+                .filter(|s| s.capacity_left > 1e-6)
+                .map(|s| BackupWorker {
+                    worker: s.id,
+                    exec_time_ms: s.exec_time_ms,
+                    accuracy: s.accuracy,
+                })
+                .collect();
+            backups.sort_by(|a, b| a.exec_time_ms.partial_cmp(&b.exec_time_ms).unwrap());
+            if !backups.is_empty() {
+                plan.backup.insert(*task, backups);
+            }
+        }
+
+        plan
+    }
+
+    /// Pour `demand` into the (accuracy-sorted) worker list, saturating each worker's
+    /// remaining capacity in turn. Any demand exceeding the total remaining capacity is
+    /// spread proportionally to total capacity so that overload degrades gracefully
+    /// instead of leaving traffic unroutable. Returns `(worker, routed)` pairs.
+    fn saturate(states: &mut [WorkerState], demand: f64) -> Vec<(WorkerId, f64)> {
+        let mut out: Vec<(WorkerId, f64)> = states.iter().map(|s| (s.id, 0.0)).collect();
+        if demand <= 0.0 || states.is_empty() {
+            return out;
+        }
+        let mut remaining = demand;
+        for (i, s) in states.iter_mut().enumerate() {
+            if remaining <= 0.0 {
+                break;
+            }
+            let routed = remaining.min(s.capacity_left);
+            if routed > 0.0 {
+                s.capacity_left -= routed;
+                s.incoming += routed;
+                out[i].1 += routed;
+                remaining -= routed;
+            }
+        }
+        if remaining > 1e-9 {
+            let total_capacity: f64 = states.iter().map(|s| s.capacity).sum();
+            if total_capacity > 0.0 {
+                for (i, s) in states.iter_mut().enumerate() {
+                    let share = remaining * s.capacity / total_capacity;
+                    s.incoming += share;
+                    out[i].1 += share;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_pipeline::zoo;
+
+    fn view(id: usize, variant: VariantId, batch: u32) -> WorkerView {
+        WorkerView {
+            id: WorkerId(id),
+            variant: Some(variant),
+            max_batch: batch,
+            queue_len: 0,
+            swapping: false,
+        }
+    }
+
+    #[test]
+    fn frontend_prefers_most_accurate_worker() {
+        let g = zoo::tiny_pipeline(100.0);
+        // Two root-task workers: one accurate (a-large), one cheap (a-small).
+        let workers = vec![
+            view(0, VariantId::new(0, 0), 4), // a-small, acc 0.8
+            view(1, VariantId::new(0, 1), 4), // a-large, acc 1.0
+            view(2, VariantId::new(1, 1), 4),
+        ];
+        // Low demand: everything fits on the accurate worker.
+        let plan = MostAccurateFirst::build_routing(&g, &workers, 10.0, &FanoutOverrides::new());
+        let accurate_weight: f64 = plan
+            .frontend
+            .iter()
+            .filter(|(w, _)| *w == WorkerId(1))
+            .map(|(_, p)| *p)
+            .sum();
+        let cheap_weight: f64 = plan
+            .frontend
+            .iter()
+            .filter(|(w, _)| *w == WorkerId(0))
+            .map(|(_, p)| *p)
+            .sum();
+        assert!(accurate_weight > 0.0);
+        assert!(cheap_weight.abs() < 1e-9, "cheap worker should get no traffic at low demand");
+    }
+
+    #[test]
+    fn overflow_spills_to_less_accurate_workers() {
+        let g = zoo::tiny_pipeline(100.0);
+        let workers = vec![
+            view(0, VariantId::new(0, 0), 4),
+            view(1, VariantId::new(0, 1), 4),
+            view(2, VariantId::new(1, 1), 8),
+        ];
+        let accurate_capacity = g.variant(VariantId::new(0, 1)).throughput_qps(4);
+        let demand = accurate_capacity * 1.5;
+        let plan = MostAccurateFirst::build_routing(&g, &workers, demand, &FanoutOverrides::new());
+        let cheap_weight: f64 = plan
+            .frontend
+            .iter()
+            .filter(|(w, _)| *w == WorkerId(0))
+            .map(|(_, p)| *p)
+            .sum();
+        assert!(cheap_weight > 0.0, "overflow should spill to the less accurate worker");
+    }
+
+    #[test]
+    fn downstream_tables_and_backups_exist() {
+        let g = zoo::tiny_pipeline(100.0);
+        let workers = vec![
+            view(0, VariantId::new(0, 1), 4),
+            view(1, VariantId::new(1, 1), 4),
+            view(2, VariantId::new(1, 0), 4),
+        ];
+        let plan = MostAccurateFirst::build_routing(&g, &workers, 20.0, &FanoutOverrides::new());
+        // The root worker must have a table for task 1.
+        let table = plan.downstream.get(&(WorkerId(0), 1)).expect("routing table");
+        let total: f64 = table.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "probabilities should sum to 1");
+        // At 20 QPS the accurate downstream worker has leftover capacity -> backup.
+        let backup = plan.backup.get(&1).expect("backup table");
+        assert!(!backup.is_empty());
+        // Default tables exist for both tasks.
+        assert!(plan.downstream_default.contains_key(&0));
+        assert!(plan.downstream_default.contains_key(&1));
+    }
+
+    #[test]
+    fn traffic_pipeline_routes_both_branches() {
+        let g = zoo::traffic_analysis_pipeline(250.0);
+        let workers = vec![
+            view(0, VariantId::new(0, 4), 4),
+            view(1, VariantId::new(1, 7), 8),
+            view(2, VariantId::new(1, 0), 8),
+            view(3, VariantId::new(2, 3), 8),
+        ];
+        let plan = MostAccurateFirst::build_routing(&g, &workers, 50.0, &FanoutOverrides::new());
+        assert!(plan.downstream.contains_key(&(WorkerId(0), 1)));
+        assert!(plan.downstream.contains_key(&(WorkerId(0), 2)));
+        // Car-classification traffic prefers the accurate B7 worker while it has
+        // capacity.
+        let table = &plan.downstream[&(WorkerId(0), 1)];
+        let b7_share: f64 = table
+            .iter()
+            .filter(|(w, _)| *w == WorkerId(1))
+            .map(|(_, p)| *p)
+            .sum();
+        assert!(b7_share > 0.5, "b7 share = {b7_share}");
+    }
+
+    #[test]
+    fn empty_cluster_produces_empty_plan() {
+        let g = zoo::tiny_pipeline(100.0);
+        let plan = MostAccurateFirst::build_routing(&g, &[], 100.0, &FanoutOverrides::new());
+        assert!(plan.frontend.is_empty());
+        assert!(plan.downstream.is_empty());
+        assert!(plan.backup.is_empty());
+    }
+
+    #[test]
+    fn observed_fanout_changes_downstream_distribution() {
+        let g = zoo::tiny_pipeline(100.0);
+        let workers = vec![
+            view(0, VariantId::new(0, 1), 4),
+            view(1, VariantId::new(1, 1), 1), // accurate but tiny capacity
+            view(2, VariantId::new(1, 0), 8),
+        ];
+        // With a huge observed fan-out, the accurate downstream worker saturates and
+        // more traffic shifts to the cheap one.
+        let mut fanout = FanoutOverrides::new();
+        fanout.insert((VariantId::new(0, 1), 1), 10.0);
+        let plan_hi = MostAccurateFirst::build_routing(&g, &workers, 30.0, &fanout);
+        let plan_lo = MostAccurateFirst::build_routing(&g, &workers, 30.0, &FanoutOverrides::new());
+        let cheap_share = |plan: &RoutingPlan| -> f64 {
+            plan.downstream[&(WorkerId(0), 1)]
+                .iter()
+                .filter(|(w, _)| *w == WorkerId(2))
+                .map(|(_, p)| *p)
+                .sum()
+        };
+        assert!(cheap_share(&plan_hi) > cheap_share(&plan_lo));
+    }
+}

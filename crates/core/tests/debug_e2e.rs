@@ -1,0 +1,32 @@
+use loki_core::{LokiConfig, LokiController};
+use loki_pipeline::zoo;
+use loki_sim::{SimConfig, Simulation};
+use loki_workload::{generate_arrivals, generators, ArrivalProcess};
+
+#[test]
+#[ignore]
+fn debug_e2e() {
+    let g = zoo::traffic_analysis_pipeline(250.0);
+    let controller = LokiController::new(g.clone(), LokiConfig::with_greedy());
+    let trace = generators::constant(40, 120.0);
+    let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, 3);
+    let config = SimConfig {
+        cluster_size: 20,
+        control_interval_s: 5.0,
+        initial_demand_hint: Some(120.0),
+        drain_s: 15.0,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(&g, config, controller);
+    let result = sim.run(&arrivals);
+    for m in &result.intervals {
+        println!(
+            "t={:>5.0} arr={:>4} ok={:>4} late={:>4} drop={:>4} active={:>2} rerouted={:>4} acc={:.3}",
+            m.start_s, m.arrivals, m.completed_on_time, m.completed_late, m.dropped,
+            m.active_workers, m.rerouted, m.mean_accuracy()
+        );
+    }
+    println!("summary: {:?}", result.summary);
+    let ctl = sim.into_controller();
+    println!("last outcome: {:#?}", ctl.last_outcome().map(|o| (&o.plan.instances, o.mode, o.servers_used)));
+}

@@ -1,0 +1,488 @@
+//! Best-first branch-and-bound over the LP relaxation.
+//!
+//! Each node is a set of additional variable bounds imposed by branching decisions.
+//! Nodes are ordered by the LP bound of their parent, so the most promising part of the
+//! tree is explored first; this combines well with a warm-start incumbent (Loki seeds
+//! the search with its greedy allocation) because strong incumbents let most nodes be
+//! pruned without ever solving their relaxation.
+
+use crate::expr::Var;
+use crate::model::{Model, ObjectiveSense, VarType};
+use crate::simplex;
+use crate::solution::{SolveError, SolveOptions, SolveStats, SolveStatus, Solution};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// A branch-and-bound node: extra bounds layered on top of the model bounds.
+#[derive(Debug, Clone)]
+struct Node {
+    bounds: Vec<(Var, f64, f64)>,
+    /// LP bound inherited from the parent (in minimization space).
+    bound: f64,
+    depth: usize,
+}
+
+/// Wrapper providing the heap ordering (best bound first, then shallower nodes).
+struct OrderedNode(Node);
+
+impl PartialEq for OrderedNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound && self.0.depth == other.0.depth
+    }
+}
+impl Eq for OrderedNode {}
+impl PartialOrd for OrderedNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrderedNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; we want the smallest minimization bound on top.
+        other
+            .0
+            .bound
+            .partial_cmp(&self.0.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.0.depth.cmp(&self.0.depth))
+    }
+}
+
+/// Convert an objective value into minimization space so bounding logic is uniform.
+fn to_min_space(sense: ObjectiveSense, obj: f64) -> f64 {
+    match sense {
+        ObjectiveSense::Minimize => obj,
+        ObjectiveSense::Maximize => -obj,
+    }
+}
+
+/// Pick the integer variable to branch on: honour the caller's priority list first,
+/// then the most fractional variable.
+fn pick_branch_var(
+    model: &Model,
+    values: &[f64],
+    int_tol: f64,
+    priority: &[Var],
+) -> Option<(Var, f64)> {
+    let fractional = |v: Var| {
+        let x = values[v.index()];
+        let frac = (x - x.round()).abs();
+        if frac > int_tol {
+            Some((v, x))
+        } else {
+            None
+        }
+    };
+    for &v in priority {
+        if model.vars[v.index()].vtype != VarType::Continuous {
+            if let Some(hit) = fractional(v) {
+                return Some(hit);
+            }
+        }
+    }
+    let mut best: Option<(Var, f64, f64)> = None;
+    for (i, vd) in model.vars.iter().enumerate() {
+        if vd.vtype == VarType::Continuous {
+            continue;
+        }
+        let x = values[i];
+        let frac = (x - x.floor()).min(x.ceil() - x);
+        if frac > int_tol && best.map_or(true, |(_, _, f)| frac > f) {
+            best = Some((Var(i), x, frac));
+        }
+    }
+    best.map(|(v, x, _)| (v, x))
+}
+
+/// Rounding heuristic: round every integer variable to the nearest integer, fix it,
+/// and re-solve the LP over the remaining continuous variables. Returns a feasible
+/// assignment if one is found.
+fn rounding_heuristic(
+    model: &Model,
+    relaxation_values: &[f64],
+    node_bounds: &[(Var, f64, f64)],
+    int_tol: f64,
+    iterations: &mut usize,
+) -> Option<Vec<f64>> {
+    let mut fixed = node_bounds.to_vec();
+    for (i, vd) in model.vars.iter().enumerate() {
+        if vd.vtype == VarType::Continuous {
+            continue;
+        }
+        let rounded = relaxation_values[i].round();
+        let rounded = rounded.clamp(vd.lb, vd.ub);
+        fixed.push((Var(i), rounded, rounded));
+    }
+    match simplex::solve_lp(model, &fixed) {
+        Ok(sol) => {
+            *iterations += sol.stats.simplex_iterations;
+            if model.is_feasible(&sol.values, f64::max(1e-6, int_tol)) {
+                Some(sol.values)
+            } else {
+                None
+            }
+        }
+        Err(_) => None,
+    }
+}
+
+/// Solve a mixed-integer model via branch-and-bound.
+pub fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Solution, SolveError> {
+    let start = Instant::now();
+    let sense = model.sense;
+    let mut stats = SolveStats::default();
+
+    // Incumbent: best feasible solution found so far (user-space objective).
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+
+    // Warm start, if provided and feasible after rounding the integer variables.
+    if let Some(ws) = &options.warm_start {
+        if ws.len() == model.num_vars() {
+            let mut rounded = ws.clone();
+            for (i, vd) in model.vars.iter().enumerate() {
+                if vd.vtype != VarType::Continuous {
+                    rounded[i] = rounded[i].round().clamp(vd.lb, vd.ub);
+                }
+            }
+            if model.is_feasible(&rounded, 1e-6) {
+                let obj = model.objective_value(&rounded);
+                incumbent = Some((obj, rounded));
+            }
+        }
+    }
+
+    // Root relaxation.
+    let root = match simplex::solve_lp(model, &[]) {
+        Ok(sol) => sol,
+        Err(SolveError::Infeasible) => return Err(SolveError::Infeasible),
+        Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
+        Err(e) => return Err(e),
+    };
+    stats.simplex_iterations += root.stats.simplex_iterations;
+
+    let mut heap = BinaryHeap::new();
+    heap.push(OrderedNode(Node {
+        bounds: Vec::new(),
+        bound: to_min_space(sense, root.objective),
+        depth: 0,
+    }));
+
+    let mut best_bound = to_min_space(sense, root.objective);
+    let mut nodes_explored = 0usize;
+
+    let incumbent_obj_min =
+        |inc: &Option<(f64, Vec<f64>)>| inc.as_ref().map(|(o, _)| to_min_space(sense, *o));
+
+    while let Some(OrderedNode(node)) = heap.pop() {
+        // Global best bound is the smallest bound still on the heap or the current node.
+        best_bound = node.bound;
+
+        // Termination checks.
+        if nodes_explored >= options.node_limit || start.elapsed() >= options.time_limit {
+            break;
+        }
+        if let Some(inc_min) = incumbent_obj_min(&incumbent) {
+            let gap = relative_gap(inc_min, best_bound);
+            if gap <= options.mip_gap {
+                break;
+            }
+            // Prune by bound.
+            if node.bound >= inc_min - 1e-9 {
+                continue;
+            }
+        }
+
+        nodes_explored += 1;
+
+        let relax = match simplex::solve_lp(model, &node.bounds) {
+            Ok(sol) => sol,
+            Err(SolveError::Infeasible) => continue,
+            Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
+            Err(e) => return Err(e),
+        };
+        stats.simplex_iterations += relax.stats.simplex_iterations;
+        let relax_min = to_min_space(sense, relax.objective);
+
+        // Prune against the incumbent.
+        if let Some(inc_min) = incumbent_obj_min(&incumbent) {
+            if relax_min >= inc_min - 1e-9 {
+                continue;
+            }
+        }
+
+        match pick_branch_var(model, &relax.values, options.int_tol, &options.branch_priority) {
+            None => {
+                // Integral solution: candidate incumbent.
+                let mut vals = relax.values.clone();
+                for (i, vd) in model.vars.iter().enumerate() {
+                    if vd.vtype != VarType::Continuous {
+                        vals[i] = vals[i].round();
+                    }
+                }
+                if model.is_feasible(&vals, 1e-6) {
+                    let obj = model.objective_value(&vals);
+                    let better = match &incumbent {
+                        None => true,
+                        Some((best, _)) => to_min_space(sense, obj) < to_min_space(sense, *best),
+                    };
+                    if better {
+                        incumbent = Some((obj, vals));
+                    }
+                }
+            }
+            Some((branch_var, value)) => {
+                // Occasionally run the rounding heuristic to tighten the incumbent.
+                if options.heuristic_frequency > 0
+                    && (nodes_explored - 1) % options.heuristic_frequency == 0
+                {
+                    if let Some(vals) = rounding_heuristic(
+                        model,
+                        &relax.values,
+                        &node.bounds,
+                        options.int_tol,
+                        &mut stats.simplex_iterations,
+                    ) {
+                        let obj = model.objective_value(&vals);
+                        let better = match &incumbent {
+                            None => true,
+                            Some((best, _)) => {
+                                to_min_space(sense, obj) < to_min_space(sense, *best)
+                            }
+                        };
+                        if better {
+                            incumbent = Some((obj, vals));
+                        }
+                    }
+                }
+
+                let floor = value.floor();
+                let ceil = value.ceil();
+                let (vlb, vub) = model.var_bounds(branch_var);
+
+                // Down branch: var <= floor(value).
+                if floor >= vlb - 1e-9 {
+                    let mut bounds = node.bounds.clone();
+                    bounds.push((branch_var, vlb, floor));
+                    heap.push(OrderedNode(Node {
+                        bounds,
+                        bound: relax_min,
+                        depth: node.depth + 1,
+                    }));
+                }
+                // Up branch: var >= ceil(value).
+                if ceil <= vub + 1e-9 {
+                    let mut bounds = node.bounds.clone();
+                    bounds.push((branch_var, ceil, vub));
+                    heap.push(OrderedNode(Node {
+                        bounds,
+                        bound: relax_min,
+                        depth: node.depth + 1,
+                    }));
+                }
+            }
+        }
+    }
+
+    stats.nodes_explored = nodes_explored;
+    stats.solve_time_secs = start.elapsed().as_secs_f64();
+
+    match incumbent {
+        Some((obj, values)) => {
+            let inc_min = to_min_space(sense, obj);
+            let gap = if heap.is_empty() {
+                0.0
+            } else {
+                relative_gap(inc_min, best_bound)
+            };
+            stats.mip_gap = gap;
+            let status = if heap.is_empty() || gap <= options.mip_gap {
+                SolveStatus::Optimal
+            } else {
+                SolveStatus::Feasible
+            };
+            Ok(Solution {
+                status,
+                objective: obj,
+                values,
+                stats,
+            })
+        }
+        None => {
+            if heap.is_empty() {
+                // Search space exhausted without a feasible integral point.
+                Err(SolveError::Infeasible)
+            } else {
+                Err(SolveError::NoSolutionFound)
+            }
+        }
+    }
+}
+
+/// Relative gap between incumbent and bound, both in minimization space.
+fn relative_gap(incumbent: f64, bound: f64) -> f64 {
+    let diff = (incumbent - bound).max(0.0);
+    diff / incumbent.abs().max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, ObjectiveSense, Sense};
+    use crate::LinExpr;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn knapsack_small() {
+        // Classic 0/1 knapsack: values [60,100,120], weights [10,20,30], cap 50 -> 220.
+        let mut m = Model::new("knapsack");
+        let items = [(60.0, 10.0), (100.0, 20.0), (120.0, 30.0)];
+        let vars: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, _)| m.add_binary(format!("x{i}")))
+            .collect();
+        let weight: LinExpr = vars
+            .iter()
+            .zip(items.iter())
+            .map(|(&v, &(_, w))| w * v)
+            .sum();
+        let value: LinExpr = vars
+            .iter()
+            .zip(items.iter())
+            .map(|(&v, &(val, _))| val * v)
+            .sum();
+        m.add_constraint("cap", weight, Sense::Le, 50.0);
+        m.set_objective(ObjectiveSense::Maximize, value);
+        let s = m.solve().unwrap();
+        assert_eq!(s.status, SolveStatus::Optimal);
+        approx(s.objective, 220.0);
+        assert!(!s.is_set(vars[0]));
+        assert!(s.is_set(vars[1]));
+        assert!(s.is_set(vars[2]));
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // max x + y s.t. 2x + 2y <= 5, integer -> LP gives 2.5, MILP gives 2.
+        let mut m = Model::new("int");
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.add_constraint("c", 2.0 * x + 2.0 * y, Sense::Le, 5.0);
+        m.set_objective(ObjectiveSense::Maximize, 1.0 * x + 1.0 * y);
+        let s = m.solve().unwrap();
+        approx(s.objective, 2.0);
+        let relaxed = m.solve_relaxation(&[]).unwrap();
+        approx(relaxed.objective, 2.5);
+    }
+
+    #[test]
+    fn assignment_problem() {
+        // 3x3 assignment, cost matrix with known optimal assignment cost 5 (1+3+1... )
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        // Optimal: worker0->job1 (1), worker1->job0 (2), worker2->job2 (2) = 5.
+        let mut m = Model::new("assign");
+        let mut x = vec![vec![]; 3];
+        for (i, row) in x.iter_mut().enumerate() {
+            for j in 0..3 {
+                row.push(m.add_binary(format!("x{i}{j}")));
+            }
+        }
+        for i in 0..3 {
+            let row: LinExpr = (0..3).map(|j| 1.0 * x[i][j]).sum();
+            m.add_constraint(format!("r{i}"), row, Sense::Eq, 1.0);
+            let col: LinExpr = (0..3).map(|j| 1.0 * x[j][i]).sum();
+            m.add_constraint(format!("c{i}"), col, Sense::Eq, 1.0);
+        }
+        let obj: LinExpr = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| cost[i][j] * x[i][j])
+            .sum();
+        m.set_objective(ObjectiveSense::Minimize, obj);
+        let s = m.solve().unwrap();
+        approx(s.objective, 5.0);
+    }
+
+    #[test]
+    fn infeasible_milp_detected() {
+        let mut m = Model::new("infeas");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_constraint("c1", 1.0 * x + 1.0 * y, Sense::Ge, 3.0);
+        m.set_objective(ObjectiveSense::Minimize, 1.0 * x);
+        assert!(matches!(m.solve(), Err(SolveError::Infeasible)));
+    }
+
+    #[test]
+    fn warm_start_is_used_as_incumbent() {
+        let mut m = Model::new("ws");
+        let x = m.add_integer("x", 0.0, 100.0);
+        let y = m.add_integer("y", 0.0, 100.0);
+        m.add_constraint("c", 3.0 * x + 5.0 * y, Sense::Le, 15.0);
+        m.set_objective(ObjectiveSense::Maximize, 4.0 * x + 7.0 * y);
+        // Feasible warm start: x=0, y=3 (objective 21). Optimum: x=5,y=0 -> 20? No:
+        // 4*5=20 < 21, so warm start is actually optimal here.
+        let mut opts = SolveOptions::default();
+        opts.warm_start = Some(vec![0.0, 3.0]);
+        let s = m.solve_with(&opts).unwrap();
+        approx(s.objective, 21.0);
+    }
+
+    #[test]
+    fn node_limit_returns_best_incumbent() {
+        // A slightly larger knapsack; with a node limit of 1 we should still get a
+        // feasible (possibly sub-optimal) answer thanks to the rounding heuristic or
+        // integral relaxation, or a NoSolutionFound error; both are acceptable, but
+        // the call must not loop forever.
+        let mut m = Model::new("limit");
+        let n = 12;
+        let mut obj = LinExpr::new();
+        let mut weight = LinExpr::new();
+        for i in 0..n {
+            let v = m.add_binary(format!("x{i}"));
+            obj.add_term(v, (i % 5 + 1) as f64 * 7.0 + (i as f64) * 0.37);
+            weight.add_term(v, (i % 7 + 3) as f64);
+        }
+        m.add_constraint("cap", weight, Sense::Le, 21.0);
+        m.set_objective(ObjectiveSense::Maximize, obj);
+        let mut opts = SolveOptions::default();
+        opts.node_limit = 1;
+        opts.heuristic_frequency = 1;
+        match m.solve_with(&opts) {
+            Ok(sol) => assert!(m.is_feasible(&sol.values, 1e-6)),
+            Err(SolveError::NoSolutionFound) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // max 3x + 2y, x integer, y continuous, x + y <= 4.5, x <= 3 -> x=3, y=1.5
+        let mut m = Model::new("mix");
+        let x = m.add_integer("x", 0.0, 3.0);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("c", 1.0 * x + 1.0 * y, Sense::Le, 4.5);
+        m.set_objective(ObjectiveSense::Maximize, 3.0 * x + 2.0 * y);
+        let s = m.solve().unwrap();
+        approx(s.value(x), 3.0);
+        approx(s.value(y), 1.5);
+        approx(s.objective, 12.0);
+    }
+
+    #[test]
+    fn branch_priority_does_not_change_answer() {
+        let mut m = Model::new("prio");
+        let x = m.add_integer("x", 0.0, 10.0);
+        let y = m.add_integer("y", 0.0, 10.0);
+        m.add_constraint("c", 7.0 * x + 5.0 * y, Sense::Le, 36.0);
+        m.set_objective(ObjectiveSense::Maximize, 12.0 * x + 9.0 * y);
+        let base = m.solve().unwrap();
+        let mut opts = SolveOptions::default();
+        opts.branch_priority = vec![y, x];
+        let prio = m.solve_with(&opts).unwrap();
+        approx(base.objective, prio.objective);
+    }
+}

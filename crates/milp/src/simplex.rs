@@ -1,0 +1,660 @@
+//! A dense, two-phase, bounded-variable primal simplex.
+//!
+//! The solver keeps the full tableau `B⁻¹A` in dense row-major form and maintains the
+//! basic-variable values incrementally across pivots. Variables may be non-basic at
+//! their lower *or* upper bound, which keeps variable bounds out of the constraint
+//! matrix — important because the Loki allocation MILPs have bounds on every binary
+//! and integer variable and would otherwise double their row count.
+//!
+//! Anti-cycling: Dantzig pricing by default, switching to Bland's rule after a run of
+//! degenerate pivots.
+
+use crate::model::{Model, Sense};
+use crate::solution::{SolveError, SolveStats, SolveStatus, Solution};
+use crate::expr::Var;
+use crate::FEAS_TOL;
+
+const PIVOT_TOL: f64 = 1e-9;
+const DEGENERATE_RUN_FOR_BLAND: usize = 60;
+
+/// Where a non-basic variable currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+/// Outcome of a single phase of the simplex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+struct Tableau {
+    /// Row-major dense tableau, `m` rows × `ncols` columns.
+    a: Vec<f64>,
+    m: usize,
+    ncols: usize,
+    /// Values of the basic variables, one per row.
+    xb: Vec<f64>,
+    /// Basic variable index per row.
+    basis: Vec<usize>,
+    /// State per column.
+    state: Vec<VarState>,
+    /// Upper bound per column (lower bound is always 0 internally).
+    upper: Vec<f64>,
+    /// Columns that may never enter the basis (artificials during phase 2).
+    banned: Vec<bool>,
+    iterations: usize,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.ncols + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.a[r * self.ncols + c]
+    }
+
+    /// Current value of column `j`.
+    fn value(&self, j: usize) -> f64 {
+        match self.state[j] {
+            VarState::Basic(r) => self.xb[r],
+            VarState::AtLower => 0.0,
+            VarState::AtUpper => self.upper[j],
+        }
+    }
+
+    /// Run the simplex to optimality for the given per-column cost vector
+    /// (minimization).
+    fn optimize(&mut self, cost: &[f64], max_iters: usize) -> PhaseOutcome {
+        let mut degenerate_run = 0usize;
+        for _ in 0..max_iters {
+            self.iterations += 1;
+            let use_bland = degenerate_run >= DEGENERATE_RUN_FOR_BLAND;
+
+            // Reduced costs: d_j = c_j - Σ_i c_B[i] * a[i][j].
+            // We fold the inner product row by row to keep memory traffic sequential.
+            let mut reduced = cost.to_vec();
+            for r in 0..self.m {
+                let cb = cost[self.basis[r]];
+                if cb != 0.0 {
+                    let row = &self.a[r * self.ncols..(r + 1) * self.ncols];
+                    for (d, &aij) in reduced.iter_mut().zip(row.iter()) {
+                        *d -= cb * aij;
+                    }
+                }
+            }
+
+            // Entering variable selection.
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, |violation|, dir)
+            for j in 0..self.ncols {
+                if self.banned[j] {
+                    continue;
+                }
+                match self.state[j] {
+                    VarState::Basic(_) => continue,
+                    VarState::AtLower => {
+                        if self.upper[j] < FEAS_TOL {
+                            continue; // fixed at zero, nothing to gain
+                        }
+                        let d = reduced[j];
+                        if d < -FEAS_TOL {
+                            let score = -d;
+                            if use_bland {
+                                enter = Some((j, score, 1.0));
+                                break;
+                            }
+                            if enter.map_or(true, |(_, s, _)| score > s) {
+                                enter = Some((j, score, 1.0));
+                            }
+                        }
+                    }
+                    VarState::AtUpper => {
+                        let d = reduced[j];
+                        if d > FEAS_TOL {
+                            let score = d;
+                            if use_bland {
+                                enter = Some((j, score, -1.0));
+                                break;
+                            }
+                            if enter.map_or(true, |(_, s, _)| score > s) {
+                                enter = Some((j, score, -1.0));
+                            }
+                        }
+                    }
+                }
+            }
+
+            let (enter_col, _, dir) = match enter {
+                Some(e) => e,
+                None => return PhaseOutcome::Optimal,
+            };
+
+            // Ratio test. Moving the entering variable by `dir * t` (t >= 0) changes
+            // basic variable i at rate `-a[i][enter] * dir`.
+            let mut t_max = self.upper[enter_col]; // bound-flip limit (may be inf)
+            let mut leave: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+            for r in 0..self.m {
+                let rate = -self.at(r, enter_col) * dir;
+                let bi = self.basis[r];
+                if rate < -PIVOT_TOL {
+                    // basic variable decreasing towards 0
+                    let limit = self.xb[r] / (-rate);
+                    if limit < t_max - PIVOT_TOL {
+                        t_max = limit;
+                        leave = Some((r, false));
+                    } else if use_bland
+                        && (limit - t_max).abs() <= PIVOT_TOL
+                        && leave.map_or(false, |(lr, _)| self.basis[lr] > bi)
+                    {
+                        leave = Some((r, false));
+                    }
+                } else if rate > PIVOT_TOL && self.upper[bi].is_finite() {
+                    // basic variable increasing towards its upper bound
+                    let limit = (self.upper[bi] - self.xb[r]) / rate;
+                    if limit < t_max - PIVOT_TOL {
+                        t_max = limit;
+                        leave = Some((r, true));
+                    } else if use_bland
+                        && (limit - t_max).abs() <= PIVOT_TOL
+                        && leave.map_or(false, |(lr, _)| self.basis[lr] > bi)
+                    {
+                        leave = Some((r, true));
+                    }
+                }
+            }
+
+            if t_max.is_infinite() {
+                return PhaseOutcome::Unbounded;
+            }
+            let t_star = t_max.max(0.0);
+            if t_star <= PIVOT_TOL {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+
+            match leave {
+                None => {
+                    // Bound flip: the entering variable moves to its opposite bound
+                    // without any basis change.
+                    for r in 0..self.m {
+                        let rate = -self.at(r, enter_col) * dir;
+                        self.xb[r] += rate * t_star;
+                    }
+                    self.state[enter_col] = if dir > 0.0 {
+                        VarState::AtUpper
+                    } else {
+                        VarState::AtLower
+                    };
+                }
+                Some((leave_row, leaves_at_upper)) => {
+                    // Update basic values.
+                    for r in 0..self.m {
+                        if r == leave_row {
+                            continue;
+                        }
+                        let rate = -self.at(r, enter_col) * dir;
+                        self.xb[r] += rate * t_star;
+                    }
+                    let entering_value = match self.state[enter_col] {
+                        VarState::AtLower => t_star,
+                        VarState::AtUpper => self.upper[enter_col] - t_star,
+                        VarState::Basic(_) => unreachable!("entering variable is basic"),
+                    };
+
+                    // Pivot the tableau on (leave_row, enter_col).
+                    let piv = self.at(leave_row, enter_col);
+                    debug_assert!(piv.abs() > PIVOT_TOL, "pivot element too small");
+                    let inv = 1.0 / piv;
+                    for c in 0..self.ncols {
+                        *self.at_mut(leave_row, c) *= inv;
+                    }
+                    for r in 0..self.m {
+                        if r == leave_row {
+                            continue;
+                        }
+                        let factor = self.at(r, enter_col);
+                        if factor.abs() > 0.0 {
+                            for c in 0..self.ncols {
+                                let delta = factor * self.at(leave_row, c);
+                                *self.at_mut(r, c) -= delta;
+                            }
+                        }
+                    }
+
+                    let leaving_var = self.basis[leave_row];
+                    self.state[leaving_var] = if leaves_at_upper {
+                        VarState::AtUpper
+                    } else {
+                        VarState::AtLower
+                    };
+                    self.basis[leave_row] = enter_col;
+                    self.state[enter_col] = VarState::Basic(leave_row);
+                    self.xb[leave_row] = entering_value;
+                }
+            }
+        }
+        PhaseOutcome::IterationLimit
+    }
+}
+
+/// Solve the LP relaxation of `model` (all variables treated as continuous), with
+/// optional per-variable bound overrides (used by branch-and-bound to impose branching
+/// decisions). Returns an error for infeasible or unbounded problems.
+pub fn solve_lp(model: &Model, extra_bounds: &[(Var, f64, f64)]) -> Result<Solution, SolveError> {
+    let n_user = model.num_vars();
+
+    // Effective bounds: declared bounds intersected with branching overrides.
+    let mut lb = vec![0.0f64; n_user];
+    let mut ub = vec![f64::INFINITY; n_user];
+    for (i, v) in model.vars.iter().enumerate() {
+        lb[i] = v.lb;
+        ub[i] = v.ub;
+    }
+    for &(var, l, u) in extra_bounds {
+        let i = var.index();
+        lb[i] = lb[i].max(l);
+        ub[i] = ub[i].min(u);
+    }
+    for i in 0..n_user {
+        if lb[i] > ub[i] + FEAS_TOL {
+            return Err(SolveError::Infeasible);
+        }
+        // Guard against negative-width intervals caused by floating point noise.
+        if ub[i] < lb[i] {
+            ub[i] = lb[i];
+        }
+    }
+
+    let m = model.num_constraints();
+
+    // Column layout: [user variables | slacks/surpluses | artificials].
+    let n_slack = model
+        .constraints
+        .iter()
+        .filter(|c| c.sense != Sense::Eq)
+        .count();
+    // Worst case every row needs an artificial.
+    let ncols_cap = n_user + n_slack + m;
+
+    let mut a = vec![0.0f64; m * ncols_cap];
+    let mut rhs = vec![0.0f64; m];
+    let mut upper = vec![f64::INFINITY; ncols_cap];
+    for i in 0..n_user {
+        upper[i] = if ub[i].is_finite() {
+            ub[i] - lb[i]
+        } else {
+            f64::INFINITY
+        };
+    }
+
+    // Fill structural rows (shifted by the lower bounds).
+    for (r, c) in model.constraints.iter().enumerate() {
+        let mut shift = 0.0;
+        for (idx, coeff) in c.expr.iter() {
+            a[r * ncols_cap + idx] = coeff;
+            shift += coeff * lb[idx];
+        }
+        rhs[r] = c.rhs - shift;
+    }
+
+    // Slack / surplus columns.
+    let mut next_col = n_user;
+    let mut slack_col = vec![usize::MAX; m];
+    for (r, c) in model.constraints.iter().enumerate() {
+        match c.sense {
+            Sense::Le => {
+                a[r * ncols_cap + next_col] = 1.0;
+                slack_col[r] = next_col;
+                next_col += 1;
+            }
+            Sense::Ge => {
+                a[r * ncols_cap + next_col] = -1.0;
+                slack_col[r] = next_col;
+                next_col += 1;
+            }
+            Sense::Eq => {}
+        }
+    }
+
+    // Normalize rows to non-negative rhs.
+    for r in 0..m {
+        if rhs[r] < 0.0 {
+            rhs[r] = -rhs[r];
+            for c in 0..next_col {
+                a[r * ncols_cap + c] = -a[r * ncols_cap + c];
+            }
+        }
+    }
+
+    // Initial basis: slack if it has +1 coefficient, otherwise an artificial.
+    let mut basis = vec![usize::MAX; m];
+    let mut artificial_cols = Vec::new();
+    for r in 0..m {
+        let sc = slack_col[r];
+        if sc != usize::MAX && (a[r * ncols_cap + sc] - 1.0).abs() < 1e-12 {
+            basis[r] = sc;
+        } else {
+            let col = next_col;
+            a[r * ncols_cap + col] = 1.0;
+            basis[r] = col;
+            artificial_cols.push(col);
+            next_col += 1;
+        }
+    }
+    let ncols = next_col;
+
+    // Compact the matrix to the final column count for better cache behaviour.
+    let mut compact = vec![0.0f64; m * ncols];
+    for r in 0..m {
+        compact[r * ncols..(r + 1) * ncols]
+            .copy_from_slice(&a[r * ncols_cap..r * ncols_cap + ncols]);
+    }
+    upper.truncate(ncols);
+
+    let mut state = vec![VarState::AtLower; ncols];
+    for (r, &b) in basis.iter().enumerate() {
+        state[b] = VarState::Basic(r);
+    }
+
+    let mut tab = Tableau {
+        a: compact,
+        m,
+        ncols,
+        xb: rhs.clone(),
+        basis,
+        state,
+        upper,
+        banned: vec![false; ncols],
+        iterations: 0,
+    };
+
+    let max_iters = 2000 + 40 * (m + ncols);
+
+    // ---- Phase 1: drive artificials to zero -------------------------------------
+    if !artificial_cols.is_empty() {
+        let mut cost1 = vec![0.0f64; ncols];
+        for &c in &artificial_cols {
+            cost1[c] = 1.0;
+        }
+        match tab.optimize(&cost1, max_iters) {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded => {
+                return Err(SolveError::Numerical(
+                    "phase-1 objective reported unbounded".into(),
+                ))
+            }
+            PhaseOutcome::IterationLimit => {
+                return Err(SolveError::Numerical("phase-1 iteration limit".into()))
+            }
+        }
+        let infeas: f64 = artificial_cols.iter().map(|&c| tab.value(c)).sum();
+        if infeas > 1e-6 {
+            return Err(SolveError::Infeasible);
+        }
+        // Pin artificials to zero and forbid them from re-entering.
+        for &c in &artificial_cols {
+            tab.upper[c] = 0.0;
+            tab.banned[c] = true;
+        }
+        // Try to pivot basic artificials (all at value ~0) out of the basis.
+        for r in 0..tab.m {
+            let b = tab.basis[r];
+            if !artificial_cols.contains(&b) {
+                continue;
+            }
+            let mut pivot_col = None;
+            for j in 0..tab.ncols {
+                if tab.banned[j] {
+                    continue;
+                }
+                if matches!(tab.state[j], VarState::AtLower) && tab.at(r, j).abs() > 1e-7 {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = pivot_col {
+                let piv = tab.at(r, j);
+                let inv = 1.0 / piv;
+                for c in 0..tab.ncols {
+                    *tab.at_mut(r, c) *= inv;
+                }
+                for rr in 0..tab.m {
+                    if rr == r {
+                        continue;
+                    }
+                    let factor = tab.at(rr, j);
+                    if factor != 0.0 {
+                        for c in 0..tab.ncols {
+                            let delta = factor * tab.at(r, c);
+                            *tab.at_mut(rr, c) -= delta;
+                        }
+                    }
+                }
+                tab.state[b] = VarState::AtLower;
+                tab.basis[r] = j;
+                tab.state[j] = VarState::Basic(r);
+                tab.xb[r] = 0.0;
+            }
+            // If no pivot column exists the row is redundant; the artificial stays
+            // basic, pinned at zero by its bounds.
+        }
+    }
+
+    // ---- Phase 2: optimize the user objective ------------------------------------
+    let mut cost2 = vec![0.0f64; ncols];
+    let sign = match model.sense {
+        crate::model::ObjectiveSense::Minimize => 1.0,
+        crate::model::ObjectiveSense::Maximize => -1.0,
+    };
+    for (idx, coeff) in model.objective.iter() {
+        cost2[idx] = sign * coeff;
+    }
+    match tab.optimize(&cost2, max_iters) {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => return Err(SolveError::Unbounded),
+        PhaseOutcome::IterationLimit => {
+            return Err(SolveError::Numerical("phase-2 iteration limit".into()))
+        }
+    }
+
+    // Recover user-space values.
+    let mut values = vec![0.0f64; n_user];
+    for (j, value) in values.iter_mut().enumerate() {
+        *value = lb[j] + tab.value(j);
+        // Clean tiny negative noise relative to bounds.
+        if ub[j].is_finite() && *value > ub[j] {
+            *value = ub[j];
+        }
+        if *value < lb[j] {
+            *value = lb[j];
+        }
+    }
+    let objective = model.objective_value(&values);
+
+    Ok(Solution {
+        status: SolveStatus::Optimal,
+        objective,
+        values,
+        stats: SolveStats {
+            nodes_explored: 0,
+            simplex_iterations: tab.iterations,
+            mip_gap: 0.0,
+            solve_time_secs: 0.0,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, ObjectiveSense, Sense};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 -> x=3, y=1.5, obj=21
+        let mut m = Model::new("lp1");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("c1", 6.0 * x + 4.0 * y, Sense::Le, 24.0);
+        m.add_constraint("c2", 1.0 * x + 2.0 * y, Sense::Le, 6.0);
+        m.set_objective(ObjectiveSense::Maximize, 5.0 * x + 4.0 * y);
+        let s = solve_lp(&m, &[]).unwrap();
+        approx(s.objective, 21.0);
+        approx(s.value(x), 3.0);
+        approx(s.value(y), 1.5);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 -> x=7, y=3, obj=23
+        let mut m = Model::new("lp2");
+        let x = m.add_continuous("x", 2.0, f64::INFINITY);
+        let y = m.add_continuous("y", 3.0, f64::INFINITY);
+        m.add_constraint("cover", 1.0 * x + 1.0 * y, Sense::Ge, 10.0);
+        m.set_objective(ObjectiveSense::Minimize, 2.0 * x + 3.0 * y);
+        let s = solve_lp(&m, &[]).unwrap();
+        approx(s.objective, 23.0);
+        approx(s.value(x), 7.0);
+        approx(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, 3x + 2y = 8 -> x=2, y=1, obj=3
+        let mut m = Model::new("lp3");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        m.add_constraint("e1", 1.0 * x + 2.0 * y, Sense::Eq, 4.0);
+        m.add_constraint("e2", 3.0 * x + 2.0 * y, Sense::Eq, 8.0);
+        m.set_objective(ObjectiveSense::Minimize, 1.0 * x + 1.0 * y);
+        let s = solve_lp(&m, &[]).unwrap();
+        approx(s.value(x), 2.0);
+        approx(s.value(y), 1.0);
+        approx(s.objective, 3.0);
+    }
+
+    #[test]
+    fn upper_bounds_respected_without_explicit_rows() {
+        // max x + y with x <= 2, y <= 3 as *bounds*, and x + y <= 4 as a constraint.
+        let mut m = Model::new("lp4");
+        let x = m.add_continuous("x", 0.0, 2.0);
+        let y = m.add_continuous("y", 0.0, 3.0);
+        m.add_constraint("c", 1.0 * x + 1.0 * y, Sense::Le, 4.0);
+        m.set_objective(ObjectiveSense::Maximize, 1.0 * x + 1.0 * y);
+        let s = solve_lp(&m, &[]).unwrap();
+        approx(s.objective, 4.0);
+        assert!(s.value(x) <= 2.0 + 1e-9);
+        assert!(s.value(y) <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new("lp5");
+        let x = m.add_continuous("x", 0.0, 1.0);
+        m.add_constraint("c", 1.0 * x, Sense::Ge, 2.0);
+        m.set_objective(ObjectiveSense::Minimize, 1.0 * x);
+        assert!(matches!(solve_lp(&m, &[]), Err(SolveError::Infeasible)));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new("lp6");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        m.set_objective(ObjectiveSense::Maximize, 1.0 * x);
+        assert!(matches!(solve_lp(&m, &[]), Err(SolveError::Unbounded)));
+    }
+
+    #[test]
+    fn negative_lower_bounds_are_shifted_correctly() {
+        // min x s.t. x >= -5 (bound), x + y = 0, y <= 3 -> x = -3
+        let mut m = Model::new("lp7");
+        let x = m.add_continuous("x", -5.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, 3.0);
+        m.add_constraint("e", 1.0 * x + 1.0 * y, Sense::Eq, 0.0);
+        m.set_objective(ObjectiveSense::Minimize, 1.0 * x);
+        let s = solve_lp(&m, &[]).unwrap();
+        approx(s.value(x), -3.0);
+        approx(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn extra_bounds_tighten_the_problem() {
+        let mut m = Model::new("lp8");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        m.set_objective(ObjectiveSense::Maximize, 1.0 * x);
+        let s = solve_lp(&m, &[(x, 0.0, 4.0)]).unwrap();
+        approx(s.value(x), 4.0);
+        // Conflicting extra bounds -> infeasible.
+        assert!(matches!(
+            solve_lp(&m, &[(x, 6.0, 4.0)]),
+            Err(SolveError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Highly degenerate: many redundant constraints through the same vertex.
+        let mut m = Model::new("lp9");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, f64::INFINITY);
+        for i in 1..=8 {
+            m.add_constraint(
+                format!("c{i}"),
+                (i as f64) * x + (i as f64) * y,
+                Sense::Le,
+                (i as f64) * 10.0,
+            );
+        }
+        m.set_objective(ObjectiveSense::Maximize, 3.0 * x + 3.0 * y);
+        let s = solve_lp(&m, &[]).unwrap();
+        approx(s.objective, 30.0);
+    }
+
+    #[test]
+    fn transportation_lp() {
+        // Classic 2x3 transportation problem with known optimum.
+        // supply: s0=20, s1=30 ; demand: d0=10, d1=25, d2=15
+        // cost:  [ [2, 3, 1], [5, 4, 8] ]
+        let mut m = Model::new("transport");
+        let mut x = Vec::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                x.push(m.add_continuous(format!("x{i}{j}"), 0.0, f64::INFINITY));
+            }
+        }
+        let cost = [2.0, 3.0, 1.0, 5.0, 4.0, 8.0];
+        m.add_constraint("s0", 1.0 * x[0] + 1.0 * x[1] + 1.0 * x[2], Sense::Le, 20.0);
+        m.add_constraint("s1", 1.0 * x[3] + 1.0 * x[4] + 1.0 * x[5], Sense::Le, 30.0);
+        m.add_constraint("d0", 1.0 * x[0] + 1.0 * x[3], Sense::Ge, 10.0);
+        m.add_constraint("d1", 1.0 * x[1] + 1.0 * x[4], Sense::Ge, 25.0);
+        m.add_constraint("d2", 1.0 * x[2] + 1.0 * x[5], Sense::Ge, 15.0);
+        let obj: crate::LinExpr = x
+            .iter()
+            .zip(cost.iter())
+            .map(|(&v, &c)| c * v)
+            .sum();
+        m.set_objective(ObjectiveSense::Minimize, obj);
+        let s = solve_lp(&m, &[]).unwrap();
+        // Optimal: x02=15 (cost 15), x00=5? Let's verify by checking the solution is
+        // feasible and the objective matches the known optimum 15+2*5+... Compute:
+        // ship d2 from s0 (cost 1): 15, d0 from s0: 5 (cost 10) -> s0 full,
+        // d0 remaining 5 from s1 (cost 25), d1 from s1: 25 (cost 100). total=150.
+        // Alternative: d0 entirely from s0 (10, cost 20), d2 from s0 (10, cost 10),
+        // d2 rest from s1 (5, cost 40)... worse. So optimum is 150.
+        assert!(m.is_feasible(&s.values, 1e-6));
+        approx(s.objective, 150.0);
+    }
+}

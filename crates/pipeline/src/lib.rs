@@ -1,0 +1,35 @@
+//! # loki-pipeline
+//!
+//! Inference-pipeline graphs, model-variant profiles, and the synthetic model zoo used
+//! throughout the Loki reproduction.
+//!
+//! The paper (Loki, HPDC'24) represents an ML application as a *pipeline graph*: a
+//! directed rooted tree whose vertices are ML *tasks* and whose edges carry
+//! intermediate queries from one task to the next. Each task can be served by several
+//! *model variants* that trade accuracy for throughput (e.g. the EfficientNet family).
+//!
+//! This crate provides:
+//!
+//! * [`variant::ModelVariant`] — a single variant's accuracy, latency-vs-batch-size
+//!   profile, throughput, and multiplicative factor (how many downstream queries one
+//!   incoming query spawns);
+//! * [`graph::PipelineGraph`] — the rooted-tree task graph with branch ratios;
+//! * [`augmented::AugmentedGraph`] — the per-variant expansion of the pipeline graph
+//!   used by the resource-allocation MILP: root-to-sink paths, per-path end-to-end
+//!   accuracy `Â(p)`, and per-path request multiplication `m(p, i, k)`;
+//! * [`zoo`] — synthetic profiles shaped like the model families the paper evaluates
+//!   (YOLOv5, EfficientNet, VGG, ResNet, CLIP-ViT) plus ready-made builders for the
+//!   paper's two pipelines (traffic analysis and social media).
+//!
+//! The profiles are synthetic because the controller only ever consumes profiled
+//! numbers (accuracy, `q(i,k,b)`, `r(i,k)`), never model weights; see DESIGN.md for the
+//! calibration rationale.
+
+pub mod augmented;
+pub mod graph;
+pub mod variant;
+pub mod zoo;
+
+pub use augmented::{AugmentedGraph, PathId, VariantPath};
+pub use graph::{PipelineGraph, Task, TaskId};
+pub use variant::{BatchSize, LatencyProfile, ModelVariant, VariantId, DEFAULT_BATCH_SIZES};

@@ -1,0 +1,201 @@
+//! Model variants and their profiled performance characteristics.
+//!
+//! A *model variant* is one member of a model family (e.g. `yolov5s` within the YOLOv5
+//! family) serving a given pipeline task. Loki never executes the model itself; every
+//! decision is driven by three profiled quantities, mirroring Table 1 of the paper:
+//!
+//! * `A(v_{i,k})` — the (normalized) accuracy of the variant,
+//! * `q(i, k, b)` — throughput in queries/second when running with batch size `b`,
+//! * `r(i, k)` — the multiplicative factor: how many downstream (intermediate) queries
+//!   a single incoming query generates on average.
+
+use serde::{Deserialize, Serialize};
+
+/// A batch size. Batch sizes are small powers of two in practice.
+pub type BatchSize = u32;
+
+/// The default set of allowed batch sizes `B` used across the evaluation.
+pub const DEFAULT_BATCH_SIZES: [BatchSize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Identifier of a model variant: the `k`-th variant of task `i`.
+///
+/// The indices follow the paper's `v_{i,k}` notation; `task` is an index into the
+/// owning [`crate::PipelineGraph`]'s task list and `variant` an index into that task's
+/// variant list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VariantId {
+    /// Index of the task (`i`).
+    pub task: usize,
+    /// Index of the variant within the task (`k`).
+    pub variant: usize,
+}
+
+impl VariantId {
+    /// Construct a variant id from task and variant indices.
+    pub fn new(task: usize, variant: usize) -> Self {
+        Self { task, variant }
+    }
+}
+
+impl std::fmt::Display for VariantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v({},{})", self.task, self.variant)
+    }
+}
+
+/// An affine batch-latency model: processing a batch of `b` queries takes
+/// `alpha_ms + beta_ms * b` milliseconds on one worker.
+///
+/// This is the standard shape observed when profiling DNN inference: a fixed kernel
+/// launch / memory-movement overhead plus a per-item cost, with throughput saturating
+/// at `1000 / beta_ms` queries per second for large batches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyProfile {
+    /// Fixed per-batch overhead in milliseconds.
+    pub alpha_ms: f64,
+    /// Marginal per-query cost in milliseconds.
+    pub beta_ms: f64,
+}
+
+impl LatencyProfile {
+    /// Create a latency profile from the fixed and marginal costs (milliseconds).
+    pub fn new(alpha_ms: f64, beta_ms: f64) -> Self {
+        assert!(alpha_ms >= 0.0 && beta_ms > 0.0, "latency profile must be positive");
+        Self { alpha_ms, beta_ms }
+    }
+
+    /// Latency in milliseconds to process one batch of `b` queries.
+    pub fn batch_latency_ms(&self, b: BatchSize) -> f64 {
+        assert!(b >= 1, "batch size must be at least 1");
+        self.alpha_ms + self.beta_ms * b as f64
+    }
+
+    /// Throughput in queries per second when running back-to-back batches of size `b`
+    /// (the paper's `q(i, k, b)`).
+    pub fn throughput_qps(&self, b: BatchSize) -> f64 {
+        1000.0 * b as f64 / self.batch_latency_ms(b)
+    }
+
+    /// The asymptotic throughput limit as the batch size grows.
+    pub fn peak_throughput_qps(&self) -> f64 {
+        1000.0 / self.beta_ms
+    }
+}
+
+/// A model variant: one accuracy/throughput point for a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelVariant {
+    /// Human-readable name, e.g. `"yolov5s"`.
+    pub name: String,
+    /// Model family the variant belongs to, e.g. `"yolov5"`.
+    pub family: String,
+    /// Accuracy normalized by the most accurate variant of the family, in `(0, 1]`.
+    pub accuracy: f64,
+    /// Profiled batch-latency model.
+    pub latency: LatencyProfile,
+    /// Multiplicative factor `r(i, k)`: average number of downstream queries generated
+    /// per incoming query (before edge branch ratios are applied).
+    pub mult_factor: f64,
+}
+
+impl ModelVariant {
+    /// Create a variant.
+    pub fn new(
+        name: impl Into<String>,
+        family: impl Into<String>,
+        accuracy: f64,
+        latency: LatencyProfile,
+        mult_factor: f64,
+    ) -> Self {
+        assert!(
+            accuracy > 0.0 && accuracy <= 1.0 + 1e-9,
+            "accuracy must be normalized to (0, 1]"
+        );
+        assert!(mult_factor >= 0.0, "multiplicative factor must be non-negative");
+        Self {
+            name: name.into(),
+            family: family.into(),
+            accuracy,
+            latency,
+            mult_factor,
+        }
+    }
+
+    /// Throughput at a given batch size (`q(i, k, b)`).
+    pub fn throughput_qps(&self, b: BatchSize) -> f64 {
+        self.latency.throughput_qps(b)
+    }
+
+    /// Latency of processing one batch of size `b` in milliseconds.
+    pub fn batch_latency_ms(&self, b: BatchSize) -> f64 {
+        self.latency.batch_latency_ms(b)
+    }
+
+    /// The largest batch size from `allowed` whose batch latency fits inside
+    /// `budget_ms`, if any. Larger batches always yield higher throughput under the
+    /// affine latency model, so this is the throughput-maximizing feasible choice.
+    pub fn largest_batch_within(
+        &self,
+        allowed: &[BatchSize],
+        budget_ms: f64,
+    ) -> Option<BatchSize> {
+        allowed
+            .iter()
+            .copied()
+            .filter(|&b| self.batch_latency_ms(b) <= budget_ms + 1e-9)
+            .max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_throughput_are_consistent() {
+        let p = LatencyProfile::new(5.0, 6.0);
+        assert!((p.batch_latency_ms(1) - 11.0).abs() < 1e-12);
+        assert!((p.batch_latency_ms(8) - 53.0).abs() < 1e-12);
+        // throughput = batch / latency
+        assert!((p.throughput_qps(8) - 8000.0 / 53.0).abs() < 1e-9);
+        // throughput is monotone in batch size for affine latency
+        let mut last = 0.0;
+        for b in [1u32, 2, 4, 8, 16, 32, 64] {
+            let q = p.throughput_qps(b);
+            assert!(q > last);
+            last = q;
+        }
+        assert!(last < p.peak_throughput_qps());
+    }
+
+    #[test]
+    fn largest_batch_within_budget() {
+        let v = ModelVariant::new("m", "fam", 1.0, LatencyProfile::new(5.0, 6.0), 1.0);
+        // latencies: b=1 -> 11, 2 -> 17, 4 -> 29, 8 -> 53, 16 -> 101, 32 -> 197
+        assert_eq!(v.largest_batch_within(&DEFAULT_BATCH_SIZES, 60.0), Some(8));
+        assert_eq!(v.largest_batch_within(&DEFAULT_BATCH_SIZES, 11.0), Some(1));
+        assert_eq!(v.largest_batch_within(&DEFAULT_BATCH_SIZES, 10.0), None);
+        assert_eq!(
+            v.largest_batch_within(&DEFAULT_BATCH_SIZES, 1e9),
+            Some(32)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy must be normalized")]
+    fn rejects_unnormalized_accuracy() {
+        ModelVariant::new("m", "fam", 87.0, LatencyProfile::new(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be at least 1")]
+    fn rejects_zero_batch() {
+        LatencyProfile::new(1.0, 1.0).batch_latency_ms(0);
+    }
+
+    #[test]
+    fn variant_id_display() {
+        let id = VariantId::new(2, 3);
+        assert_eq!(id.to_string(), "v(2,3)");
+    }
+}

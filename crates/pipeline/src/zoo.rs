@@ -1,0 +1,265 @@
+//! The synthetic model zoo: profiles shaped like the model families the paper uses,
+//! plus builders for the paper's two evaluation pipelines.
+//!
+//! The paper profiles 32 real model variants (YOLOv5, EfficientNet, VGG, ResNet,
+//! CLIP-ViT) on NVIDIA GTX 1080 Ti GPUs. We cannot run those models here, but the Loki
+//! controller only consumes *profiles*: a normalized accuracy `A(v)`, a throughput
+//! table `q(i,k,b)`, and a multiplicative factor `r(i,k)`. This module provides
+//! synthetic profiles with the same relative structure:
+//!
+//! * accuracies are the published accuracies of each family, normalized by the most
+//!   accurate member (exactly as the paper does);
+//! * latency follows the affine `α + β·b` batch model, with constants chosen so that a
+//!   20-worker cluster saturates at a few hundred QPS with max-accuracy variants and at
+//!   roughly 2.5–3× that with min-accuracy variants, matching the paper's Figure 1
+//!   phase boundaries in shape;
+//! * multiplicative factors grow with detector accuracy (a better detector finds more
+//!   objects), reproducing the workload-multiplication effect of Section 2.2.1.
+
+use crate::graph::PipelineGraph;
+use crate::variant::{LatencyProfile, ModelVariant};
+
+/// Default end-to-end latency SLO used in the paper's end-to-end experiments (ms).
+pub const DEFAULT_SLO_MS: f64 = 250.0;
+
+/// Fraction of detected objects that are cars (routed to car classification) in the
+/// traffic-analysis pipeline.
+pub const TRAFFIC_CAR_BRANCH_RATIO: f64 = 0.7;
+/// Fraction of detected objects that are persons (routed to facial recognition).
+pub const TRAFFIC_FACE_BRANCH_RATIO: f64 = 0.3;
+
+/// YOLOv5 object-detection family (n, s, m, l, x), most accurate last.
+///
+/// Accuracies are COCO mAP values normalized by YOLOv5x; multiplicative factors model
+/// the average number of objects a variant detects per video frame (less accurate
+/// variants miss objects, the workload-multiplication effect).
+pub fn yolov5_family() -> Vec<ModelVariant> {
+    vec![
+        ModelVariant::new("yolov5n", "yolov5", 0.552, LatencyProfile::new(2.5, 2.8), 1.5),
+        ModelVariant::new("yolov5s", "yolov5", 0.738, LatencyProfile::new(3.0, 3.4), 1.7),
+        ModelVariant::new("yolov5m", "yolov5", 0.891, LatencyProfile::new(3.5, 4.0), 1.8),
+        ModelVariant::new("yolov5l", "yolov5", 0.966, LatencyProfile::new(4.5, 5.0), 1.9),
+        ModelVariant::new("yolov5x", "yolov5", 1.0, LatencyProfile::new(5.0, 6.0), 2.0),
+    ]
+}
+
+/// EfficientNet image-classification family (B0–B7), used for car classification.
+pub fn efficientnet_family() -> Vec<ModelVariant> {
+    let specs: [(&str, f64, f64, f64); 8] = [
+        ("efficientnet-b0", 0.915, 2.0, 2.4),
+        ("efficientnet-b1", 0.938, 2.4, 2.5),
+        ("efficientnet-b2", 0.950, 2.6, 2.6),
+        ("efficientnet-b3", 0.968, 3.0, 3.2),
+        ("efficientnet-b4", 0.983, 3.6, 4.2),
+        ("efficientnet-b5", 0.992, 4.4, 5.5),
+        ("efficientnet-b6", 0.996, 5.2, 7.0),
+        ("efficientnet-b7", 1.0, 6.0, 9.0),
+    ];
+    specs
+        .iter()
+        .map(|&(name, acc, a, b)| {
+            ModelVariant::new(name, "efficientnet", acc, LatencyProfile::new(a, b), 1.0)
+        })
+        .collect()
+}
+
+/// VGG family (11/13/16/19), used for facial recognition.
+pub fn vgg_family() -> Vec<ModelVariant> {
+    vec![
+        ModelVariant::new("vgg11", "vgg", 0.90, LatencyProfile::new(2.5, 3.2), 1.0),
+        ModelVariant::new("vgg13", "vgg", 0.94, LatencyProfile::new(3.0, 3.5), 1.0),
+        ModelVariant::new("vgg16", "vgg", 0.97, LatencyProfile::new(4.0, 5.0), 1.0),
+        ModelVariant::new("vgg19", "vgg", 1.0, LatencyProfile::new(5.0, 7.0), 1.0),
+    ]
+}
+
+/// ResNet family (18/34/50/101/152), used for image classification in the social-media
+/// pipeline. The multiplicative factor models how many caption-worthy regions the
+/// classifier surfaces for the downstream captioning task.
+pub fn resnet_family() -> Vec<ModelVariant> {
+    vec![
+        ModelVariant::new("resnet18", "resnet", 0.891, LatencyProfile::new(1.8, 2.2), 1.0),
+        ModelVariant::new("resnet34", "resnet", 0.936, LatencyProfile::new(2.2, 2.2), 1.05),
+        ModelVariant::new("resnet50", "resnet", 0.972, LatencyProfile::new(2.8, 3.0), 1.1),
+        ModelVariant::new("resnet101", "resnet", 0.988, LatencyProfile::new(3.8, 4.8), 1.15),
+        ModelVariant::new("resnet152", "resnet", 1.0, LatencyProfile::new(4.8, 6.5), 1.2),
+    ]
+}
+
+/// CLIP-ViT family, used for image captioning in the social-media pipeline.
+pub fn clip_vit_family() -> Vec<ModelVariant> {
+    vec![
+        ModelVariant::new("clip-vit-b32", "clip-vit", 0.88, LatencyProfile::new(3.0, 3.8), 1.0),
+        ModelVariant::new("clip-vit-b16", "clip-vit", 0.94, LatencyProfile::new(4.5, 5.5), 1.0),
+        ModelVariant::new("clip-vit-l14", "clip-vit", 0.99, LatencyProfile::new(7.0, 10.0), 1.0),
+        ModelVariant::new(
+            "clip-vit-l14-336",
+            "clip-vit",
+            1.0,
+            LatencyProfile::new(10.0, 14.0),
+            1.0,
+        ),
+    ]
+}
+
+/// The traffic-analysis pipeline of Figure 2a: object detection (YOLOv5) fans out to
+/// car classification (EfficientNet) and facial recognition (VGG).
+pub fn traffic_analysis_pipeline(slo_ms: f64) -> PipelineGraph {
+    let mut g = PipelineGraph::new("traffic_analysis", slo_ms);
+    let det = g.add_task("object_detection", yolov5_family());
+    let car = g.add_task("car_classification", efficientnet_family());
+    let face = g.add_task("facial_recognition", vgg_family());
+    g.add_edge(det, car, TRAFFIC_CAR_BRANCH_RATIO);
+    g.add_edge(det, face, TRAFFIC_FACE_BRANCH_RATIO);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// The social-media pipeline of Figure 2b: image classification (ResNet) feeding image
+/// captioning (CLIP-ViT).
+pub fn social_media_pipeline(slo_ms: f64) -> PipelineGraph {
+    let mut g = PipelineGraph::new("social_media", slo_ms);
+    let cls = g.add_task("image_classification", resnet_family());
+    let cap = g.add_task("image_captioning", clip_vit_family());
+    g.add_edge(cls, cap, 1.0);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// A deliberately small two-task chain pipeline used by unit tests and the quickstart
+/// example: two variants per task, fast enough that even the MILP-based allocator
+/// solves it in microseconds.
+pub fn tiny_pipeline(slo_ms: f64) -> PipelineGraph {
+    let mut g = PipelineGraph::new("tiny", slo_ms);
+    let a = g.add_task(
+        "stage_a",
+        vec![
+            ModelVariant::new("a-small", "a", 0.8, LatencyProfile::new(2.0, 1.0), 1.0),
+            ModelVariant::new("a-large", "a", 1.0, LatencyProfile::new(4.0, 3.0), 1.2),
+        ],
+    );
+    let b = g.add_task(
+        "stage_b",
+        vec![
+            ModelVariant::new("b-small", "b", 0.85, LatencyProfile::new(2.0, 1.5), 1.0),
+            ModelVariant::new("b-large", "b", 1.0, LatencyProfile::new(5.0, 4.0), 1.0),
+        ],
+    );
+    g.add_edge(a, b, 1.0);
+    debug_assert!(g.validate().is_ok());
+    g
+}
+
+/// All model families bundled together (used by Figure 3 and documentation examples).
+pub fn all_families() -> Vec<(&'static str, Vec<ModelVariant>)> {
+    vec![
+        ("yolov5", yolov5_family()),
+        ("efficientnet", efficientnet_family()),
+        ("vgg", vgg_family()),
+        ("resnet", resnet_family()),
+        ("clip-vit", clip_vit_family()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::augmented::AugmentedGraph;
+    use crate::variant::DEFAULT_BATCH_SIZES;
+
+    #[test]
+    fn families_are_normalized_and_ordered() {
+        for (name, family) in all_families() {
+            assert!(!family.is_empty(), "family {name} is empty");
+            let max_acc = family
+                .iter()
+                .map(|v| v.accuracy)
+                .fold(f64::MIN, f64::max);
+            assert!(
+                (max_acc - 1.0).abs() < 1e-9,
+                "family {name} is not normalized (max accuracy {max_acc})"
+            );
+            for v in &family {
+                assert!(v.accuracy > 0.0 && v.accuracy <= 1.0 + 1e-9);
+                assert_eq!(v.family, name);
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_throughput_tradeoff_holds_within_each_family() {
+        // Less accurate variants must be faster (higher throughput at every batch size)
+        // — this is the premise of accuracy scaling (Figure 3).
+        for (name, family) in all_families() {
+            let mut sorted = family.clone();
+            sorted.sort_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap());
+            for pair in sorted.windows(2) {
+                for &b in &DEFAULT_BATCH_SIZES {
+                    assert!(
+                        pair[0].throughput_qps(b) > pair[1].throughput_qps(b),
+                        "family {name}: {} should be faster than {} at batch {b}",
+                        pair[0].name,
+                        pair[1].name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detector_mult_factor_grows_with_accuracy() {
+        let family = yolov5_family();
+        for pair in family.windows(2) {
+            assert!(pair[0].accuracy < pair[1].accuracy);
+            assert!(pair[0].mult_factor <= pair[1].mult_factor);
+        }
+    }
+
+    #[test]
+    fn traffic_pipeline_structure() {
+        let g = traffic_analysis_pipeline(DEFAULT_SLO_MS);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.num_tasks(), 3);
+        assert_eq!(g.num_variants(), 5 + 8 + 4);
+        let aug = AugmentedGraph::new(&g);
+        // 5*8 + 5*4 = 60 root-to-sink variant paths
+        assert_eq!(aug.num_paths(), 60);
+        assert_eq!(aug.num_task_paths(), 2);
+        // branch ratios sum to 1
+        let root = g.root();
+        let total: f64 = g.task(root).children.iter().map(|e| e.branch_ratio).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn social_pipeline_structure() {
+        let g = social_media_pipeline(DEFAULT_SLO_MS);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.num_tasks(), 2);
+        assert_eq!(g.num_variants(), 5 + 4);
+        let aug = AugmentedGraph::new(&g);
+        assert_eq!(aug.num_paths(), 20);
+    }
+
+    #[test]
+    fn tiny_pipeline_is_fast_to_expand() {
+        let g = tiny_pipeline(100.0);
+        let aug = AugmentedGraph::new(&g);
+        assert_eq!(aug.num_paths(), 4);
+    }
+
+    #[test]
+    fn pipelines_have_meaningful_accuracy_range() {
+        for g in [
+            traffic_analysis_pipeline(DEFAULT_SLO_MS),
+            social_media_pipeline(DEFAULT_SLO_MS),
+        ] {
+            let hi = g.max_accuracy();
+            let lo = g.min_accuracy();
+            assert!(hi <= 1.0 + 1e-9);
+            // there must be real accuracy-scaling headroom (paper reports ~13% drops)
+            assert!(hi - lo > 0.1, "pipeline {} has too little headroom", g.name());
+            assert!(lo > 0.3, "pipeline {} minimum accuracy is implausibly low", g.name());
+        }
+    }
+}

@@ -1,0 +1,1102 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns the cluster state (workers, queues, in-flight requests), executes
+//! the data plane (routing, batching, fan-out, drop policies), and periodically hands
+//! control to a pluggable [`Controller`] for resource allocation and routing decisions,
+//! exactly mirroring the Controller / Frontend / Workers split of Figure 4.
+
+use crate::metrics::{IntervalMetrics, RunSummary};
+use crate::types::{
+    ms_to_us, secs_to_us, us_to_ms, AllocationPlan, Controller, DropPolicy, ObservedState, Query,
+    RoutingPlan, SimConfig, SimTime, WorkerId, WorkerView,
+};
+use crate::worker::Worker;
+use loki_pipeline::{PipelineGraph, VariantId};
+use loki_workload::{DemandHistory, EwmaEstimator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Per-interval metrics (one entry per metrics interval).
+    pub intervals: Vec<IntervalMetrics>,
+    /// Whole-run summary.
+    pub summary: RunSummary,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    ControlTick,
+    RoutingTick,
+    MetricsTick,
+    Arrival(usize),
+    Delivered(u64, WorkerId),
+    BatchDone(WorkerId),
+    SwapDone(WorkerId),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+/// Tracking state of a root (client) request while any of its sub-queries are in
+/// flight.
+#[derive(Debug, Clone)]
+struct RootState {
+    deadline_us: SimTime,
+    outstanding: usize,
+    accuracy_sum: f64,
+    accuracy_count: usize,
+    any_dropped: bool,
+}
+
+/// A simulation of one pipeline served by one controller on one cluster.
+pub struct Simulation<'a, C: Controller> {
+    graph: &'a PipelineGraph,
+    config: SimConfig,
+    controller: C,
+}
+
+impl<'a, C: Controller> Simulation<'a, C> {
+    /// Create a simulation for a pipeline, cluster configuration, and controller.
+    pub fn new(graph: &'a PipelineGraph, config: SimConfig, controller: C) -> Self {
+        graph.validate().expect("pipeline graph must be valid");
+        Self {
+            graph,
+            config,
+            controller,
+        }
+    }
+
+    /// Run the simulation over a list of root-query arrival times (seconds, ascending).
+    pub fn run(&mut self, arrivals_s: &[f64]) -> SimResult {
+        let mut engine = Engine::new(self.graph, &self.config, arrivals_s);
+        engine.run(&mut self.controller)
+    }
+
+    /// Consume the simulation and return the controller (useful to inspect controller
+    /// internals after a run).
+    pub fn into_controller(self) -> C {
+        self.controller
+    }
+}
+
+struct Engine<'a> {
+    graph: &'a PipelineGraph,
+    config: &'a SimConfig,
+    arrivals_us: Vec<SimTime>,
+    end_time_us: SimTime,
+
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    now: SimTime,
+
+    workers: Vec<Worker>,
+    routing: RoutingPlan,
+    latency_budgets_ms: HashMap<VariantId, f64>,
+    drop_policy: DropPolicy,
+
+    roots: HashMap<u64, RootState>,
+    /// Queries currently traversing the network between a routing decision and their
+    /// delivery at the destination worker, keyed by query id.
+    in_transit: HashMap<u64, Query>,
+    next_query_id: u64,
+
+    // Observability for controllers.
+    demand: DemandHistory,
+    arrivals_this_interval: u64,
+    fanout_sums: HashMap<(VariantId, usize), (f64, u64)>,
+    fanout_avg: HashMap<(VariantId, usize), f64>,
+    per_task_counts: HashMap<usize, u64>,
+    per_task_ewma: HashMap<usize, EwmaEstimator>,
+    per_task_qps: HashMap<usize, f64>,
+    first_control_tick: bool,
+
+    // Metrics.
+    current: IntervalMetrics,
+    intervals: Vec<IntervalMetrics>,
+
+    rng: StdRng,
+}
+
+impl<'a> Engine<'a> {
+    fn new(graph: &'a PipelineGraph, config: &'a SimConfig, arrivals_s: &[f64]) -> Self {
+        let arrivals_us: Vec<SimTime> = arrivals_s.iter().map(|&s| secs_to_us(s)).collect();
+        let last_arrival = arrivals_us.last().copied().unwrap_or(0);
+        let end_time_us = last_arrival + secs_to_us(config.drain_s);
+        let workers = (0..config.cluster_size).map(|i| Worker::new(WorkerId(i))).collect();
+        let mut engine = Self {
+            graph,
+            config,
+            arrivals_us,
+            end_time_us,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            workers,
+            routing: RoutingPlan::default(),
+            latency_budgets_ms: HashMap::new(),
+            drop_policy: DropPolicy::default(),
+            roots: HashMap::new(),
+            in_transit: HashMap::new(),
+            next_query_id: 0,
+            demand: DemandHistory::new(60, 0.3, 1.1),
+            arrivals_this_interval: 0,
+            fanout_sums: HashMap::new(),
+            fanout_avg: HashMap::new(),
+            per_task_counts: HashMap::new(),
+            per_task_ewma: HashMap::new(),
+            per_task_qps: HashMap::new(),
+            first_control_tick: true,
+            current: IntervalMetrics {
+                cluster_size: config.cluster_size,
+                ..Default::default()
+            },
+            intervals: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+        };
+        // Seed the periodic events and the first arrival.
+        engine.push(0, EventKind::ControlTick);
+        engine.push(0, EventKind::RoutingTick);
+        engine.push(secs_to_us(config.metrics_interval_s), EventKind::MetricsTick);
+        if !engine.arrivals_us.is_empty() {
+            engine.push(engine.arrivals_us[0], EventKind::Arrival(0));
+        }
+        engine
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn run(&mut self, controller: &mut dyn Controller) -> SimResult {
+        while let Some(Reverse(event)) = self.heap.pop() {
+            if event.time > self.end_time_us {
+                break;
+            }
+            self.now = event.time;
+            match event.kind {
+                EventKind::Arrival(idx) => self.on_arrival(idx),
+                EventKind::Delivered(query_id, worker) => self.on_delivered(query_id, worker),
+                EventKind::BatchDone(worker) => self.on_batch_done(worker),
+                EventKind::SwapDone(worker) => self.kick(worker),
+                EventKind::ControlTick => self.on_control_tick(controller),
+                EventKind::RoutingTick => self.on_routing_tick(controller),
+                EventKind::MetricsTick => self.on_metrics_tick(),
+            }
+        }
+
+        // Anything still outstanding when the run ends counts as dropped.
+        let leftover: Vec<u64> = self.roots.keys().copied().collect();
+        for root in leftover {
+            if let Some(state) = self.roots.remove(&root) {
+                let _ = state;
+                self.current.dropped += 1;
+            }
+        }
+        self.flush_interval();
+
+        let name = controller.name().to_string();
+        let summary = RunSummary::from_intervals(&name, &self.intervals);
+        SimResult {
+            intervals: std::mem::take(&mut self.intervals),
+            summary,
+        }
+    }
+
+    // ---- in-flight query bookkeeping -------------------------------------------
+
+    /// Park a query in the in-transit map while its delivery event is in the heap, so
+    /// events only carry plain ids.
+    fn stash_query(&mut self, q: Query) -> u64 {
+        let id = q.id;
+        self.in_transit.insert(id, q);
+        id
+    }
+
+    // ---- event handlers ----------------------------------------------------------
+
+    fn on_arrival(&mut self, idx: usize) {
+        let arrival_time = self.arrivals_us[idx];
+        // Schedule the next arrival first.
+        if idx + 1 < self.arrivals_us.len() {
+            self.push(self.arrivals_us[idx + 1], EventKind::Arrival(idx + 1));
+        }
+        self.current.arrivals += 1;
+        self.arrivals_this_interval += 1;
+
+        let root_id = self.next_query_id;
+        self.next_query_id += 1;
+        let deadline = arrival_time + ms_to_us(self.graph.slo_ms());
+        self.roots.insert(
+            root_id,
+            RootState {
+                deadline_us: deadline,
+                outstanding: 1,
+                accuracy_sum: 0.0,
+                accuracy_count: 0,
+                any_dropped: false,
+            },
+        );
+        let query = Query {
+            id: root_id,
+            root: root_id,
+            task: self.graph.root().index(),
+            path_accuracy: 1.0,
+            deadline_us: deadline,
+            released_us: arrival_time,
+            enqueued_us: arrival_time,
+            overrun_ms: 0.0,
+        };
+        match self.pick_frontend_worker() {
+            Some(worker) => {
+                let deliver_at = self.now + ms_to_us(self.config.network_delay_ms);
+                let qid = self.stash_query(query);
+                self.push(deliver_at, EventKind::Delivered(qid, worker));
+            }
+            None => self.drop_query(&query),
+        }
+    }
+
+    fn on_delivered(&mut self, query_id: u64, worker_id: WorkerId) {
+        let Some(mut q) = self.in_transit.remove(&query_id) else {
+            return;
+        };
+        *self.per_task_counts.entry(q.task).or_insert(0) += 1;
+
+        // The designated worker may have been re-assigned since routing; fall back to
+        // any worker currently serving this task.
+        let target = {
+            let ok = self.workers[worker_id.index()]
+                .assignment
+                .map(|a| a.variant.task == q.task)
+                .unwrap_or(false);
+            if ok {
+                Some(worker_id)
+            } else {
+                self.fallback_worker_for_task(q.task)
+            }
+        };
+        let Some(target) = target else {
+            self.drop_query(&q);
+            return;
+        };
+
+        // Last-task dropping: when the query reaches the final task and its leftover
+        // budget cannot cover even the expected processing time, drop it.
+        if self.drop_policy == DropPolicy::LastTask && self.graph.task(loki_pipeline::TaskId(q.task)).is_sink() {
+            let expected_ms = self.workers[target.index()]
+                .profiled_exec_ms(self.graph)
+                .unwrap_or(0.0);
+            let remaining_ms = if q.deadline_us > self.now {
+                us_to_ms(q.deadline_us - self.now)
+            } else {
+                0.0
+            };
+            if remaining_ms < expected_ms {
+                self.drop_query(&q);
+                return;
+            }
+        }
+
+        q.enqueued_us = self.now;
+        self.workers[target.index()].enqueue(q);
+        self.kick(target);
+    }
+
+    fn on_batch_done(&mut self, worker_id: WorkerId) {
+        let (batch, variant) = self.workers[worker_id.index()].finish_batch();
+        let Some(variant_id) = variant else {
+            // Shouldn't happen, but don't lose the queries if it does.
+            for q in batch {
+                self.drop_query(&q);
+            }
+            return;
+        };
+        let variant = self.graph.variant(variant_id).clone();
+        let task_id = loki_pipeline::TaskId(variant_id.task);
+        let children = self.graph.task(task_id).children.clone();
+        let budget_ms = self
+            .latency_budgets_ms
+            .get(&variant_id)
+            .copied()
+            .unwrap_or_else(|| variant.batch_latency_ms(8));
+
+        for q in batch {
+            let time_at_task_ms = us_to_ms(self.now - q.enqueued_us);
+            let overrun_ms = time_at_task_ms - budget_ms;
+            let path_accuracy = q.path_accuracy * variant.accuracy;
+
+            if children.is_empty() {
+                self.complete_leaf(q.root, path_accuracy);
+                continue;
+            }
+
+            // Per-task dropping: the query exceeded this task's budget, drop it now.
+            if self.drop_policy == DropPolicy::PerTask && overrun_ms > 0.0 {
+                self.drop_query(&q);
+                continue;
+            }
+
+            // Fan out into intermediate queries for each child edge.
+            let mut spawned = 0usize;
+            let mut child_queries: Vec<(Query, WorkerId)> = Vec::new();
+            let mut any_child_dropped = false;
+            for edge in &children {
+                let mean = variant.mult_factor * edge.branch_ratio;
+                let count = self.stochastic_round(mean);
+                let entry = self
+                    .fanout_sums
+                    .entry((variant_id, edge.child.index()))
+                    .or_insert((0.0, 0));
+                entry.0 += count as f64;
+                entry.1 += 1;
+                for _ in 0..count {
+                    let child_task = edge.child.index();
+                    match self.route_downstream(worker_id, child_task, overrun_ms) {
+                        RouteOutcome::To(target) => {
+                            let id = self.next_query_id;
+                            self.next_query_id += 1;
+                            child_queries.push((
+                                Query {
+                                    id,
+                                    root: q.root,
+                                    task: child_task,
+                                    path_accuracy,
+                                    deadline_us: q.deadline_us,
+                                    released_us: q.released_us,
+                                    enqueued_us: self.now,
+                                    overrun_ms: 0.0,
+                                },
+                                target,
+                            ));
+                            spawned += 1;
+                        }
+                        RouteOutcome::Rerouted(target) => {
+                            self.current.rerouted += 1;
+                            let id = self.next_query_id;
+                            self.next_query_id += 1;
+                            child_queries.push((
+                                Query {
+                                    id,
+                                    root: q.root,
+                                    task: child_task,
+                                    path_accuracy,
+                                    deadline_us: q.deadline_us,
+                                    released_us: q.released_us,
+                                    enqueued_us: self.now,
+                                    overrun_ms: 0.0,
+                                },
+                                target,
+                            ));
+                            spawned += 1;
+                        }
+                        RouteOutcome::Drop => {
+                            any_child_dropped = true;
+                        }
+                    }
+                }
+            }
+
+            if spawned == 0 {
+                if any_child_dropped {
+                    // All children were dropped: the request cannot be fully served.
+                    self.drop_query(&q);
+                } else {
+                    // The model legitimately produced no downstream work (e.g. no
+                    // objects detected): the query completes here.
+                    self.complete_leaf(q.root, path_accuracy);
+                }
+                continue;
+            }
+
+            // Replace this query's contribution to `outstanding` with its children.
+            if let Some(root) = self.roots.get_mut(&q.root) {
+                root.outstanding += spawned - 1;
+                if any_child_dropped {
+                    root.any_dropped = true;
+                }
+            }
+            let delay = ms_to_us(self.config.network_delay_ms);
+            for (child, target) in child_queries {
+                let qid = self.stash_query(child);
+                self.push(self.now + delay, EventKind::Delivered(qid, target));
+            }
+        }
+
+        self.kick(worker_id);
+    }
+
+    fn on_control_tick(&mut self, controller: &mut dyn Controller) {
+        let hint = if self.first_control_tick {
+            self.config.initial_demand_hint
+        } else {
+            None
+        };
+        self.first_control_tick = false;
+
+        let observed = ObservedState {
+            now_s: crate::types::us_to_secs(self.now),
+            cluster_size: self.config.cluster_size,
+            workers: self.worker_views(),
+            demand: &self.demand,
+            initial_demand_hint: hint,
+            observed_fanout: &self.fanout_avg,
+            per_task_arrival_qps: &self.per_task_qps,
+        };
+        if let Some(plan) = controller.plan(&observed) {
+            self.apply_allocation(&plan);
+        }
+        // Refresh routing right after a (possible) re-allocation so it reflects the new
+        // worker assignments.
+        let observed = ObservedState {
+            now_s: crate::types::us_to_secs(self.now),
+            cluster_size: self.config.cluster_size,
+            workers: self.worker_views(),
+            demand: &self.demand,
+            initial_demand_hint: hint,
+            observed_fanout: &self.fanout_avg,
+            per_task_arrival_qps: &self.per_task_qps,
+        };
+        if let Some(routing) = controller.routing(&observed) {
+            self.routing = routing;
+        }
+
+        let next = self.now + secs_to_us(self.config.control_interval_s);
+        if next <= self.end_time_us {
+            self.push(next, EventKind::ControlTick);
+        }
+    }
+
+    fn on_routing_tick(&mut self, controller: &mut dyn Controller) {
+        let observed = ObservedState {
+            now_s: crate::types::us_to_secs(self.now),
+            cluster_size: self.config.cluster_size,
+            workers: self.worker_views(),
+            demand: &self.demand,
+            initial_demand_hint: None,
+            observed_fanout: &self.fanout_avg,
+            per_task_arrival_qps: &self.per_task_qps,
+        };
+        if let Some(routing) = controller.routing(&observed) {
+            self.routing = routing;
+        }
+        let next = self.now + secs_to_us(self.config.routing_interval_s);
+        if next <= self.end_time_us {
+            self.push(next, EventKind::RoutingTick);
+        }
+    }
+
+    fn on_metrics_tick(&mut self) {
+        let interval = self.config.metrics_interval_s;
+        // Demand observation for the controller.
+        self.demand
+            .observe(self.arrivals_this_interval as f64 / interval);
+        self.arrivals_this_interval = 0;
+        // Per-task arrival rates (EWMA-smoothed).
+        for (&task, &count) in &self.per_task_counts {
+            let qps = count as f64 / interval;
+            let est = self
+                .per_task_ewma
+                .entry(task)
+                .or_insert_with(|| EwmaEstimator::new(0.3));
+            est.observe(qps);
+            self.per_task_qps.insert(task, est.estimate());
+        }
+        for count in self.per_task_counts.values_mut() {
+            *count = 0;
+        }
+        // Fan-out averages for the controller (heartbeat aggregation).
+        for (&key, &(sum, count)) in &self.fanout_sums {
+            if count > 0 {
+                self.fanout_avg.insert(key, sum / count as f64);
+            }
+        }
+
+        self.flush_interval();
+
+        let next = self.now + secs_to_us(interval);
+        if next <= self.end_time_us {
+            self.push(next, EventKind::MetricsTick);
+        }
+    }
+
+    fn flush_interval(&mut self) {
+        let mut finished = std::mem::take(&mut self.current);
+        finished.start_s = crate::types::us_to_secs(self.now) - self.config.metrics_interval_s;
+        if finished.start_s < 0.0 {
+            finished.start_s = 0.0;
+        }
+        finished.active_workers = self.workers.iter().filter(|w| w.is_active()).count();
+        finished.cluster_size = self.config.cluster_size;
+        self.intervals.push(finished);
+        self.current.cluster_size = self.config.cluster_size;
+    }
+
+    // ---- routing and dropping -----------------------------------------------------
+
+    fn pick_frontend_worker(&mut self) -> Option<WorkerId> {
+        let root_task = self.graph.root().index();
+        let choice = self.sample_table_owned(&self.routing.frontend.clone(), root_task);
+        choice.or_else(|| self.fallback_worker_for_task(root_task))
+    }
+
+    /// Sample a worker from a weighted table, skipping entries that no longer serve
+    /// the expected task.
+    fn sample_table_owned(&mut self, table: &[(WorkerId, f64)], task: usize) -> Option<WorkerId> {
+        let valid: Vec<(WorkerId, f64)> = table
+            .iter()
+            .copied()
+            .filter(|(w, weight)| {
+                *weight > 0.0
+                    && self.workers[w.index()]
+                        .assignment
+                        .map(|a| a.variant.task == task)
+                        .unwrap_or(false)
+            })
+            .collect();
+        let total: f64 = valid.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut draw = self.rng.gen_range(0.0..total);
+        for (worker, weight) in &valid {
+            draw -= weight;
+            if draw <= 0.0 {
+                return Some(*worker);
+            }
+        }
+        valid.last().map(|(w, _)| *w)
+    }
+
+    /// Any active worker serving `task`, preferring the shortest queue.
+    fn fallback_worker_for_task(&self, task: usize) -> Option<WorkerId> {
+        self.workers
+            .iter()
+            .filter(|w| {
+                w.assignment
+                    .map(|a| a.variant.task == task)
+                    .unwrap_or(false)
+            })
+            .min_by_key(|w| w.queue_len())
+            .map(|w| w.id)
+    }
+
+    fn route_downstream(
+        &mut self,
+        upstream: WorkerId,
+        child_task: usize,
+        overrun_ms: f64,
+    ) -> RouteOutcome {
+        // Default choice: the upstream worker's own routing table, then the per-task
+        // default table, then any worker serving the task.
+        let table = self
+            .routing
+            .downstream
+            .get(&(upstream, child_task))
+            .or_else(|| self.routing.downstream_default.get(&child_task))
+            .cloned()
+            .unwrap_or_default();
+        let default_choice = self
+            .sample_table_owned(&table, child_task)
+            .or_else(|| self.fallback_worker_for_task(child_task));
+
+        let Some(default_choice) = default_choice else {
+            return RouteOutcome::Drop;
+        };
+
+        // Opportunistic rerouting: if the query is running late, look for a strictly
+        // faster backup worker that can make up the deficit.
+        if self.drop_policy == DropPolicy::OpportunisticRerouting && overrun_ms > 0.0 {
+            let default_exec_ms = self.workers[default_choice.index()]
+                .profiled_exec_ms(self.graph)
+                .unwrap_or(f64::INFINITY);
+            let needed_ms = default_exec_ms - overrun_ms;
+            let backup = self.routing.backup.get(&child_task).cloned().unwrap_or_default();
+            let mut candidates: Vec<_> = backup
+                .iter()
+                .filter(|b| {
+                    b.exec_time_ms <= needed_ms
+                        && self.workers[b.worker.index()]
+                            .assignment
+                            .map(|a| a.variant.task == child_task)
+                            .unwrap_or(false)
+                })
+                .collect();
+            if candidates.is_empty() {
+                return RouteOutcome::Drop;
+            }
+            candidates.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).unwrap());
+            let best_acc = candidates[0].accuracy;
+            let ties: Vec<_> = candidates
+                .iter()
+                .filter(|c| (c.accuracy - best_acc).abs() < 1e-9)
+                .collect();
+            let pick = ties[self.rng.gen_range(0..ties.len())];
+            return RouteOutcome::Rerouted(pick.worker);
+        }
+
+        RouteOutcome::To(default_choice)
+    }
+
+    fn drop_query(&mut self, q: &Query) {
+        if let Some(root) = self.roots.get_mut(&q.root) {
+            root.any_dropped = true;
+            root.outstanding = root.outstanding.saturating_sub(1);
+            if root.outstanding == 0 {
+                let state = self.roots.remove(&q.root).unwrap();
+                self.finalize_root(state);
+            }
+        }
+    }
+
+    fn complete_leaf(&mut self, root_id: u64, accuracy: f64) {
+        if let Some(root) = self.roots.get_mut(&root_id) {
+            root.accuracy_sum += accuracy;
+            root.accuracy_count += 1;
+            root.outstanding = root.outstanding.saturating_sub(1);
+            if root.outstanding == 0 {
+                let state = self.roots.remove(&root_id).unwrap();
+                self.finalize_root(state);
+            }
+        }
+    }
+
+    fn finalize_root(&mut self, state: RootState) {
+        if state.any_dropped || state.accuracy_count == 0 {
+            self.current.dropped += 1;
+            return;
+        }
+        let accuracy = state.accuracy_sum / state.accuracy_count as f64;
+        if self.now <= state.deadline_us {
+            self.current.completed_on_time += 1;
+        } else {
+            self.current.completed_late += 1;
+        }
+        self.current.accuracy_sum += accuracy;
+        self.current.accuracy_count += 1;
+    }
+
+    // ---- allocation --------------------------------------------------------------
+
+    fn apply_allocation(&mut self, plan: &AllocationPlan) {
+        self.latency_budgets_ms = plan.latency_budgets_ms.clone();
+        self.drop_policy = plan.drop_policy;
+
+        // Desired replica counts per (variant, batch).
+        let mut desired: Vec<(VariantId, u32, usize)> = plan
+            .instances
+            .iter()
+            .filter(|s| s.count > 0)
+            .map(|s| (s.variant, s.max_batch, s.count))
+            .collect();
+        // Never exceed the physical cluster.
+        let mut total: usize = desired.iter().map(|d| d.2).sum();
+        while total > self.config.cluster_size {
+            // Trim the largest group first (the plan should never do this, but the
+            // engine enforces the physical limit regardless).
+            if let Some(max) = desired.iter_mut().max_by_key(|d| d.2) {
+                max.2 -= 1;
+                total -= 1;
+            } else {
+                break;
+            }
+        }
+
+        // Step 1: keep workers that already host a desired variant.
+        let mut remaining: Vec<(VariantId, u32, usize)> = desired.clone();
+        let mut keep: Vec<Option<(VariantId, u32)>> = vec![None; self.workers.len()];
+        for (wi, w) in self.workers.iter().enumerate() {
+            if let Some(a) = w.assignment {
+                if let Some(slot) = remaining
+                    .iter_mut()
+                    .find(|(v, _, c)| *v == a.variant && *c > 0)
+                {
+                    keep[wi] = Some((slot.0, slot.1));
+                    slot.2 -= 1;
+                }
+            }
+        }
+
+        // Step 2: place still-needed instances on unassigned workers first, then on
+        // workers whose current variant is no longer needed.
+        let mut to_place: Vec<(VariantId, u32)> = Vec::new();
+        for (v, b, c) in &remaining {
+            for _ in 0..*c {
+                to_place.push((*v, *b));
+            }
+        }
+        let mut swaps: Vec<(usize, VariantId, u32)> = Vec::new();
+        if !to_place.is_empty() {
+            // unassigned workers
+            for (wi, w) in self.workers.iter().enumerate() {
+                if to_place.is_empty() {
+                    break;
+                }
+                if w.assignment.is_none() && keep[wi].is_none() {
+                    let (v, b) = to_place.remove(0);
+                    swaps.push((wi, v, b));
+                    keep[wi] = Some((v, b));
+                }
+            }
+            // repurposed workers
+            for (wi, w) in self.workers.iter().enumerate() {
+                if to_place.is_empty() {
+                    break;
+                }
+                if w.assignment.is_some() && keep[wi].is_none() {
+                    let (v, b) = to_place.remove(0);
+                    swaps.push((wi, v, b));
+                    keep[wi] = Some((v, b));
+                }
+            }
+        }
+
+        // Step 3: apply the assignment to every worker.
+        let mut orphaned: Vec<Query> = Vec::new();
+        for wi in 0..self.workers.len() {
+            match keep[wi] {
+                Some((variant, batch)) => {
+                    let previous_task = self.workers[wi].assignment.map(|a| a.variant.task);
+                    let changed = self.workers[wi].assign(variant, batch);
+                    if changed {
+                        // Queries queued for a different task must be re-routed.
+                        if previous_task.is_some() && previous_task != Some(variant.task) {
+                            orphaned.extend(self.workers[wi].drain_queue());
+                        }
+                        // Loading a *different* model onto a previously active worker
+                        // stalls it for the swap duration. Powered-down workers are
+                        // assumed to be pre-warmed by the cluster bootstrap.
+                        if self.config.model_swap_ms > 0.0 && previous_task.is_some() {
+                            let until = self.now + ms_to_us(self.config.model_swap_ms);
+                            self.workers[wi].begin_swap(until);
+                            self.push(until, EventKind::SwapDone(WorkerId(wi)));
+                        }
+                    }
+                }
+                None => {
+                    if self.workers[wi].is_active() {
+                        orphaned.extend(self.workers[wi].drain_queue());
+                        self.workers[wi].unassign();
+                    }
+                }
+            }
+        }
+
+        // Step 4: re-home queries that were queued on reconfigured workers.
+        for q in orphaned {
+            match self.fallback_worker_for_task(q.task) {
+                Some(target) => {
+                    let mut q = q;
+                    q.enqueued_us = self.now;
+                    self.workers[target.index()].enqueue(q);
+                    self.kick(target);
+                }
+                None => self.drop_query(&q),
+            }
+        }
+    }
+
+    fn kick(&mut self, worker: WorkerId) {
+        if let Some((finish, _)) = self.workers[worker.index()].try_start_batch(self.now, self.graph)
+        {
+            self.push(finish, EventKind::BatchDone(worker));
+        }
+    }
+
+    fn worker_views(&self) -> Vec<WorkerView> {
+        self.workers
+            .iter()
+            .map(|w| WorkerView {
+                id: w.id,
+                variant: w.assignment.map(|a| a.variant),
+                max_batch: w.assignment.map(|a| a.max_batch).unwrap_or(1),
+                queue_len: w.queue_len(),
+                swapping: w.is_swapping(self.now),
+            })
+            .collect()
+    }
+
+    fn stochastic_round(&mut self, mean: f64) -> usize {
+        let base = mean.floor();
+        let frac = mean - base;
+        let extra = if frac > 0.0 && self.rng.gen::<f64>() < frac {
+            1
+        } else {
+            0
+        };
+        base as usize + extra
+    }
+}
+
+enum RouteOutcome {
+    To(WorkerId),
+    Rerouted(WorkerId),
+    Drop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{InstanceSpec, SimConfig};
+    use loki_pipeline::zoo;
+    use loki_workload::{generate_arrivals, generators, ArrivalProcess};
+
+    /// A fixed controller: a static allocation and uniform routing over all workers of
+    /// each task; used to exercise the engine without any control-plane intelligence.
+    struct StaticController {
+        plan: AllocationPlan,
+        planned: bool,
+    }
+
+    impl StaticController {
+        fn new(plan: AllocationPlan) -> Self {
+            Self {
+                plan,
+                planned: false,
+            }
+        }
+    }
+
+    impl Controller for StaticController {
+        fn name(&self) -> &str {
+            "static"
+        }
+
+        fn plan(&mut self, _observed: &ObservedState<'_>) -> Option<AllocationPlan> {
+            if self.planned {
+                None
+            } else {
+                self.planned = true;
+                Some(self.plan.clone())
+            }
+        }
+
+        fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+            let mut plan = RoutingPlan::default();
+            for w in &observed.workers {
+                if let Some(v) = w.variant {
+                    if v.task == 0 {
+                        plan.frontend.push((w.id, 1.0));
+                    }
+                    plan.downstream_default
+                        .entry(v.task)
+                        .or_default()
+                        .push((w.id, 1.0));
+                }
+            }
+            Some(plan)
+        }
+    }
+
+    fn tiny_plan(replicas_a: usize, replicas_b: usize, batch: u32) -> AllocationPlan {
+        AllocationPlan {
+            instances: vec![
+                InstanceSpec {
+                    variant: VariantId::new(0, 1),
+                    max_batch: batch,
+                    count: replicas_a,
+                },
+                InstanceSpec {
+                    variant: VariantId::new(1, 1),
+                    max_batch: batch,
+                    count: replicas_b,
+                },
+            ],
+            latency_budgets_ms: HashMap::new(),
+            drop_policy: DropPolicy::NoEarlyDropping,
+        }
+    }
+
+    fn small_config(cluster: usize) -> SimConfig {
+        SimConfig {
+            cluster_size: cluster,
+            network_delay_ms: 1.0,
+            model_swap_ms: 0.0,
+            control_interval_s: 5.0,
+            routing_interval_s: 1.0,
+            metrics_interval_s: 1.0,
+            seed: 7,
+            initial_demand_hint: Some(20.0),
+            drain_s: 10.0,
+        }
+    }
+
+    #[test]
+    fn underloaded_cluster_serves_everything_on_time() {
+        let graph = zoo::tiny_pipeline(200.0);
+        let trace = generators::constant(20, 20.0);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Uniform, 1);
+        let mut sim = Simulation::new(
+            &graph,
+            small_config(8),
+            StaticController::new(tiny_plan(2, 2, 4)),
+        );
+        let result = sim.run(&arrivals);
+        assert_eq!(result.summary.total_arrivals, 400);
+        assert_eq!(
+            result.summary.total_on_time + result.summary.total_late + result.summary.total_dropped,
+            400
+        );
+        assert!(
+            result.summary.slo_violation_ratio < 0.02,
+            "violations: {}",
+            result.summary.slo_violation_ratio
+        );
+        // tiny pipeline max accuracy is 1.0 and the static plan uses the best variants
+        assert!(result.summary.system_accuracy > 0.99);
+    }
+
+    #[test]
+    fn overloaded_cluster_without_dropping_violates_slos() {
+        let graph = zoo::tiny_pipeline(100.0);
+        // one worker per task, demand far above capacity
+        let trace = generators::constant(20, 400.0);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Uniform, 2);
+        let mut sim = Simulation::new(
+            &graph,
+            small_config(2),
+            StaticController::new(tiny_plan(1, 1, 4)),
+        );
+        let result = sim.run(&arrivals);
+        assert!(
+            result.summary.slo_violation_ratio > 0.5,
+            "expected heavy violations, got {}",
+            result.summary.slo_violation_ratio
+        );
+    }
+
+    #[test]
+    fn no_allocation_means_everything_is_dropped() {
+        let graph = zoo::tiny_pipeline(100.0);
+        let trace = generators::constant(5, 10.0);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Uniform, 3);
+        let empty_plan = AllocationPlan::default();
+        let mut sim = Simulation::new(&graph, small_config(4), StaticController::new(empty_plan));
+        let result = sim.run(&arrivals);
+        assert_eq!(result.summary.total_arrivals, 50);
+        assert_eq!(result.summary.total_dropped, 50);
+        assert_eq!(result.summary.total_on_time, 0);
+        assert!((result.summary.slo_violation_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_for_a_seed() {
+        let graph = zoo::tiny_pipeline(150.0);
+        let trace = generators::ramp(30, 10.0, 60.0);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, 5);
+        let run = |seed: u64| {
+            let mut cfg = small_config(6);
+            cfg.seed = seed;
+            let mut sim =
+                Simulation::new(&graph, cfg, StaticController::new(tiny_plan(3, 3, 8)));
+            sim.run(&arrivals).summary
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.total_on_time, b.total_on_time);
+        assert_eq!(a.total_late, b.total_late);
+        assert_eq!(a.total_dropped, b.total_dropped);
+        assert!((a.system_accuracy - b.system_accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_reflects_active_workers() {
+        let graph = zoo::tiny_pipeline(200.0);
+        let trace = generators::constant(10, 10.0);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Uniform, 4);
+        let mut sim = Simulation::new(
+            &graph,
+            small_config(10),
+            StaticController::new(tiny_plan(1, 1, 4)),
+        );
+        let result = sim.run(&arrivals);
+        // only 2 of 10 workers are ever active
+        assert_eq!(result.summary.max_active_workers, 2);
+        assert!(result.summary.mean_utilization <= 0.2 + 1e-9);
+    }
+
+    #[test]
+    fn accuracy_reflects_variant_choice() {
+        let graph = zoo::tiny_pipeline(200.0);
+        let trace = generators::constant(10, 10.0);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Uniform, 6);
+        // use the *least* accurate variants
+        let plan = AllocationPlan {
+            instances: vec![
+                InstanceSpec {
+                    variant: VariantId::new(0, 0),
+                    max_batch: 4,
+                    count: 1,
+                },
+                InstanceSpec {
+                    variant: VariantId::new(1, 0),
+                    max_batch: 4,
+                    count: 1,
+                },
+            ],
+            latency_budgets_ms: HashMap::new(),
+            drop_policy: DropPolicy::NoEarlyDropping,
+        };
+        let mut sim = Simulation::new(&graph, small_config(4), StaticController::new(plan));
+        let result = sim.run(&arrivals);
+        let expected = graph.min_accuracy();
+        assert!(
+            (result.summary.system_accuracy - expected).abs() < 1e-9,
+            "accuracy {} vs expected {}",
+            result.summary.system_accuracy,
+            expected
+        );
+    }
+
+    #[test]
+    fn fanout_creates_downstream_load_in_branching_pipeline() {
+        let graph = zoo::traffic_analysis_pipeline(400.0);
+        let trace = generators::constant(15, 20.0);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Uniform, 9);
+        // most accurate variants with plenty of replicas
+        let plan = AllocationPlan {
+            instances: vec![
+                InstanceSpec {
+                    variant: VariantId::new(0, 4),
+                    max_batch: 4,
+                    count: 3,
+                },
+                InstanceSpec {
+                    variant: VariantId::new(1, 7),
+                    max_batch: 4,
+                    count: 4,
+                },
+                InstanceSpec {
+                    variant: VariantId::new(2, 3),
+                    max_batch: 4,
+                    count: 3,
+                },
+            ],
+            latency_budgets_ms: HashMap::new(),
+            drop_policy: DropPolicy::NoEarlyDropping,
+        };
+        let mut sim = Simulation::new(&graph, small_config(10), StaticController::new(plan));
+        let result = sim.run(&arrivals);
+        assert!(result.summary.total_on_time > 0);
+        // yolov5x multiplies by 2.0, so downstream work exists and completes; system
+        // accuracy should be near the pipeline max (all best variants).
+        assert!(
+            result.summary.system_accuracy > 0.95 * graph.max_accuracy(),
+            "accuracy {}",
+            result.summary.system_accuracy
+        );
+        assert!(result.summary.slo_violation_ratio < 0.1);
+    }
+}

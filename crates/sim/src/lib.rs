@@ -1,0 +1,39 @@
+//! # loki-sim
+//!
+//! A deterministic discrete-event simulator of a GPU inference-serving cluster.
+//!
+//! The Loki paper runs a core set of experiments on a 20-GPU testbed, validates a
+//! discrete-event simulator against it (observing ≤ 2% difference, thanks to the
+//! determinism of DNN inference), and then uses the simulator for every parameter
+//! sweep. This crate reproduces that simulator:
+//!
+//! * a cluster of identical *workers* (GPUs), each hosting at most one model-variant
+//!   instance with a configured maximum batch size;
+//! * a *frontend* where client queries arrive (driven by a [`loki_workload::Trace`]),
+//!   are routed to first-task workers, fan out into intermediate queries along the
+//!   pipeline, and are finally aggregated back;
+//! * per-worker FIFO queues with greedy batch formation (a worker that becomes idle
+//!   immediately takes up to its maximum batch size from its queue);
+//! * homogeneous network delay between any pair of workers;
+//! * runtime drop policies (none / last-task / per-task / opportunistic rerouting,
+//!   Section 5.2 of the paper) executed by the data plane using the latency budgets and
+//!   backup tables supplied by the control plane;
+//! * periodic invocation of a pluggable [`Controller`] (Loki, InferLine-style,
+//!   Proteus-style, or anything else) that produces allocation and routing plans;
+//! * per-interval metrics (demand, SLO violations, system accuracy, active workers)
+//!   matching the evaluation metrics of Section 6.1.
+//!
+//! The simulator is fully deterministic for a given seed, which is what makes the
+//! figure-regeneration harness in `loki-bench` reproducible.
+
+pub mod engine;
+pub mod metrics;
+pub mod types;
+pub mod worker;
+
+pub use engine::{SimResult, Simulation};
+pub use metrics::{IntervalMetrics, RunSummary};
+pub use types::{
+    AllocationPlan, BackupWorker, Controller, DropPolicy, InstanceSpec, ObservedState, Query,
+    RoutingPlan, SimConfig, WorkerId, WorkerView,
+};

@@ -1,0 +1,348 @@
+//! Shared simulator types: time, queries, plans, observations, and the controller
+//! interface implemented by Loki and the baseline systems.
+
+use loki_pipeline::{BatchSize, VariantId};
+use loki_workload::DemandHistory;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Simulated time in microseconds since the start of the run.
+pub type SimTime = u64;
+
+/// Convert seconds to simulated microseconds.
+pub fn secs_to_us(s: f64) -> SimTime {
+    (s * 1_000_000.0).round() as SimTime
+}
+
+/// Convert milliseconds to simulated microseconds.
+pub fn ms_to_us(ms: f64) -> SimTime {
+    (ms * 1_000.0).round() as SimTime
+}
+
+/// Convert simulated microseconds to seconds.
+pub fn us_to_secs(us: SimTime) -> f64 {
+    us as f64 / 1_000_000.0
+}
+
+/// Convert simulated microseconds to milliseconds.
+pub fn us_to_ms(us: SimTime) -> f64 {
+    us as f64 / 1_000.0
+}
+
+/// Identifier of a worker (GPU) in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WorkerId(pub usize);
+
+impl WorkerId {
+    /// The underlying index into the cluster's worker array.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// The runtime early-dropping policy executed by the data plane (Section 5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DropPolicy {
+    /// Never drop; requests that finish past their SLO simply count as violations.
+    NoEarlyDropping,
+    /// Drop a query at the last task when its remaining time budget is smaller than
+    /// the expected processing time there.
+    LastTask,
+    /// Drop a query at any task where it exceeded that task's latency budget.
+    PerTask,
+    /// Loki's mechanism: when a query exceeds a task's latency budget, try to reroute
+    /// it to a faster downstream worker from the backup table; drop it only if no
+    /// rescue worker exists.
+    #[default]
+    OpportunisticRerouting,
+}
+
+impl DropPolicy {
+    /// All policies, in the order the paper's ablation (Figure 7) presents them.
+    pub fn all() -> [DropPolicy; 4] {
+        [
+            DropPolicy::NoEarlyDropping,
+            DropPolicy::LastTask,
+            DropPolicy::PerTask,
+            DropPolicy::OpportunisticRerouting,
+        ]
+    }
+
+    /// Short human-readable label used by the bench harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DropPolicy::NoEarlyDropping => "no-early-dropping",
+            DropPolicy::LastTask => "last-task-dropping",
+            DropPolicy::PerTask => "per-task-dropping",
+            DropPolicy::OpportunisticRerouting => "opportunistic-rerouting",
+        }
+    }
+}
+
+/// One group of identical model-variant instances requested by an allocation plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Which model variant to host.
+    pub variant: VariantId,
+    /// Maximum batch size the instances may form (the paper's `y(i,k)`).
+    pub max_batch: BatchSize,
+    /// Number of replicas (the paper's `x(i,k)`).
+    pub count: usize,
+}
+
+/// A resource-allocation plan: the output of a controller's `plan` step, corresponding
+/// to the paper's Resource Manager output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AllocationPlan {
+    /// Desired instances per variant. Variants not listed get zero instances.
+    pub instances: Vec<InstanceSpec>,
+    /// Per-variant latency budgets in milliseconds (execution + queueing at that task),
+    /// used by the runtime drop policies.
+    pub latency_budgets_ms: HashMap<VariantId, f64>,
+    /// The drop policy the data plane should apply.
+    pub drop_policy: DropPolicy,
+}
+
+impl AllocationPlan {
+    /// Total number of workers the plan uses.
+    pub fn total_workers(&self) -> usize {
+        self.instances.iter().map(|i| i.count).sum()
+    }
+
+    /// The instances hosting a given task.
+    pub fn instances_for_task(&self, task: usize) -> impl Iterator<Item = &InstanceSpec> {
+        self.instances.iter().filter(move |i| i.variant.task == task)
+    }
+
+    /// Aggregate throughput capacity (QPS) provisioned for a task, according to the
+    /// profiled throughput of each instance.
+    pub fn task_capacity_qps(&self, graph: &loki_pipeline::PipelineGraph, task: usize) -> f64 {
+        self.instances_for_task(task)
+            .map(|i| i.count as f64 * graph.variant(i.variant).throughput_qps(i.max_batch))
+            .sum()
+    }
+}
+
+/// A worker with leftover capacity, advertised in the backup tables used by
+/// opportunistic rerouting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackupWorker {
+    /// The worker that still has spare capacity.
+    pub worker: WorkerId,
+    /// Its profiled batch execution time in milliseconds (at its configured batch).
+    pub exec_time_ms: f64,
+    /// The single-model accuracy of the variant it hosts.
+    pub accuracy: f64,
+}
+
+/// A routing plan: the output of a controller's `routing` step, corresponding to the
+/// paper's Load Balancer output (per-worker routing tables plus backup tables).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RoutingPlan {
+    /// Distribution over first-task workers used by the frontend. Weights need not sum
+    /// to one; they are normalized by the engine.
+    pub frontend: Vec<(WorkerId, f64)>,
+    /// Per-(upstream worker, downstream task) distribution over downstream workers.
+    pub downstream: HashMap<(WorkerId, usize), Vec<(WorkerId, f64)>>,
+    /// Fallback per-task distribution used when an upstream worker has no specific
+    /// table (e.g. right after a reallocation).
+    pub downstream_default: HashMap<usize, Vec<(WorkerId, f64)>>,
+    /// Backup (leftover-capacity) workers per task, used by opportunistic rerouting.
+    pub backup: HashMap<usize, Vec<BackupWorker>>,
+}
+
+/// A snapshot of one worker as seen by the control plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerView {
+    /// The worker id.
+    pub id: WorkerId,
+    /// The variant currently hosted (None if the worker is powered down / unassigned).
+    pub variant: Option<VariantId>,
+    /// Configured maximum batch size.
+    pub max_batch: BatchSize,
+    /// Queue length at observation time.
+    pub queue_len: usize,
+    /// Whether the worker is still loading its model (swap in progress).
+    pub swapping: bool,
+}
+
+/// Everything a controller may observe when making decisions. Controllers never see
+/// the future trace — only measurements the real system could have collected.
+#[derive(Debug, Clone)]
+pub struct ObservedState<'a> {
+    /// Current simulated time in seconds.
+    pub now_s: f64,
+    /// Total number of workers in the cluster (the paper's `S`).
+    pub cluster_size: usize,
+    /// Current worker assignments.
+    pub workers: Vec<WorkerView>,
+    /// Demand history observed at the frontend (root arrivals per second).
+    pub demand: &'a DemandHistory,
+    /// A hint about the initial demand, available only at the very first control tick
+    /// (stands in for the warm-up knowledge a production deployment would have).
+    pub initial_demand_hint: Option<f64>,
+    /// Observed multiplicative factors aggregated from worker heartbeats:
+    /// (variant, downstream task) -> average number of intermediate queries generated
+    /// per processed query.
+    pub observed_fanout: &'a HashMap<(VariantId, usize), f64>,
+    /// Observed arrival rate (QPS) at each task over the last observation window,
+    /// including intermediate queries. Pipeline-agnostic controllers (Proteus) use
+    /// this instead of the pipeline structure.
+    pub per_task_arrival_qps: &'a HashMap<usize, f64>,
+}
+
+/// A serving controller: the control plane plugged into the simulator.
+///
+/// The engine calls [`Controller::plan`] every `control_interval_s` (the Resource
+/// Manager cadence; 10 s in the paper) and [`Controller::routing`] right after every
+/// plan application as well as every `routing_interval_s` in between (the Load Balancer
+/// cadence).
+pub trait Controller {
+    /// Name used in metrics and harness output.
+    fn name(&self) -> &str;
+
+    /// How often the resource-allocation step runs, in seconds.
+    fn control_interval_s(&self) -> f64 {
+        10.0
+    }
+
+    /// How often the routing refresh runs, in seconds.
+    fn routing_interval_s(&self) -> f64 {
+        1.0
+    }
+
+    /// Produce a new allocation plan, or `None` to keep the current one.
+    fn plan(&mut self, observed: &ObservedState<'_>) -> Option<AllocationPlan>;
+
+    /// Produce new routing tables for the current worker assignments, or `None` to
+    /// keep the current ones.
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan>;
+}
+
+/// An in-flight query (either a client query at the first task or an intermediate
+/// query at a downstream task).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Unique id of this (sub-)query.
+    pub id: u64,
+    /// Id of the root client request this query descends from.
+    pub root: u64,
+    /// The pipeline task this query is destined for.
+    pub task: usize,
+    /// Product of the accuracies of the variants that have processed this query's
+    /// lineage so far (becomes the path accuracy `Â(p)` once the query reaches a sink).
+    pub path_accuracy: f64,
+    /// Absolute deadline (root arrival + SLO).
+    pub deadline_us: SimTime,
+    /// Arrival time of the root request.
+    pub released_us: SimTime,
+    /// When this query was enqueued at its current worker.
+    pub enqueued_us: SimTime,
+    /// Accumulated latency-budget overrun (ms) carried for opportunistic rerouting.
+    pub overrun_ms: f64,
+}
+
+/// Global configuration of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of workers (GPUs) in the cluster.
+    pub cluster_size: usize,
+    /// One-way network delay between any pair of servers, in milliseconds.
+    pub network_delay_ms: f64,
+    /// Time to load a different model variant onto a worker, in milliseconds.
+    pub model_swap_ms: f64,
+    /// Interval between Resource-Manager invocations, in seconds.
+    pub control_interval_s: f64,
+    /// Interval between Load-Balancer refreshes, in seconds.
+    pub routing_interval_s: f64,
+    /// Metrics reporting interval, in seconds.
+    pub metrics_interval_s: f64,
+    /// Seed for all stochastic choices (routing sampling, fan-out rounding).
+    pub seed: u64,
+    /// Initial demand hint passed to the controller at the first control tick (QPS).
+    pub initial_demand_hint: Option<f64>,
+    /// How long the simulation keeps running after the last arrival to let in-flight
+    /// queries drain, in seconds. Queries still unfinished afterwards count as dropped.
+    pub drain_s: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            cluster_size: 20,
+            network_delay_ms: 2.0,
+            model_swap_ms: 500.0,
+            control_interval_s: 10.0,
+            routing_interval_s: 1.0,
+            metrics_interval_s: 1.0,
+            seed: 42,
+            initial_demand_hint: None,
+            drain_s: 30.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_pipeline::zoo;
+
+    #[test]
+    fn time_conversions_roundtrip() {
+        assert_eq!(secs_to_us(1.5), 1_500_000);
+        assert_eq!(ms_to_us(2.5), 2_500);
+        assert!((us_to_secs(secs_to_us(3.25)) - 3.25).abs() < 1e-9);
+        assert!((us_to_ms(ms_to_us(0.75)) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_policy_labels_are_unique() {
+        let labels: Vec<_> = DropPolicy::all().iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(DropPolicy::default(), DropPolicy::OpportunisticRerouting);
+    }
+
+    #[test]
+    fn allocation_plan_aggregates() {
+        let g = zoo::tiny_pipeline(100.0);
+        let plan = AllocationPlan {
+            instances: vec![
+                InstanceSpec {
+                    variant: VariantId::new(0, 1),
+                    max_batch: 4,
+                    count: 3,
+                },
+                InstanceSpec {
+                    variant: VariantId::new(1, 0),
+                    max_batch: 8,
+                    count: 2,
+                },
+            ],
+            latency_budgets_ms: HashMap::new(),
+            drop_policy: DropPolicy::PerTask,
+        };
+        assert_eq!(plan.total_workers(), 5);
+        assert_eq!(plan.instances_for_task(0).count(), 1);
+        assert_eq!(plan.instances_for_task(1).count(), 1);
+        let cap0 = plan.task_capacity_qps(&g, 0);
+        let expected = 3.0 * g.variant(VariantId::new(0, 1)).throughput_qps(4);
+        assert!((cap0 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sim_config_default_matches_paper_setup() {
+        let c = SimConfig::default();
+        assert_eq!(c.cluster_size, 20);
+        assert!((c.control_interval_s - 10.0).abs() < 1e-12);
+        assert!(c.routing_interval_s <= c.control_interval_s);
+    }
+}

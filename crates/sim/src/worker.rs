@@ -1,0 +1,268 @@
+//! The worker (GPU) model: a FIFO queue, greedy batch formation, and profile-driven
+//! processing times.
+
+use crate::types::{Query, SimTime, WorkerId};
+use loki_pipeline::{BatchSize, PipelineGraph, VariantId};
+use std::collections::VecDeque;
+
+/// The model-variant instance currently hosted on a worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// The hosted variant.
+    pub variant: VariantId,
+    /// Maximum batch size the worker may form.
+    pub max_batch: BatchSize,
+}
+
+/// A single worker (GPU) in the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// This worker's id.
+    pub id: WorkerId,
+    /// Current assignment (None = powered down / unassigned).
+    pub assignment: Option<Assignment>,
+    /// Queue of queries waiting to be batched.
+    queue: VecDeque<Query>,
+    /// The batch currently being processed (empty if idle).
+    in_flight: Vec<Query>,
+    /// The variant that is processing the in-flight batch (it may differ from the
+    /// current assignment if the worker was re-assigned mid-batch).
+    pub in_flight_variant: Option<VariantId>,
+    /// Time until which the worker is busy processing the in-flight batch.
+    pub busy_until: SimTime,
+    /// Time until which the worker is loading a new model (cannot process).
+    pub swap_until: SimTime,
+    /// Accumulated busy time (for utilization accounting).
+    pub busy_time_us: u64,
+    /// Number of queries this worker has processed.
+    pub processed: u64,
+}
+
+impl Worker {
+    /// Create an idle, unassigned worker.
+    pub fn new(id: WorkerId) -> Self {
+        Self {
+            id,
+            assignment: None,
+            queue: VecDeque::new(),
+            in_flight: Vec::new(),
+            in_flight_variant: None,
+            busy_until: 0,
+            swap_until: 0,
+            busy_time_us: 0,
+            processed: 0,
+        }
+    }
+
+    /// True if the worker hosts a variant.
+    pub fn is_active(&self) -> bool {
+        self.assignment.is_some()
+    }
+
+    /// True if the worker is currently processing a batch at time `now`.
+    pub fn is_busy(&self, now: SimTime) -> bool {
+        !self.in_flight.is_empty() && self.busy_until > now
+    }
+
+    /// True if the worker is still loading a model at time `now`.
+    pub fn is_swapping(&self, now: SimTime) -> bool {
+        self.swap_until > now
+    }
+
+    /// Length of the waiting queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Push a query onto the waiting queue.
+    pub fn enqueue(&mut self, q: Query) {
+        self.queue.push_back(q);
+    }
+
+    /// Remove and return every queued query (used when a worker is re-assigned and its
+    /// queue has to be re-routed elsewhere).
+    pub fn drain_queue(&mut self) -> Vec<Query> {
+        self.queue.drain(..).collect()
+    }
+
+    /// Assign a (possibly different) variant to this worker.
+    ///
+    /// Returns `true` if the model actually changed (which incurs the swap delay the
+    /// caller is responsible for applying via [`Worker::begin_swap`]). Changing only
+    /// the batch size is free.
+    pub fn assign(&mut self, variant: VariantId, max_batch: BatchSize) -> bool {
+        let changed = match self.assignment {
+            Some(a) => a.variant != variant,
+            None => true,
+        };
+        self.assignment = Some(Assignment { variant, max_batch });
+        changed
+    }
+
+    /// Power the worker down (hardware scaling during off-peak periods).
+    pub fn unassign(&mut self) {
+        self.assignment = None;
+    }
+
+    /// Mark the worker as loading a model until `until`.
+    pub fn begin_swap(&mut self, until: SimTime) {
+        self.swap_until = until;
+    }
+
+    /// Try to start processing a batch at time `now`.
+    ///
+    /// Returns `Some((finish_time, batch_size))` if a batch was started; the engine is
+    /// expected to schedule a batch-completion event at `finish_time`. Returns `None`
+    /// if the worker is unassigned, busy, swapping, or has an empty queue.
+    pub fn try_start_batch(&mut self, now: SimTime, graph: &PipelineGraph) -> Option<(SimTime, usize)> {
+        if !self.in_flight.is_empty() || self.queue.is_empty() || self.is_swapping(now) {
+            return None;
+        }
+        let assignment = self.assignment?;
+        let take = (self.queue.len()).min(assignment.max_batch as usize);
+        self.in_flight.extend(self.queue.drain(..take));
+        self.in_flight_variant = Some(assignment.variant);
+        let latency_ms = graph
+            .variant(assignment.variant)
+            .batch_latency_ms(take as BatchSize);
+        let duration = crate::types::ms_to_us(latency_ms);
+        self.busy_until = now + duration;
+        self.busy_time_us += duration;
+        self.processed += take as u64;
+        Some((self.busy_until, take))
+    }
+
+    /// Finish the in-flight batch, returning its queries and the variant that
+    /// processed them.
+    pub fn finish_batch(&mut self) -> (Vec<Query>, Option<VariantId>) {
+        let variant = self.in_flight_variant.take();
+        (std::mem::take(&mut self.in_flight), variant)
+    }
+
+    /// Profiled execution time (ms) of one full batch at the configured batch size.
+    pub fn profiled_exec_ms(&self, graph: &PipelineGraph) -> Option<f64> {
+        self.assignment
+            .map(|a| graph.variant(a.variant).batch_latency_ms(a.max_batch))
+    }
+
+    /// Profiled throughput (QPS) of this worker at its configured batch size.
+    pub fn capacity_qps(&self, graph: &PipelineGraph) -> f64 {
+        self.assignment
+            .map(|a| graph.variant(a.variant).throughput_qps(a.max_batch))
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_pipeline::zoo;
+
+    fn query(id: u64, task: usize) -> Query {
+        Query {
+            id,
+            root: id,
+            task,
+            path_accuracy: 1.0,
+            deadline_us: 1_000_000,
+            released_us: 0,
+            enqueued_us: 0,
+            overrun_ms: 0.0,
+        }
+    }
+
+    #[test]
+    fn idle_unassigned_worker_does_not_start() {
+        let g = zoo::tiny_pipeline(100.0);
+        let mut w = Worker::new(WorkerId(0));
+        w.enqueue(query(1, 0));
+        assert!(w.try_start_batch(0, &g).is_none());
+        assert!(!w.is_active());
+    }
+
+    #[test]
+    fn batch_formation_respects_max_batch() {
+        let g = zoo::tiny_pipeline(100.0);
+        let mut w = Worker::new(WorkerId(0));
+        w.assign(VariantId::new(0, 0), 4);
+        for i in 0..10 {
+            w.enqueue(query(i, 0));
+        }
+        let (finish, size) = w.try_start_batch(0, &g).unwrap();
+        assert_eq!(size, 4);
+        assert_eq!(w.queue_len(), 6);
+        // a-small: alpha=2, beta=1 -> 2 + 4 = 6 ms
+        assert_eq!(finish, crate::types::ms_to_us(6.0));
+        // cannot start another batch while busy
+        assert!(w.try_start_batch(1, &g).is_none());
+        let (done, variant) = w.finish_batch();
+        assert_eq!(done.len(), 4);
+        assert_eq!(variant, Some(VariantId::new(0, 0)));
+        // now it can start again with the remaining queries
+        let (_, size2) = w.try_start_batch(finish, &g).unwrap();
+        assert_eq!(size2, 4);
+    }
+
+    #[test]
+    fn partial_batches_form_when_queue_is_short() {
+        let g = zoo::tiny_pipeline(100.0);
+        let mut w = Worker::new(WorkerId(1));
+        w.assign(VariantId::new(0, 1), 8);
+        w.enqueue(query(1, 0));
+        w.enqueue(query(2, 0));
+        let (_, size) = w.try_start_batch(100, &g).unwrap();
+        assert_eq!(size, 2);
+        assert_eq!(w.queue_len(), 0);
+    }
+
+    #[test]
+    fn swap_blocks_processing_and_reassignment_detects_change() {
+        let g = zoo::tiny_pipeline(100.0);
+        let mut w = Worker::new(WorkerId(2));
+        let changed = w.assign(VariantId::new(0, 0), 2);
+        assert!(changed);
+        // same variant, different batch: no swap needed
+        assert!(!w.assign(VariantId::new(0, 0), 4));
+        // different variant: swap needed
+        assert!(w.assign(VariantId::new(0, 1), 4));
+        w.begin_swap(5_000);
+        w.enqueue(query(1, 0));
+        assert!(w.try_start_batch(1_000, &g).is_none());
+        assert!(w.is_swapping(1_000));
+        assert!(!w.is_swapping(5_000));
+        assert!(w.try_start_batch(5_000, &g).is_some());
+    }
+
+    #[test]
+    fn drain_queue_and_capacity() {
+        let g = zoo::tiny_pipeline(100.0);
+        let mut w = Worker::new(WorkerId(3));
+        assert_eq!(w.capacity_qps(&g), 0.0);
+        w.assign(VariantId::new(1, 1), 8);
+        w.enqueue(query(1, 1));
+        w.enqueue(query(2, 1));
+        let drained = w.drain_queue();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(w.queue_len(), 0);
+        let expected = g.variant(VariantId::new(1, 1)).throughput_qps(8);
+        assert!((w.capacity_qps(&g) - expected).abs() < 1e-9);
+        assert!(w.profiled_exec_ms(&g).is_some());
+        w.unassign();
+        assert!(!w.is_active());
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let g = zoo::tiny_pipeline(100.0);
+        let mut w = Worker::new(WorkerId(4));
+        w.assign(VariantId::new(0, 0), 1);
+        w.enqueue(query(1, 0));
+        let (t1, _) = w.try_start_batch(0, &g).unwrap();
+        w.finish_batch();
+        w.enqueue(query(2, 0));
+        let (t2, _) = w.try_start_batch(t1, &g).unwrap();
+        w.finish_batch();
+        assert_eq!(w.busy_time_us, t2 - 0);
+        assert_eq!(w.processed, 2);
+    }
+}

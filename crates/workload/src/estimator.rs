@@ -1,0 +1,193 @@
+//! Demand estimation: the exponentially-weighted moving average and the demand history
+//! the Resource Manager consults (Section 4.2 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An exponentially-weighted moving-average estimator.
+///
+/// The paper: "To estimate the demand to serve, we use an exponentially weighted moving
+/// average on the recent demand history."
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EwmaEstimator {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl EwmaEstimator {
+    /// Create an estimator with smoothing factor `alpha` in `(0, 1]`; larger values
+    /// react faster to recent observations.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, value: None }
+    }
+
+    /// Feed one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => self.alpha * x + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// The current estimate (0 before any observation).
+    pub fn estimate(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// True if at least one observation has been made.
+    pub fn is_warm(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// Reset to the initial (cold) state.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// A sliding window of recent per-interval demand observations plus an EWMA estimate,
+/// as stored in Loki's Metadata Store and consulted by the Resource Manager.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DemandHistory {
+    window: usize,
+    recent: VecDeque<f64>,
+    ewma: EwmaEstimator,
+    /// Headroom multiplier applied to the estimate when provisioning (provisioning for
+    /// exactly the average demand under-provisions half the time).
+    headroom: f64,
+}
+
+impl DemandHistory {
+    /// Create a history with the given window length (number of observations kept),
+    /// EWMA smoothing factor, and provisioning headroom multiplier (e.g. 1.1 = +10%).
+    pub fn new(window: usize, alpha: f64, headroom: f64) -> Self {
+        assert!(window >= 1);
+        assert!(headroom >= 1.0);
+        Self {
+            window,
+            recent: VecDeque::with_capacity(window),
+            ewma: EwmaEstimator::new(alpha),
+            headroom,
+        }
+    }
+
+    /// Record the demand observed over the last interval (queries per second).
+    pub fn observe(&mut self, qps: f64) {
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(qps);
+        self.ewma.observe(qps);
+    }
+
+    /// The smoothed demand estimate used for resource allocation, including headroom.
+    /// Never less than the most recent observation's share of the peak in the window
+    /// (a sudden spike should not be averaged away entirely).
+    pub fn provisioning_estimate(&self) -> f64 {
+        if self.recent.is_empty() {
+            return 0.0;
+        }
+        let recent_max = self
+            .recent
+            .iter()
+            .rev()
+            .take(3)
+            .copied()
+            .fold(0.0, f64::max);
+        let smoothed = self.ewma.estimate();
+        self.headroom * smoothed.max(0.8 * recent_max)
+    }
+
+    /// The raw EWMA estimate without headroom.
+    pub fn smoothed(&self) -> f64 {
+        self.ewma.estimate()
+    }
+
+    /// The most recent observation, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.recent.back().copied()
+    }
+
+    /// Peak demand within the window.
+    pub fn window_peak(&self) -> f64 {
+        self.recent.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// True if no observations have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.recent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = EwmaEstimator::new(0.3);
+        assert!(!e.is_warm());
+        assert_eq!(e.estimate(), 0.0);
+        for _ in 0..100 {
+            e.observe(50.0);
+        }
+        assert!((e.estimate() - 50.0).abs() < 1e-9);
+        assert!(e.is_warm());
+        e.reset();
+        assert!(!e.is_warm());
+    }
+
+    #[test]
+    fn ewma_tracks_level_shift_gradually() {
+        let mut e = EwmaEstimator::new(0.5);
+        e.observe(100.0);
+        e.observe(200.0);
+        // 0.5*200 + 0.5*100 = 150
+        assert!((e.estimate() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn ewma_rejects_bad_alpha() {
+        EwmaEstimator::new(0.0);
+    }
+
+    #[test]
+    fn history_window_is_bounded() {
+        let mut h = DemandHistory::new(3, 0.5, 1.0);
+        for i in 0..10 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.last(), Some(9.0));
+        assert_eq!(h.window_peak(), 9.0);
+    }
+
+    #[test]
+    fn provisioning_estimate_includes_headroom_and_reacts_to_spikes() {
+        let mut h = DemandHistory::new(60, 0.2, 1.1);
+        for _ in 0..60 {
+            h.observe(100.0);
+        }
+        let steady = h.provisioning_estimate();
+        assert!((steady - 110.0).abs() < 1.0, "steady={steady}");
+        // A sudden spike must lift the estimate well above the smoothed value.
+        h.observe(500.0);
+        let spiked = h.provisioning_estimate();
+        assert!(spiked >= 0.8 * 500.0 * 1.1 - 1e-9, "spiked={spiked}");
+    }
+
+    #[test]
+    fn empty_history_estimates_zero() {
+        let h = DemandHistory::new(10, 0.5, 1.2);
+        assert!(h.is_empty());
+        assert_eq!(h.provisioning_estimate(), 0.0);
+        assert_eq!(h.last(), None);
+    }
+}

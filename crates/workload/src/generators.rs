@@ -1,0 +1,189 @@
+//! Seeded synthetic trace generators.
+//!
+//! All generators are deterministic given their seed, so every experiment in the bench
+//! harness is reproducible bit-for-bit.
+
+use crate::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// A constant-rate trace.
+pub fn constant(duration_secs: usize, qps: f64) -> Trace {
+    Trace::new("constant", vec![qps; duration_secs])
+}
+
+/// A linear ramp from `start_qps` to `end_qps`.
+pub fn ramp(duration_secs: usize, start_qps: f64, end_qps: f64) -> Trace {
+    assert!(duration_secs >= 1);
+    let n = duration_secs as f64;
+    let series = (0..duration_secs)
+        .map(|i| start_qps + (end_qps - start_qps) * i as f64 / (n - 1.0).max(1.0))
+        .collect();
+    Trace::new("ramp", series)
+}
+
+/// A piecewise-constant step pattern: each `(duration_secs, qps)` pair contributes a
+/// flat segment.
+pub fn steps(levels: &[(usize, f64)]) -> Trace {
+    let mut series = Vec::new();
+    for &(dur, qps) in levels {
+        series.extend(std::iter::repeat(qps).take(dur));
+    }
+    Trace::new("steps", series)
+}
+
+/// A sinusoidal pattern oscillating between `min_qps` and `max_qps` with the given
+/// period.
+pub fn sinusoid(duration_secs: usize, min_qps: f64, max_qps: f64, period_secs: usize) -> Trace {
+    assert!(period_secs >= 1);
+    let mid = (min_qps + max_qps) / 2.0;
+    let amp = (max_qps - min_qps) / 2.0;
+    let series = (0..duration_secs)
+        .map(|i| mid + amp * (2.0 * PI * i as f64 / period_secs as f64).sin())
+        .collect();
+    Trace::new("sinusoid", series)
+}
+
+/// An Azure-Functions-like diurnal trace: a deep off-peak valley, a ramp through the
+/// "day", a broad evening peak, multiplicative noise, and occasional short bursts.
+///
+/// `duration_secs` is the length of the generated trace (the "day" is compressed into
+/// it); `base_qps` is the off-peak floor and `peak_qps` the typical peak (bursts may
+/// exceed it by up to ~15%).
+pub fn azure_like_diurnal(
+    seed: u64,
+    duration_secs: usize,
+    base_qps: f64,
+    peak_qps: f64,
+) -> Trace {
+    assert!(peak_qps >= base_qps && base_qps >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut series = Vec::with_capacity(duration_secs);
+    let n = duration_secs as f64;
+    for i in 0..duration_secs {
+        let t = i as f64 / n; // position within the compressed day, [0, 1)
+        // Diurnal envelope: cosine valley centred at t=0.125 (night), peak at t=0.625.
+        let phase = 2.0 * PI * (t - 0.125);
+        let envelope = 0.5 - 0.5 * phase.cos(); // 0 at night, 1 at peak
+        let mut qps = base_qps + (peak_qps - base_qps) * envelope;
+        // Multiplicative noise (~±5%).
+        qps *= 1.0 + rng.gen_range(-0.05..0.05);
+        // Occasional short bursts (~1% of seconds), up to +15% of the peak.
+        if rng.gen_bool(0.01) {
+            qps += peak_qps * rng.gen_range(0.05..0.15);
+        }
+        series.push(qps.max(0.0));
+    }
+    Trace::new("azure_like_diurnal", series)
+}
+
+/// A Twitter-like bursty trace: a slowly-varying baseline with frequent small bursts
+/// and rare large spikes (e.g. a viral event), on top of a mild diurnal swing.
+pub fn twitter_like_bursty(
+    seed: u64,
+    duration_secs: usize,
+    base_qps: f64,
+    peak_qps: f64,
+) -> Trace {
+    assert!(peak_qps >= base_qps && base_qps >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut series = Vec::with_capacity(duration_secs);
+    let n = duration_secs as f64;
+    let mut spike_remaining = 0usize;
+    let mut spike_level = 0.0;
+    for i in 0..duration_secs {
+        let t = i as f64 / n;
+        // Mild diurnal swing between base and ~70% of peak.
+        let envelope = 0.5 - 0.5 * (2.0 * PI * (t - 0.1)).cos();
+        let mut qps = base_qps + (0.7 * peak_qps - base_qps).max(0.0) * envelope;
+        // Frequent small bursts.
+        if rng.gen_bool(0.05) {
+            qps += peak_qps * rng.gen_range(0.02..0.08);
+        }
+        // Rare sustained spikes reaching the peak.
+        if spike_remaining == 0 && rng.gen_bool(0.002) {
+            spike_remaining = rng.gen_range(20..90);
+            spike_level = peak_qps * rng.gen_range(0.85..1.0);
+        }
+        if spike_remaining > 0 {
+            spike_remaining -= 1;
+            qps = qps.max(spike_level);
+        }
+        // Noise.
+        qps *= 1.0 + rng.gen_range(-0.08..0.08);
+        series.push(qps.max(0.0));
+    }
+    Trace::new("twitter_like_bursty", series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_and_ramp_shapes() {
+        let c = constant(10, 42.0);
+        assert!(c.series().iter().all(|&q| q == 42.0));
+        let r = ramp(11, 0.0, 100.0);
+        assert!((r.series()[0] - 0.0).abs() < 1e-9);
+        assert!((r.series()[10] - 100.0).abs() < 1e-9);
+        // monotone
+        assert!(r.series().windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn steps_concatenate_segments() {
+        let s = steps(&[(3, 10.0), (2, 50.0)]);
+        assert_eq!(s.series(), &[10.0, 10.0, 10.0, 50.0, 50.0]);
+    }
+
+    #[test]
+    fn sinusoid_stays_within_bounds() {
+        let s = sinusoid(500, 10.0, 90.0, 100);
+        for &q in s.series() {
+            assert!(q >= 10.0 - 1e-9 && q <= 90.0 + 1e-9);
+        }
+        // It should actually reach close to both extremes.
+        assert!(s.peak_qps() > 85.0);
+        assert!(s.min_qps() < 15.0);
+    }
+
+    #[test]
+    fn diurnal_trace_is_deterministic_and_shaped() {
+        let a = azure_like_diurnal(7, 3600, 50.0, 800.0);
+        let b = azure_like_diurnal(7, 3600, 50.0, 800.0);
+        assert_eq!(a.series(), b.series());
+        let c = azure_like_diurnal(8, 3600, 50.0, 800.0);
+        assert_ne!(a.series(), c.series());
+        // Valley is near the base, peak near (or slightly above) the requested peak.
+        assert!(a.min_qps() < 120.0);
+        assert!(a.peak_qps() > 700.0);
+        assert!(a.peak_qps() < 800.0 * 1.25);
+        // Off-peak (first tenth) is much lower than the peak region.
+        let early: f64 = a.series()[..360].iter().sum::<f64>() / 360.0;
+        let late: f64 = a.series()[1800..2520].iter().sum::<f64>() / 720.0;
+        assert!(late > 2.0 * early);
+    }
+
+    #[test]
+    fn bursty_trace_has_spikes() {
+        let t = twitter_like_bursty(11, 7200, 100.0, 1000.0);
+        assert_eq!(t.duration_secs(), 7200);
+        // Some seconds reach near the peak even though the baseline is far below it.
+        assert!(t.peak_qps() > 800.0);
+        let mean = t.mean_qps();
+        assert!(mean < 0.75 * t.peak_qps());
+        assert!(t.min_qps() >= 0.0);
+    }
+
+    #[test]
+    fn generators_never_produce_negative_rates() {
+        for seed in 0..5 {
+            let a = azure_like_diurnal(seed, 1000, 0.0, 500.0);
+            let b = twitter_like_bursty(seed, 1000, 0.0, 500.0);
+            assert!(a.series().iter().all(|&q| q >= 0.0));
+            assert!(b.series().iter().all(|&q| q >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests over the core data structures and invariants, spanning the
+//! MILP solver, the pipeline graphs, the workload generators, and the allocators.
+
+use loki::core::allocator::{AllocationContext, Allocator};
+use loki::core::greedy::GreedyAllocator;
+use loki::core::perf::{FanoutOverrides, PerfModel};
+use loki::milp::{Model, ObjectiveSense, Sense, VarType};
+use loki::pipeline::{AugmentedGraph, LatencyProfile, ModelVariant, PipelineGraph};
+use loki::sim::DropPolicy;
+use loki::workload::{generate_arrivals, ArrivalProcess, Trace};
+use proptest::prelude::*;
+
+// ---------- MILP solver ------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Knapsack instances: the MILP solution is feasible and at least as good as the
+    /// classic greedy-by-density heuristic rounded to feasibility.
+    #[test]
+    fn milp_knapsack_beats_greedy(
+        values in prop::collection::vec(1.0f64..50.0, 3..8),
+        weights in prop::collection::vec(1.0f64..20.0, 3..8),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let n = values.len().min(weights.len());
+        let values = &values[..n];
+        let weights = &weights[..n];
+        let capacity = cap_frac * weights.iter().sum::<f64>();
+
+        let mut m = Model::new("knapsack");
+        let vars: Vec<_> = (0..n).map(|i| m.add_var(format!("x{i}"), VarType::Binary, 0.0, 1.0)).collect();
+        let weight_expr: loki::milp::LinExpr = vars.iter().zip(weights).map(|(&v, &w)| w * v).sum();
+        let value_expr: loki::milp::LinExpr = vars.iter().zip(values).map(|(&v, &val)| val * v).sum();
+        m.add_constraint("cap", weight_expr, Sense::Le, capacity);
+        m.set_objective(ObjectiveSense::Maximize, value_expr);
+        let sol = m.solve().unwrap();
+        prop_assert!(m.is_feasible(&sol.values, 1e-6));
+
+        // Greedy by value density.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| (values[b] / weights[b]).partial_cmp(&(values[a] / weights[a])).unwrap());
+        let mut used = 0.0;
+        let mut greedy_value = 0.0;
+        for i in order {
+            if used + weights[i] <= capacity {
+                used += weights[i];
+                greedy_value += values[i];
+            }
+        }
+        prop_assert!(sol.objective >= greedy_value - 1e-6);
+    }
+
+    /// LP relaxations always bound the integer optimum.
+    #[test]
+    fn lp_relaxation_bounds_milp(
+        coeffs in prop::collection::vec(1.0f64..10.0, 2..5),
+        bounds in prop::collection::vec(2.0f64..12.0, 2..5),
+    ) {
+        let n = coeffs.len().min(bounds.len());
+        let mut m = Model::new("bound");
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), VarType::Integer, 0.0, bounds[i]))
+            .collect();
+        let total: loki::milp::LinExpr = vars.iter().map(|&v| 1.0 * v).sum();
+        m.add_constraint("sum", total, Sense::Le, bounds.iter().sum::<f64>() * 0.6);
+        let obj: loki::milp::LinExpr = vars.iter().zip(&coeffs).map(|(&v, &c)| c * v).sum();
+        m.set_objective(ObjectiveSense::Maximize, obj);
+        let milp = m.solve().unwrap();
+        let lp = m.solve_relaxation(&[]).unwrap();
+        prop_assert!(lp.objective >= milp.objective - 1e-6);
+        prop_assert!(m.is_feasible(&milp.values, 1e-6));
+    }
+}
+
+// ---------- Pipeline graphs ----------------------------------------------------------
+
+fn arb_chain_pipeline() -> impl Strategy<Value = PipelineGraph> {
+    // 2-4 tasks, 1-4 variants each, random accuracies/latencies/mult factors.
+    prop::collection::vec(
+        prop::collection::vec((0.5f64..1.0, 1.0f64..5.0, 1.0f64..6.0, 0.5f64..2.0), 1..5),
+        2..5,
+    )
+    .prop_map(|tasks| {
+        let mut g = PipelineGraph::new("random_chain", 400.0);
+        let mut prev = None;
+        for (ti, variants) in tasks.into_iter().enumerate() {
+            let max_acc = variants
+                .iter()
+                .map(|(a, ..)| *a)
+                .fold(f64::MIN, f64::max);
+            let vs: Vec<ModelVariant> = variants
+                .into_iter()
+                .enumerate()
+                .map(|(k, (acc, alpha, beta, mult))| {
+                    ModelVariant::new(
+                        format!("t{ti}v{k}"),
+                        format!("fam{ti}"),
+                        (acc / max_acc).min(1.0),
+                        LatencyProfile::new(alpha, beta),
+                        mult,
+                    )
+                })
+                .collect();
+            let id = g.add_task(format!("task{ti}"), vs);
+            if let Some(p) = prev {
+                g.add_edge(p, id, 1.0);
+            }
+            prev = Some(id);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The augmented graph enumerates exactly the cross product of variant choices and
+    /// its per-path accuracy always sits between the pipeline's min and max accuracy.
+    #[test]
+    fn augmented_graph_invariants(graph in arb_chain_pipeline()) {
+        prop_assert!(graph.validate().is_ok());
+        let aug = AugmentedGraph::new(&graph);
+        let expected: usize = graph.tasks().map(|(_, t)| t.variants.len()).product();
+        prop_assert_eq!(aug.num_paths(), expected);
+        let lo = graph.min_accuracy() - 1e-9;
+        let hi = graph.max_accuracy() + 1e-9;
+        for p in aug.paths() {
+            prop_assert!(p.accuracy >= lo && p.accuracy <= hi);
+            // Arrival multipliers start at 1 and are monotone products of positive factors.
+            prop_assert!((p.arrival_multipliers[0] - 1.0).abs() < 1e-12);
+            prop_assert!(p.arrival_multipliers.iter().all(|&m| m > 0.0));
+        }
+    }
+
+    /// The greedy allocator never exceeds the cluster and its expected accuracy stays
+    /// within the pipeline's achievable range.
+    #[test]
+    fn greedy_allocator_invariants(
+        graph in arb_chain_pipeline(),
+        demand in 1.0f64..3000.0,
+        cluster in 2usize..40,
+    ) {
+        let fanout = FanoutOverrides::new();
+        let ctx = AllocationContext {
+            graph: &graph,
+            cluster_size: cluster,
+            demand_qps: demand,
+            fanout: &fanout,
+            drop_policy: DropPolicy::OpportunisticRerouting,
+            slo_divisor: 2.0,
+            comm_ms: 2.0,
+            upgrade_with_leftover: true,
+        };
+        let out = GreedyAllocator::new().allocate(&ctx);
+        prop_assert!(out.plan.total_workers() <= cluster);
+        prop_assert!(out.expected_accuracy <= graph.max_accuracy() + 1e-9);
+        prop_assert!(out.expected_accuracy >= 0.0);
+        // Every planned batch respects the allowed batch sizes.
+        for spec in &out.plan.instances {
+            prop_assert!(graph.batch_sizes().contains(&spec.max_batch));
+        }
+    }
+
+    /// Demand propagation is linear in the root demand.
+    #[test]
+    fn task_demands_scale_linearly(graph in arb_chain_pipeline(), demand in 1.0f64..500.0) {
+        let perf = PerfModel::new(&graph, 2.0, 2.0);
+        let fanout = FanoutOverrides::new();
+        let choice: Vec<usize> = graph.tasks().map(|(_, t)| t.most_accurate_variant()).collect();
+        let d1 = perf.task_demands(&choice, demand, &fanout);
+        let d2 = perf.task_demands(&choice, 2.0 * demand, &fanout);
+        for (a, b) in d1.iter().zip(d2.iter()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-6 * b.max(1.0));
+        }
+    }
+}
+
+// ---------- Workloads ----------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shape-preserving scaling preserves ratios between points.
+    #[test]
+    fn trace_scaling_preserves_shape(
+        qps in prop::collection::vec(1.0f64..500.0, 2..50),
+        peak in 10.0f64..5000.0,
+    ) {
+        let trace = Trace::new("t", qps);
+        let scaled = trace.scale_to_peak(peak);
+        prop_assert!((scaled.peak_qps() - peak).abs() < 1e-6);
+        let r0 = trace.series()[0] / trace.peak_qps();
+        let r1 = scaled.series()[0] / scaled.peak_qps();
+        prop_assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    /// Uniform arrivals are sorted, within range, and match the integral of the rate.
+    #[test]
+    fn uniform_arrivals_match_rate(qps in prop::collection::vec(0.0f64..200.0, 1..30)) {
+        let trace = Trace::new("t", qps);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Uniform, 0);
+        prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!(arrivals.iter().all(|&t| t >= 0.0 && t < trace.duration_secs() as f64));
+        let expected = trace.total_queries().floor();
+        prop_assert!((arrivals.len() as f64 - expected).abs() <= 1.0 + 1e-9);
+    }
+}
