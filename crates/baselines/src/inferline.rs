@@ -11,9 +11,7 @@
 use loki_core::load_balancer::MostAccurateFirst;
 use loki_core::perf::{FanoutOverrides, PerfModel};
 use loki_pipeline::{PipelineGraph, VariantId};
-use loki_sim::{
-    AllocationPlan, Controller, DropPolicy, InstanceSpec, ObservedState, RoutingPlan,
-};
+use loki_sim::{AllocationPlan, Controller, DropPolicy, InstanceSpec, ObservedState, RoutingPlan};
 use std::collections::HashMap;
 
 /// Configuration of the InferLine-style baseline.
@@ -174,7 +172,7 @@ impl Controller for InferLineController {
         let demand = self.demand_estimate(observed);
         Some(MostAccurateFirst::build_routing(
             &self.graph,
-            &observed.workers,
+            observed.workers,
             demand,
             &self.fanout,
         ))

@@ -16,9 +16,7 @@
 use loki_core::load_balancer::MostAccurateFirst;
 use loki_core::perf::PerfModel;
 use loki_pipeline::{BatchSize, PipelineGraph, TaskId, VariantId};
-use loki_sim::{
-    AllocationPlan, Controller, DropPolicy, InstanceSpec, ObservedState, RoutingPlan,
-};
+use loki_sim::{AllocationPlan, Controller, DropPolicy, InstanceSpec, ObservedState, RoutingPlan};
 use std::collections::HashMap;
 
 /// Configuration of the Proteus-style baseline.
@@ -256,7 +254,7 @@ impl Controller for ProteusController {
         // the observed fan-out degenerates to exactly that when fan-out data is empty.
         Some(MostAccurateFirst::build_routing(
             &self.graph,
-            &observed.workers,
+            observed.workers,
             demand,
             observed.observed_fanout,
         ))

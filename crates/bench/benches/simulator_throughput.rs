@@ -29,6 +29,29 @@ fn bench_simulator(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // A million root arrivals (2000 QPS × 500 s on a 100-GPU cluster): the
+    // scale target for trace-length sweeps. Must finish well under 30 s of
+    // wall-clock per run in release mode.
+    let big_trace = generators::constant(500, 2000.0);
+    let big_arrivals = generate_arrivals(&big_trace, ArrivalProcess::Poisson, 11);
+    let mut group = c.benchmark_group("simulator_large");
+    group.sample_size(3);
+    group.throughput(Throughput::Elements(big_arrivals.len() as u64));
+    group.bench_function("traffic_1m_arrivals", |b| {
+        b.iter(|| {
+            let controller = LokiController::new(graph.clone(), LokiConfig::with_greedy());
+            let config = SimConfig {
+                cluster_size: 100,
+                initial_demand_hint: Some(2000.0),
+                drain_s: 10.0,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(&graph, config, controller);
+            std::hint::black_box(sim.run(&big_arrivals))
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_simulator);

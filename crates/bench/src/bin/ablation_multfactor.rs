@@ -13,7 +13,10 @@ fn main() {
     let graph = zoo::traffic_analysis_pipeline(cfg.slo_ms);
     let perf = PerfModel::new(&graph, 2.0, 2.0);
     let fanout = FanoutOverrides::new();
-    let choice: Vec<usize> = graph.tasks().map(|(_, t)| t.most_accurate_variant()).collect();
+    let choice: Vec<usize> = graph
+        .tasks()
+        .map(|(_, t)| t.most_accurate_variant())
+        .collect();
 
     println!("# Multiplicative-factor ablation (traffic pipeline, most accurate variants)");
     println!(
@@ -38,5 +41,7 @@ fn main() {
             let _ = TaskId(t);
         }
     }
-    println!("\n(Ignoring multiplication under-provisions the car-classification task by ~30-50%.)");
+    println!(
+        "\n(Ignoring multiplication under-provisions the car-classification task by ~30-50%.)"
+    );
 }

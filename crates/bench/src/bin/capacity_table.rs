@@ -9,9 +9,11 @@ use loki_core::{LokiConfig, LokiController};
 use loki_pipeline::zoo;
 
 fn main() {
-    let mut cfg = ExperimentConfig::default();
-    cfg.duration_s = 900;
-    let cfg = cfg.from_args();
+    let cfg = ExperimentConfig {
+        duration_s: 900,
+        ..Default::default()
+    }
+    .from_args();
 
     println!("# T-CAP: headline numbers (paper-reported vs measured)");
 

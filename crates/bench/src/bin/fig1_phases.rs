@@ -13,7 +13,10 @@ fn main() {
     let graph = zoo::traffic_analysis_pipeline(cfg.slo_ms);
     let mut controller = LokiController::new(graph.clone(), LokiConfig::with_greedy());
 
-    println!("# FIG1: traffic-analysis pipeline, {} workers, SLO {} ms", cfg.cluster_size, cfg.slo_ms);
+    println!(
+        "# FIG1: traffic-analysis pipeline, {} workers, SLO {} ms",
+        cfg.cluster_size, cfg.slo_ms
+    );
     println!(
         "{:>8} {:>12} {:>9} {:>11} {:>12}",
         "demand", "mode", "servers", "accuracy", "servable"
@@ -53,7 +56,10 @@ fn main() {
         (Some(hw), Some(acc)) => {
             println!("phase 1 -> 2 transition (hardware-scaling capacity): {hw:.0} QPS (paper: ~560 QPS)");
             println!("maximum throughput with accuracy scaling:            {acc:.0} QPS (paper: ~1765 QPS)");
-            println!("effective capacity gain from accuracy scaling:       {:.2}x (paper: ~2.7-3.1x)", acc / hw);
+            println!(
+                "effective capacity gain from accuracy scaling:       {:.2}x (paper: ~2.7-3.1x)",
+                acc / hw
+            );
         }
         _ => println!("could not identify both phase transitions; widen the demand sweep"),
     }

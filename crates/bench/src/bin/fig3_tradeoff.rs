@@ -9,7 +9,10 @@ fn main() {
     println!("# FIG3: accuracy-throughput tradeoff per model family (batch size 8)");
     for (family, variants) in zoo::all_families() {
         println!("\n## {family}");
-        println!("{:<20} {:>12} {:>16} {:>16}", "variant", "accuracy", "qps(batch=8)", "qps(batch=1)");
+        println!(
+            "{:<20} {:>12} {:>16} {:>16}",
+            "variant", "accuracy", "qps(batch=8)", "qps(batch=1)"
+        );
         for v in &variants {
             println!(
                 "{:<20} {:>12.3} {:>16.1} {:>16.1}",

@@ -7,10 +7,12 @@ use loki_bench::*;
 use loki_pipeline::zoo;
 
 fn main() {
-    let mut cfg = ExperimentConfig::default();
-    cfg.peak_qps = 1200.0;
-    cfg.base_qps = 60.0;
-    let cfg = cfg.from_args();
+    let cfg = ExperimentConfig {
+        peak_qps: 1200.0,
+        base_qps: 60.0,
+        ..Default::default()
+    }
+    .from_args();
     let graph = zoo::social_media_pipeline(cfg.slo_ms);
     let trace = social_trace(&cfg);
     let results = run_comparison(&graph, &trace, &cfg);

@@ -10,17 +10,22 @@ use loki_pipeline::zoo;
 use loki_sim::DropPolicy;
 
 fn main() {
-    let mut cfg = ExperimentConfig::default();
-    cfg.duration_s = 300;
     // Run near the accuracy-scaling regime where the drop policies matter.
-    cfg.peak_qps = 1100.0;
-    cfg.base_qps = 700.0;
-    let cfg = cfg.from_args();
+    let cfg = ExperimentConfig {
+        duration_s: 300,
+        peak_qps: 1100.0,
+        base_qps: 700.0,
+        ..Default::default()
+    }
+    .from_args();
     let graph = zoo::traffic_analysis_pipeline(cfg.slo_ms);
     let trace = traffic_trace(&cfg);
 
     println!("# FIG7: load-balancer ablation (traffic pipeline, overload segment)");
-    println!("{:<28} {:>14} {:>12} {:>12}", "policy", "slo_violation", "accuracy", "rerouted");
+    println!(
+        "{:<28} {:>14} {:>12} {:>12}",
+        "policy", "slo_violation", "accuracy", "rerouted"
+    );
     for policy in DropPolicy::all() {
         let mut config = LokiConfig::with_greedy();
         config.drop_policy = policy;
@@ -34,5 +39,7 @@ fn main() {
             result.summary.total_rerouted
         );
     }
-    println!("\n(The paper's Figure 7 shows opportunistic rerouting with the lowest violation ratio.)");
+    println!(
+        "\n(The paper's Figure 7 shows opportunistic rerouting with the lowest violation ratio.)"
+    );
 }

@@ -8,9 +8,11 @@ use loki_core::{LokiConfig, LokiController};
 use loki_pipeline::zoo;
 
 fn main() {
-    let mut cfg = ExperimentConfig::default();
-    cfg.duration_s = 600;
-    let cfg = cfg.from_args();
+    let cfg = ExperimentConfig {
+        duration_s: 600,
+        ..Default::default()
+    }
+    .from_args();
 
     println!("# FIG8: effect of the latency SLO on Loki (traffic pipeline)");
     println!(
@@ -38,11 +40,10 @@ fn main() {
         };
         println!(
             "{:>8.0} {:>14.4} {:>16.2} {:>16.4}",
-            slo,
-            result.summary.system_accuracy,
-            max_drop,
-            result.summary.slo_violation_ratio
+            slo, result.summary.system_accuracy, max_drop, result.summary.slo_violation_ratio
         );
     }
-    println!("\n(The paper reports sharp improvements up to ~300 ms and diminishing returns beyond.)");
+    println!(
+        "\n(The paper reports sharp improvements up to ~300 ms and diminishing returns beyond.)"
+    );
 }

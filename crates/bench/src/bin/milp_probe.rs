@@ -15,11 +15,19 @@ fn main() {
     println!("hw capacity (20 servers, max acc): {hw_cap:.1} qps");
     let min_choice: Vec<usize> = g.tasks().map(|(_, t)| t.least_accurate_variant()).collect();
     let max_cap = perf.max_servable_demand(&min_choice, 20, &fanout);
-    println!("max capacity (20 servers, min acc): {max_cap:.1} qps ({:.2}x)", max_cap / hw_cap);
+    println!(
+        "max capacity (20 servers, min acc): {max_cap:.1} qps ({:.2}x)",
+        max_cap / hw_cap
+    );
     for demand in [hw_cap * 0.5, hw_cap * 1.3, hw_cap * 2.0] {
         let ctx = AllocationContext {
-            graph: &g, cluster_size: 20, demand_qps: demand, fanout: &fanout,
-            drop_policy: DropPolicy::OpportunisticRerouting, slo_divisor: 2.0, comm_ms: 2.0,
+            graph: &g,
+            cluster_size: 20,
+            demand_qps: demand,
+            fanout: &fanout,
+            drop_policy: DropPolicy::OpportunisticRerouting,
+            slo_divisor: 2.0,
+            comm_ms: 2.0,
             upgrade_with_leftover: true,
         };
         let alloc = MilpAllocator::new(Duration::from_secs(10), 4000);
@@ -27,7 +35,10 @@ fn main() {
         let out = alloc.allocate(&ctx);
         println!(
             "demand {:.0}: mode {:?} servers {} acc {:.4} in {:.0} ms",
-            demand, out.mode, out.servers_used, out.expected_accuracy,
+            demand,
+            out.mode,
+            out.servers_used,
+            out.expected_accuracy,
             t0.elapsed().as_secs_f64() * 1000.0
         );
     }

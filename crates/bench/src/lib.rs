@@ -52,7 +52,9 @@ impl ExperimentConfig {
     /// Parse simple `key=value` command-line overrides (`duration=600 peak=1200 ...`).
     pub fn from_args(mut self) -> Self {
         for arg in std::env::args().skip(1) {
-            let Some((key, value)) = arg.split_once('=') else { continue };
+            let Some((key, value)) = arg.split_once('=') else {
+                continue;
+            };
             match key {
                 "cluster" => self.cluster_size = value.parse().unwrap_or(self.cluster_size),
                 "slo" => self.slo_ms = value.parse().unwrap_or(self.slo_ms),
@@ -75,7 +77,12 @@ pub fn traffic_trace(cfg: &ExperimentConfig) -> Trace {
 
 /// The Twitter-like bursty trace used for the social-media pipeline.
 pub fn social_trace(cfg: &ExperimentConfig) -> Trace {
-    generators::twitter_like_bursty(cfg.seed ^ 0x5eed, cfg.duration_s, cfg.base_qps, cfg.peak_qps)
+    generators::twitter_like_bursty(
+        cfg.seed ^ 0x5eed,
+        cfg.duration_s,
+        cfg.base_qps,
+        cfg.peak_qps,
+    )
 }
 
 /// The simulator configuration shared by all end-to-end experiments.
@@ -257,8 +264,8 @@ pub fn print_headline_ratios(results: &[(String, SimResult)]) {
     };
     let capacity_gain =
         loki.summary.peak_goodput as f64 / inferline.summary.peak_goodput.max(1) as f64;
-    let server_saving = proteus.summary.max_active_workers as f64
-        / loki.summary.min_active_workers.max(1) as f64;
+    let server_saving =
+        proteus.summary.max_active_workers as f64 / loki.summary.min_active_workers.max(1) as f64;
     println!();
     println!("headline ratios (Loki vs baselines):");
     println!(

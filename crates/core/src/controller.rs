@@ -92,7 +92,11 @@ impl LokiController {
     /// Run a one-off allocation for a specific demand and cluster size without going
     /// through the simulator. Used by the Figure 1 phase analysis and by capacity
     /// planning tools.
-    pub fn allocate_for_demand(&mut self, demand_qps: f64, cluster_size: usize) -> AllocationOutcome {
+    pub fn allocate_for_demand(
+        &mut self,
+        demand_qps: f64,
+        cluster_size: usize,
+    ) -> AllocationOutcome {
         let ctx = AllocationContext {
             graph: &self.graph,
             cluster_size,
@@ -132,8 +136,8 @@ impl LokiController {
         let Some(outcome) = &self.last_outcome else {
             return true;
         };
-        let relative_change = (demand - self.last_planned_demand).abs()
-            / self.last_planned_demand.max(1.0);
+        let relative_change =
+            (demand - self.last_planned_demand).abs() / self.last_planned_demand.max(1.0);
         if relative_change > self.config.replan_threshold {
             return true;
         }
@@ -173,7 +177,7 @@ impl Controller for LokiController {
         let demand = self.demand_estimate(observed) * self.config.provisioning_margin;
         let start = Instant::now();
         let plan =
-            MostAccurateFirst::build_routing(&self.graph, &observed.workers, demand, &self.fanout);
+            MostAccurateFirst::build_routing(&self.graph, observed.workers, demand, &self.fanout);
         self.stats.routings += 1;
         self.stats.routing_time_s += start.elapsed().as_secs_f64();
         Some(plan)
@@ -214,7 +218,10 @@ mod tests {
         let g = zoo::traffic_analysis_pipeline(250.0);
         let mut ctl = LokiController::new(g, LokiConfig::with_greedy());
         ctl.allocate_for_demand(200.0, 20);
-        assert!(!ctl.needs_replan(205.0), "a 2.5% change should not trigger a replan");
+        assert!(
+            !ctl.needs_replan(205.0),
+            "a 2.5% change should not trigger a replan"
+        );
         assert!(ctl.needs_replan(400.0), "a 2x change must trigger a replan");
     }
 

@@ -87,13 +87,12 @@ impl GreedyAllocator {
                 let Some(plan) = perf.plan_for_choice(&cand, ctx.demand_qps, ctx.fanout) else {
                     continue;
                 };
-                if plan.servers <= ctx.cluster_size {
-                    if best_feasible
+                if plan.servers <= ctx.cluster_size
+                    && best_feasible
                         .as_ref()
-                        .map_or(true, |(a, _, _)| plan.accuracy > *a)
-                    {
-                        best_feasible = Some((plan.accuracy, cand.clone(), plan.clone()));
-                    }
+                        .is_none_or(|(a, _, _)| plan.accuracy > *a)
+                {
+                    best_feasible = Some((plan.accuracy, cand.clone(), plan.clone()));
                 }
                 let saved = if current_servers.is_finite() {
                     current_servers - plan.servers as f64
@@ -103,7 +102,7 @@ impl GreedyAllocator {
                 };
                 let lost = (current_accuracy - plan.accuracy).max(1e-6);
                 let score = saved / lost;
-                if best.as_ref().map_or(true, |(s, _, _)| score > *s) {
+                if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
                     best = Some((score, cand, plan));
                 }
             }
@@ -197,23 +196,24 @@ impl GreedyAllocator {
                 let up_variant = VariantId::new(t, up);
                 let added = ctx.graph.variant(up_variant).throughput_qps(batch);
                 let already = upgraded_capacity.get(&t).copied().unwrap_or(0.0);
-                let coverable =
-                    ((already + added).min(plan.task_demands[t]) - already).max(0.0);
+                let coverable = ((already + added).min(plan.task_demands[t]) - already).max(0.0);
                 if coverable <= 1e-9 {
                     continue;
                 }
                 let fraction = coverable / plan.task_demands[t];
                 let mut up_choice = plan.choice.clone();
                 up_choice[t] = up;
-                let acc_gain =
-                    (perf.choice_accuracy(&up_choice) - perf.choice_accuracy(&plan.choice))
-                        .max(0.0)
-                        * fraction;
-                if acc_gain > 1e-9 && best.as_ref().map_or(true, |(g, ..)| acc_gain > *g) {
+                let acc_gain = (perf.choice_accuracy(&up_choice)
+                    - perf.choice_accuracy(&plan.choice))
+                .max(0.0)
+                    * fraction;
+                if acc_gain > 1e-9 && best.as_ref().is_none_or(|(g, ..)| acc_gain > *g) {
                     best = Some((acc_gain, t, up, batch, fraction));
                 }
             }
-            let Some((gain, t, up, batch, _fraction)) = best else { break };
+            let Some((gain, t, up, batch, _fraction)) = best else {
+                break;
+            };
             let up_variant = VariantId::new(t, up);
             let added = ctx.graph.variant(up_variant).throughput_qps(batch);
             *upgraded_capacity.entry(t).or_insert(0.0) += added;

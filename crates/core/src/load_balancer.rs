@@ -93,7 +93,12 @@ impl MostAccurateFirst {
         // downstream workers most-accurate-first.
         for task_id in graph.topological_order() {
             let t = task_id.index();
-            let children: Vec<TaskId> = graph.task(task_id).children.iter().map(|e| e.child).collect();
+            let children: Vec<TaskId> = graph
+                .task(task_id)
+                .children
+                .iter()
+                .map(|e| e.child)
+                .collect();
             if children.is_empty() {
                 continue;
             }
@@ -232,7 +237,10 @@ mod tests {
             .map(|(_, p)| *p)
             .sum();
         assert!(accurate_weight > 0.0);
-        assert!(cheap_weight.abs() < 1e-9, "cheap worker should get no traffic at low demand");
+        assert!(
+            cheap_weight.abs() < 1e-9,
+            "cheap worker should get no traffic at low demand"
+        );
     }
 
     #[test]
@@ -252,7 +260,10 @@ mod tests {
             .filter(|(w, _)| *w == WorkerId(0))
             .map(|(_, p)| *p)
             .sum();
-        assert!(cheap_weight > 0.0, "overflow should spill to the less accurate worker");
+        assert!(
+            cheap_weight > 0.0,
+            "overflow should spill to the less accurate worker"
+        );
     }
 
     #[test]
@@ -265,7 +276,10 @@ mod tests {
         ];
         let plan = MostAccurateFirst::build_routing(&g, &workers, 20.0, &FanoutOverrides::new());
         // The root worker must have a table for task 1.
-        let table = plan.downstream.get(&(WorkerId(0), 1)).expect("routing table");
+        let table = plan
+            .downstream
+            .get(&(WorkerId(0), 1))
+            .expect("routing table");
         let total: f64 = table.iter().map(|(_, p)| p).sum();
         assert!((total - 1.0).abs() < 1e-9, "probabilities should sum to 1");
         // At 20 QPS the accurate downstream worker has leftover capacity -> backup.

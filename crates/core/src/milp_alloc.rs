@@ -185,7 +185,12 @@ impl MilpAllocator {
             }
             // latency + M*I <= budget + M
             latency_expr.add_term(i_use, big_m);
-            model.add_constraint(format!("lat_{pid}"), latency_expr, Sense::Le, budget + big_m);
+            model.add_constraint(
+                format!("lat_{pid}"),
+                latency_expr,
+                Sense::Le,
+                budget + big_m,
+            );
         }
 
         // Demand coverage (Constraint 2): every task path must route all of its traffic.
@@ -291,7 +296,10 @@ impl MilpAllocator {
             ) {
                 values[n.index()] = spec.count as f64;
                 values[z.index()] = 1.0;
-                hosted.entry(spec.variant.task).or_default().push(spec.variant);
+                hosted
+                    .entry(spec.variant.task)
+                    .or_default()
+                    .push(spec.variant);
             }
         }
         // Route each task path entirely through the least accurate hosted variant of
@@ -413,7 +421,13 @@ impl Allocator for MilpAllocator {
         // ---- Step 1: hardware scaling ---------------------------------------------
         let (hw_model, hw_vars) = Self::build_model(ctx, &aug, true);
         let hw_warm = if greedy.mode == ScalingMode::Hardware {
-            Some(Self::warm_start(&hw_model, &hw_vars, &aug, ctx.graph, &greedy.plan))
+            Some(Self::warm_start(
+                &hw_model,
+                &hw_vars,
+                &aug,
+                ctx.graph,
+                &greedy.plan,
+            ))
         } else {
             None
         };
@@ -446,7 +460,11 @@ impl Allocator for MilpAllocator {
         // ---- Step 2: accuracy scaling ----------------------------------------------
         let (acc_model, acc_vars) = Self::build_model(ctx, &aug, false);
         let warm = Some(Self::warm_start(
-            &acc_model, &acc_vars, &aug, ctx.graph, &greedy.plan,
+            &acc_model,
+            &acc_vars,
+            &aug,
+            ctx.graph,
+            &greedy.plan,
         ));
         let acc_opts = self.solve_options(warm, &acc_vars);
         match acc_model.solve_with(&acc_opts) {
@@ -539,7 +557,7 @@ mod tests {
         let aug = AugmentedGraph::new(&g);
         let (model, vars) = MilpAllocator::build_model(&context, &aug, true);
         // Only the most accurate variant of each task has n/z variables.
-        for (&(v, _), _) in &vars.n {
+        for &(v, _) in vars.n.keys() {
             assert_eq!(
                 v.variant,
                 g.task(TaskId(v.task)).most_accurate_variant(),

@@ -128,10 +128,7 @@ impl<'a> PerfModel<'a> {
                 .iter()
                 .map(|&t| {
                     let i = t.index();
-                    self.graph
-                        .task(t)
-                        .variants[choice[i]]
-                        .batch_latency_ms(batches[i])
+                    self.graph.task(t).variants[choice[i]].batch_latency_ms(batches[i])
                 })
                 .sum();
             if total > budget + 1e-9 {
@@ -195,7 +192,7 @@ impl<'a> PerfModel<'a> {
                     }
                     let cand_replicas = replicas_for(&cand);
                     let cand_total: usize = cand_replicas.iter().sum();
-                    if cand_total < total && best.as_ref().map_or(true, |b| cand_total < b.3) {
+                    if cand_total < total && best.as_ref().is_none_or(|b| cand_total < b.3) {
                         best = Some((t, cand_batch, cand_replicas, cand_total));
                     }
                 }
@@ -240,8 +237,7 @@ impl<'a> PerfModel<'a> {
             .map(|p| p.tasks.len())
             .max()
             .unwrap_or(1);
-        let allowance =
-            (self.graph.slo_ms() - self.comm_ms * (path_len as f64 + 1.0)).max(exec);
+        let allowance = (self.graph.slo_ms() - self.comm_ms * (path_len as f64 + 1.0)).max(exec);
         (self.slo_divisor * exec).max(allowance / path_len as f64)
     }
 
@@ -293,9 +289,7 @@ impl<'a> PerfModel<'a> {
         // Per-unit-of-root-demand load multiplier for each task.
         let unit = self.task_demands(choice, 1.0, overrides);
         let per_server_q: Vec<f64> = (0..n)
-            .map(|t| {
-                self.graph.task(TaskId(t)).variants[choice[t]].throughput_qps(batches[t])
-            })
+            .map(|t| self.graph.task(TaskId(t)).variants[choice[t]].throughput_qps(batches[t]))
             .collect();
         // Upper bound ignoring integrality of replicas.
         let mut hi: f64 = f64::INFINITY;
@@ -399,6 +393,7 @@ mod tests {
         assert!(m.batches_fit(&choice, &low.batches));
         assert!(m.batches_fit(&choice, &high.batches));
         // Capacity must cover demand per task.
+        #[allow(clippy::needless_range_loop)]
         for t in 0..g.num_tasks() {
             let q = g.task(TaskId(t)).variants[choice[t]].throughput_qps(high.batches[t]);
             assert!(high.replicas[t] as f64 * q >= high.task_demands[t] - 1e-6);
@@ -410,7 +405,9 @@ mod tests {
         // An SLO so tight that even batch-1 processing cannot fit.
         let g = zoo::traffic_analysis_pipeline(20.0);
         let m = PerfModel::new(&g, 2.0, 2.0);
-        assert!(m.plan_for_choice(&[4, 7, 3], 100.0, &no_overrides()).is_none());
+        assert!(m
+            .plan_for_choice(&[4, 7, 3], 100.0, &no_overrides())
+            .is_none());
         assert!(m.max_batches_for_choice(&[4, 7, 3]).is_none());
         assert_eq!(m.max_servable_demand(&[4, 7, 3], 20, &no_overrides()), 0.0);
     }
@@ -419,8 +416,12 @@ mod tests {
     fn cheaper_variants_need_fewer_servers() {
         let g = zoo::traffic_analysis_pipeline(250.0);
         let m = PerfModel::new(&g, 2.0, 2.0);
-        let best = m.plan_for_choice(&[4, 7, 3], 400.0, &no_overrides()).unwrap();
-        let worst = m.plan_for_choice(&[0, 0, 0], 400.0, &no_overrides()).unwrap();
+        let best = m
+            .plan_for_choice(&[4, 7, 3], 400.0, &no_overrides())
+            .unwrap();
+        let worst = m
+            .plan_for_choice(&[0, 0, 0], 400.0, &no_overrides())
+            .unwrap();
         assert!(worst.servers < best.servers);
         assert!(worst.accuracy < best.accuracy);
     }
@@ -431,11 +432,18 @@ mod tests {
         let m = PerfModel::new(&g, 2.0, 2.0);
         let choice = vec![4, 7, 3];
         let cap = m.max_servable_demand(&choice, 20, &no_overrides());
-        assert!(cap > 100.0, "20-server capacity should be sizable, got {cap}");
+        assert!(
+            cap > 100.0,
+            "20-server capacity should be sizable, got {cap}"
+        );
         // Just below capacity must fit in 20 servers, just above must not.
-        let below = m.plan_for_choice(&choice, cap * 0.98, &no_overrides()).unwrap();
+        let below = m
+            .plan_for_choice(&choice, cap * 0.98, &no_overrides())
+            .unwrap();
         assert!(below.servers <= 20, "servers={}", below.servers);
-        let above = m.plan_for_choice(&choice, cap * 1.10, &no_overrides()).unwrap();
+        let above = m
+            .plan_for_choice(&choice, cap * 1.10, &no_overrides())
+            .unwrap();
         assert!(above.servers > 20, "servers={}", above.servers);
     }
 

@@ -28,5 +28,9 @@ fn debug_e2e() {
     }
     println!("summary: {:?}", result.summary);
     let ctl = sim.into_controller();
-    println!("last outcome: {:#?}", ctl.last_outcome().map(|o| (&o.plan.instances, o.mode, o.servers_used)));
+    println!(
+        "last outcome: {:#?}",
+        ctl.last_outcome()
+            .map(|o| (&o.plan.instances, o.mode, o.servers_used))
+    );
 }

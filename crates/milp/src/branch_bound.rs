@@ -9,7 +9,7 @@
 use crate::expr::Var;
 use crate::model::{Model, ObjectiveSense, VarType};
 use crate::simplex;
-use crate::solution::{SolveError, SolveOptions, SolveStats, SolveStatus, Solution};
+use crate::solution::{Solution, SolveError, SolveOptions, SolveStats, SolveStatus};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -88,7 +88,7 @@ fn pick_branch_var(
         }
         let x = values[i];
         let frac = (x - x.floor()).min(x.ceil() - x);
-        if frac > int_tol && best.map_or(true, |(_, _, f)| frac > f) {
+        if frac > int_tol && best.is_none_or(|(_, _, f)| frac > f) {
             best = Some((Var(i), x, frac));
         }
     }
@@ -211,7 +211,12 @@ pub fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Solution, Sol
             }
         }
 
-        match pick_branch_var(model, &relax.values, options.int_tol, &options.branch_priority) {
+        match pick_branch_var(
+            model,
+            &relax.values,
+            options.int_tol,
+            &options.branch_priority,
+        ) {
             None => {
                 // Integral solution: candidate incumbent.
                 let mut vals = relax.values.clone();
@@ -234,7 +239,7 @@ pub fn solve_milp(model: &Model, options: &SolveOptions) -> Result<Solution, Sol
             Some((branch_var, value)) => {
                 // Occasionally run the rounding heuristic to tighten the incumbent.
                 if options.heuristic_frequency > 0
-                    && (nodes_explored - 1) % options.heuristic_frequency == 0
+                    && (nodes_explored - 1).is_multiple_of(options.heuristic_frequency)
                 {
                     if let Some(vals) = rounding_heuristic(
                         model,
@@ -391,6 +396,7 @@ mod tests {
                 row.push(m.add_binary(format!("x{i}{j}")));
             }
         }
+        #[allow(clippy::needless_range_loop)]
         for i in 0..3 {
             let row: LinExpr = (0..3).map(|j| 1.0 * x[i][j]).sum();
             m.add_constraint(format!("r{i}"), row, Sense::Eq, 1.0);
@@ -425,8 +431,10 @@ mod tests {
         m.set_objective(ObjectiveSense::Maximize, 4.0 * x + 7.0 * y);
         // Feasible warm start: x=0, y=3 (objective 21). Optimum: x=5,y=0 -> 20? No:
         // 4*5=20 < 21, so warm start is actually optimal here.
-        let mut opts = SolveOptions::default();
-        opts.warm_start = Some(vec![0.0, 3.0]);
+        let opts = SolveOptions {
+            warm_start: Some(vec![0.0, 3.0]),
+            ..Default::default()
+        };
         let s = m.solve_with(&opts).unwrap();
         approx(s.objective, 21.0);
     }
@@ -448,9 +456,11 @@ mod tests {
         }
         m.add_constraint("cap", weight, Sense::Le, 21.0);
         m.set_objective(ObjectiveSense::Maximize, obj);
-        let mut opts = SolveOptions::default();
-        opts.node_limit = 1;
-        opts.heuristic_frequency = 1;
+        let opts = SolveOptions {
+            node_limit: 1,
+            heuristic_frequency: 1,
+            ..Default::default()
+        };
         match m.solve_with(&opts) {
             Ok(sol) => assert!(m.is_feasible(&sol.values, 1e-6)),
             Err(SolveError::NoSolutionFound) => {}
@@ -480,8 +490,10 @@ mod tests {
         m.add_constraint("c", 7.0 * x + 5.0 * y, Sense::Le, 36.0);
         m.set_objective(ObjectiveSense::Maximize, 12.0 * x + 9.0 * y);
         let base = m.solve().unwrap();
-        let mut opts = SolveOptions::default();
-        opts.branch_priority = vec![y, x];
+        let opts = SolveOptions {
+            branch_priority: vec![y, x],
+            ..Default::default()
+        };
         let prio = m.solve_with(&opts).unwrap();
         approx(base.objective, prio.objective);
     }

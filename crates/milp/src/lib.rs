@@ -45,7 +45,7 @@ pub mod solution;
 
 pub use expr::{LinExpr, Var};
 pub use model::{Model, ObjectiveSense, Sense, VarType};
-pub use solution::{SolveError, SolveOptions, SolveStatus, Solution};
+pub use solution::{Solution, SolveError, SolveOptions, SolveStatus};
 
 /// Numerical tolerance used throughout the solver for feasibility checks.
 pub const FEAS_TOL: f64 = 1e-7;

@@ -1,7 +1,7 @@
 //! The model builder: variables, constraints, objective.
 
 use crate::expr::{LinExpr, Var};
-use crate::solution::{SolveError, SolveOptions, Solution};
+use crate::solution::{Solution, SolveError, SolveOptions};
 use crate::{branch_bound, simplex};
 
 /// The type of a decision variable.

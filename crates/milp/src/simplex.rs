@@ -9,9 +9,9 @@
 //! Anti-cycling: Dantzig pricing by default, switching to Bland's rule after a run of
 //! degenerate pivots.
 
-use crate::model::{Model, Sense};
-use crate::solution::{SolveError, SolveStats, SolveStatus, Solution};
 use crate::expr::Var;
+use crate::model::{Model, Sense};
+use crate::solution::{Solution, SolveError, SolveStats, SolveStatus};
 use crate::FEAS_TOL;
 
 const PIVOT_TOL: f64 = 1e-9;
@@ -94,6 +94,7 @@ impl Tableau {
 
             // Entering variable selection.
             let mut enter: Option<(usize, f64, f64)> = None; // (col, |violation|, dir)
+            #[allow(clippy::needless_range_loop)]
             for j in 0..self.ncols {
                 if self.banned[j] {
                     continue;
@@ -111,7 +112,7 @@ impl Tableau {
                                 enter = Some((j, score, 1.0));
                                 break;
                             }
-                            if enter.map_or(true, |(_, s, _)| score > s) {
+                            if enter.is_none_or(|(_, s, _)| score > s) {
                                 enter = Some((j, score, 1.0));
                             }
                         }
@@ -124,7 +125,7 @@ impl Tableau {
                                 enter = Some((j, score, -1.0));
                                 break;
                             }
-                            if enter.map_or(true, |(_, s, _)| score > s) {
+                            if enter.is_none_or(|(_, s, _)| score > s) {
                                 enter = Some((j, score, -1.0));
                             }
                         }
@@ -152,7 +153,7 @@ impl Tableau {
                         leave = Some((r, false));
                     } else if use_bland
                         && (limit - t_max).abs() <= PIVOT_TOL
-                        && leave.map_or(false, |(lr, _)| self.basis[lr] > bi)
+                        && leave.is_some_and(|(lr, _)| self.basis[lr] > bi)
                     {
                         leave = Some((r, false));
                     }
@@ -164,7 +165,7 @@ impl Tableau {
                         leave = Some((r, true));
                     } else if use_bland
                         && (limit - t_max).abs() <= PIVOT_TOL
-                        && leave.map_or(false, |(lr, _)| self.basis[lr] > bi)
+                        && leave.is_some_and(|(lr, _)| self.basis[lr] > bi)
                     {
                         leave = Some((r, true));
                     }
@@ -641,11 +642,7 @@ mod tests {
         m.add_constraint("d0", 1.0 * x[0] + 1.0 * x[3], Sense::Ge, 10.0);
         m.add_constraint("d1", 1.0 * x[1] + 1.0 * x[4], Sense::Ge, 25.0);
         m.add_constraint("d2", 1.0 * x[2] + 1.0 * x[5], Sense::Ge, 15.0);
-        let obj: crate::LinExpr = x
-            .iter()
-            .zip(cost.iter())
-            .map(|(&v, &c)| c * v)
-            .sum();
+        let obj: crate::LinExpr = x.iter().zip(cost.iter()).map(|(&v, &c)| c * v).sum();
         m.set_objective(ObjectiveSense::Minimize, obj);
         let s = solve_lp(&m, &[]).unwrap();
         // Optimal: x02=15 (cost 15), x00=5? Let's verify by checking the solution is

@@ -212,7 +212,11 @@ impl AugmentedGraph {
     /// averaged over task paths so that a multi-sink pipeline still reports a value in
     /// `(0, 1]`.
     pub fn system_accuracy(&self, ratios: &[f64]) -> f64 {
-        assert_eq!(ratios.len(), self.paths.len(), "one ratio per path expected");
+        assert_eq!(
+            ratios.len(),
+            self.paths.len(),
+            "one ratio per path expected"
+        );
         let mut total = 0.0;
         for (tp, ids) in self.paths_by_task_path.iter().enumerate() {
             let _ = tp;
@@ -289,9 +293,7 @@ mod tests {
         let p = a
             .paths()
             .iter()
-            .find(|p| {
-                p.vertices == vec![VariantId::new(0, 1), VariantId::new(1, 0)]
-            })
+            .find(|p| p.vertices == vec![VariantId::new(0, 1), VariantId::new(1, 0)])
             .unwrap();
         assert!((p.accuracy - 1.0 * 0.9).abs() < 1e-12);
     }
@@ -363,7 +365,10 @@ mod tests {
     #[test]
     fn chain_pipeline_paths() {
         let mut g = PipelineGraph::new("chain", 100.0);
-        let a_task = g.add_task("a", vec![mk_variant("a1", 1.0, 1.2), mk_variant("a2", 0.9, 1.0)]);
+        let a_task = g.add_task(
+            "a",
+            vec![mk_variant("a1", 1.0, 1.2), mk_variant("a2", 0.9, 1.0)],
+        );
         let b_task = g.add_task("b", vec![mk_variant("b1", 1.0, 1.0)]);
         g.add_edge(a_task, b_task, 1.0);
         let aug = AugmentedGraph::new(&g);

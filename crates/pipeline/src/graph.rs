@@ -357,7 +357,7 @@ impl PipelineGraph {
                 if e.child.0 >= n {
                     return Err(GraphError::DanglingEdge(TaskId(i), ei));
                 }
-                if !(e.branch_ratio > 0.0) || !e.branch_ratio.is_finite() {
+                if e.branch_ratio <= 0.0 || !e.branch_ratio.is_finite() {
                     return Err(GraphError::InvalidBranchRatio(TaskId(i), e.child));
                 }
                 indegree[e.child.0] += 1;
@@ -375,9 +375,7 @@ impl PipelineGraph {
         // Connectivity.
         let reach = self.topological_order();
         if reach.len() != n {
-            let missing = (0..n)
-                .find(|i| !reach.iter().any(|t| t.0 == *i))
-                .unwrap();
+            let missing = (0..n).find(|i| !reach.iter().any(|t| t.0 == *i)).unwrap();
             return Err(GraphError::Unreachable(TaskId(missing)));
         }
         Ok(())
@@ -478,7 +476,10 @@ mod tests {
         let b = g.add_task("b", vec![]);
         g.add_edge(a, b, 0.0);
         // The first error encountered is the missing variants of task b.
-        assert_eq!(g.validate(), Err(GraphError::TaskWithoutVariants(TaskId(1))));
+        assert_eq!(
+            g.validate(),
+            Err(GraphError::TaskWithoutVariants(TaskId(1)))
+        );
 
         let mut g2 = PipelineGraph::new("bad2", 100.0);
         let a = g2.add_task("a", vec![mk_variant("x", 1.0)]);

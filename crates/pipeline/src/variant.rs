@@ -60,7 +60,10 @@ pub struct LatencyProfile {
 impl LatencyProfile {
     /// Create a latency profile from the fixed and marginal costs (milliseconds).
     pub fn new(alpha_ms: f64, beta_ms: f64) -> Self {
-        assert!(alpha_ms >= 0.0 && beta_ms > 0.0, "latency profile must be positive");
+        assert!(
+            alpha_ms >= 0.0 && beta_ms > 0.0,
+            "latency profile must be positive"
+        );
         Self { alpha_ms, beta_ms }
     }
 
@@ -111,7 +114,10 @@ impl ModelVariant {
             accuracy > 0.0 && accuracy <= 1.0 + 1e-9,
             "accuracy must be normalized to (0, 1]"
         );
-        assert!(mult_factor >= 0.0, "multiplicative factor must be non-negative");
+        assert!(
+            mult_factor >= 0.0,
+            "multiplicative factor must be non-negative"
+        );
         Self {
             name: name.into(),
             family: family.into(),
@@ -134,11 +140,7 @@ impl ModelVariant {
     /// The largest batch size from `allowed` whose batch latency fits inside
     /// `budget_ms`, if any. Larger batches always yield higher throughput under the
     /// affine latency model, so this is the throughput-maximizing feasible choice.
-    pub fn largest_batch_within(
-        &self,
-        allowed: &[BatchSize],
-        budget_ms: f64,
-    ) -> Option<BatchSize> {
+    pub fn largest_batch_within(&self, allowed: &[BatchSize], budget_ms: f64) -> Option<BatchSize> {
         allowed
             .iter()
             .copied()
@@ -175,10 +177,7 @@ mod tests {
         assert_eq!(v.largest_batch_within(&DEFAULT_BATCH_SIZES, 60.0), Some(8));
         assert_eq!(v.largest_batch_within(&DEFAULT_BATCH_SIZES, 11.0), Some(1));
         assert_eq!(v.largest_batch_within(&DEFAULT_BATCH_SIZES, 10.0), None);
-        assert_eq!(
-            v.largest_batch_within(&DEFAULT_BATCH_SIZES, 1e9),
-            Some(32)
-        );
+        assert_eq!(v.largest_batch_within(&DEFAULT_BATCH_SIZES, 1e9), Some(32));
     }
 
     #[test]

@@ -35,10 +35,34 @@ pub const TRAFFIC_FACE_BRANCH_RATIO: f64 = 0.3;
 /// variants miss objects, the workload-multiplication effect).
 pub fn yolov5_family() -> Vec<ModelVariant> {
     vec![
-        ModelVariant::new("yolov5n", "yolov5", 0.552, LatencyProfile::new(2.5, 2.8), 1.5),
-        ModelVariant::new("yolov5s", "yolov5", 0.738, LatencyProfile::new(3.0, 3.4), 1.7),
-        ModelVariant::new("yolov5m", "yolov5", 0.891, LatencyProfile::new(3.5, 4.0), 1.8),
-        ModelVariant::new("yolov5l", "yolov5", 0.966, LatencyProfile::new(4.5, 5.0), 1.9),
+        ModelVariant::new(
+            "yolov5n",
+            "yolov5",
+            0.552,
+            LatencyProfile::new(2.5, 2.8),
+            1.5,
+        ),
+        ModelVariant::new(
+            "yolov5s",
+            "yolov5",
+            0.738,
+            LatencyProfile::new(3.0, 3.4),
+            1.7,
+        ),
+        ModelVariant::new(
+            "yolov5m",
+            "yolov5",
+            0.891,
+            LatencyProfile::new(3.5, 4.0),
+            1.8,
+        ),
+        ModelVariant::new(
+            "yolov5l",
+            "yolov5",
+            0.966,
+            LatencyProfile::new(4.5, 5.0),
+            1.9,
+        ),
         ModelVariant::new("yolov5x", "yolov5", 1.0, LatencyProfile::new(5.0, 6.0), 2.0),
     ]
 }
@@ -78,20 +102,68 @@ pub fn vgg_family() -> Vec<ModelVariant> {
 /// classifier surfaces for the downstream captioning task.
 pub fn resnet_family() -> Vec<ModelVariant> {
     vec![
-        ModelVariant::new("resnet18", "resnet", 0.891, LatencyProfile::new(1.8, 2.2), 1.0),
-        ModelVariant::new("resnet34", "resnet", 0.936, LatencyProfile::new(2.2, 2.2), 1.05),
-        ModelVariant::new("resnet50", "resnet", 0.972, LatencyProfile::new(2.8, 3.0), 1.1),
-        ModelVariant::new("resnet101", "resnet", 0.988, LatencyProfile::new(3.8, 4.8), 1.15),
-        ModelVariant::new("resnet152", "resnet", 1.0, LatencyProfile::new(4.8, 6.5), 1.2),
+        ModelVariant::new(
+            "resnet18",
+            "resnet",
+            0.891,
+            LatencyProfile::new(1.8, 2.2),
+            1.0,
+        ),
+        ModelVariant::new(
+            "resnet34",
+            "resnet",
+            0.936,
+            LatencyProfile::new(2.2, 2.2),
+            1.05,
+        ),
+        ModelVariant::new(
+            "resnet50",
+            "resnet",
+            0.972,
+            LatencyProfile::new(2.8, 3.0),
+            1.1,
+        ),
+        ModelVariant::new(
+            "resnet101",
+            "resnet",
+            0.988,
+            LatencyProfile::new(3.8, 4.8),
+            1.15,
+        ),
+        ModelVariant::new(
+            "resnet152",
+            "resnet",
+            1.0,
+            LatencyProfile::new(4.8, 6.5),
+            1.2,
+        ),
     ]
 }
 
 /// CLIP-ViT family, used for image captioning in the social-media pipeline.
 pub fn clip_vit_family() -> Vec<ModelVariant> {
     vec![
-        ModelVariant::new("clip-vit-b32", "clip-vit", 0.88, LatencyProfile::new(3.0, 3.8), 1.0),
-        ModelVariant::new("clip-vit-b16", "clip-vit", 0.94, LatencyProfile::new(4.5, 5.5), 1.0),
-        ModelVariant::new("clip-vit-l14", "clip-vit", 0.99, LatencyProfile::new(7.0, 10.0), 1.0),
+        ModelVariant::new(
+            "clip-vit-b32",
+            "clip-vit",
+            0.88,
+            LatencyProfile::new(3.0, 3.8),
+            1.0,
+        ),
+        ModelVariant::new(
+            "clip-vit-b16",
+            "clip-vit",
+            0.94,
+            LatencyProfile::new(4.5, 5.5),
+            1.0,
+        ),
+        ModelVariant::new(
+            "clip-vit-l14",
+            "clip-vit",
+            0.99,
+            LatencyProfile::new(7.0, 10.0),
+            1.0,
+        ),
         ModelVariant::new(
             "clip-vit-l14-336",
             "clip-vit",
@@ -171,10 +243,7 @@ mod tests {
     fn families_are_normalized_and_ordered() {
         for (name, family) in all_families() {
             assert!(!family.is_empty(), "family {name} is empty");
-            let max_acc = family
-                .iter()
-                .map(|v| v.accuracy)
-                .fold(f64::MIN, f64::max);
+            let max_acc = family.iter().map(|v| v.accuracy).fold(f64::MIN, f64::max);
             assert!(
                 (max_acc - 1.0).abs() < 1e-9,
                 "family {name} is not normalized (max accuracy {max_acc})"
@@ -258,8 +327,16 @@ mod tests {
             let lo = g.min_accuracy();
             assert!(hi <= 1.0 + 1e-9);
             // there must be real accuracy-scaling headroom (paper reports ~13% drops)
-            assert!(hi - lo > 0.1, "pipeline {} has too little headroom", g.name());
-            assert!(lo > 0.3, "pipeline {} minimum accuracy is implausibly low", g.name());
+            assert!(
+                hi - lo > 0.1,
+                "pipeline {} has too little headroom",
+                g.name()
+            );
+            assert!(
+                lo > 0.3,
+                "pipeline {} minimum accuracy is implausibly low",
+                g.name()
+            );
         }
     }
 }

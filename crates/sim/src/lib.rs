@@ -28,11 +28,15 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod routing;
+pub mod slab;
 pub mod types;
 pub mod worker;
 
 pub use engine::{SimResult, Simulation};
 pub use metrics::{IntervalMetrics, RunSummary};
+pub use routing::AliasTable;
+pub use slab::{Slab, SlotRef};
 pub use types::{
     AllocationPlan, BackupWorker, Controller, DropPolicy, InstanceSpec, ObservedState, Query,
     RoutingPlan, SimConfig, WorkerId, WorkerView,

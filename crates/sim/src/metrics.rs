@@ -100,6 +100,10 @@ pub struct RunSummary {
     pub total_rerouted: u64,
     /// Simulated duration in seconds.
     pub duration_s: f64,
+    /// Total discrete events the engine processed (set by the engine, not
+    /// derived from intervals); the denominator for simulator-throughput
+    /// benchmarks.
+    pub events_processed: u64,
 }
 
 impl RunSummary {
@@ -189,10 +193,7 @@ mod tests {
 
     #[test]
     fn summary_aggregates_intervals() {
-        let intervals = vec![
-            interval(90, 5, 5, 1.0, 5),
-            interval(50, 25, 25, 0.9, 20),
-        ];
+        let intervals = vec![interval(90, 5, 5, 1.0, 5), interval(50, 25, 25, 0.9, 20)];
         let s = RunSummary::from_intervals("test", &intervals);
         assert_eq!(s.total_arrivals, 200);
         assert_eq!(s.total_on_time, 140);

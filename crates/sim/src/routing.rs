@@ -1,0 +1,372 @@
+//! Compiled routing state: Vose alias tables for O(1) weighted worker sampling.
+//!
+//! Controllers hand the engine a [`RoutingPlan`](crate::types::RoutingPlan) —
+//! human-readable weighted tables keyed by `HashMap`. Sampling those directly
+//! costs a hash probe, a filtered copy of the table, and an O(n) CDF walk *per
+//! routed query*. The engine instead compiles each plan once (at routing-tick
+//! cadence) into a [`CompiledRouting`]: per-(worker, task) dense indices into a
+//! pool of [`AliasTable`]s, entries pre-filtered against the worker assignments
+//! current at compile time, plus accuracy-sorted backup lists for opportunistic
+//! rerouting. The compiled form is valid as long as worker assignments do not
+//! change; the engine tracks that with an assignment epoch and falls back to
+//! scanning the raw plan in the (rare) window where the compiled form is stale.
+
+use crate::types::{BackupWorker, RoutingPlan, WorkerId};
+use crate::worker::Worker;
+use rand::Rng;
+
+/// A Vose alias table: samples an index from a discrete weighted distribution
+/// with a single uniform draw and two array reads, independent of table size.
+/// Entries are packed (probability, alias, worker per slot) so a sample touches
+/// at most two adjacent cache lines.
+#[derive(Debug, Clone, Default)]
+pub struct AliasTable {
+    entries: Vec<AliasEntry>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AliasEntry {
+    /// Acceptance probability of this column.
+    prob: f64,
+    /// Worker returned when the draw accepts the column.
+    worker: WorkerId,
+    /// Index of the worker returned when the draw rejects the column.
+    alias: u32,
+}
+
+impl AliasTable {
+    /// Build a table from `(worker, weight)` pairs. Non-positive weights are
+    /// skipped; weights need not be normalized. An empty result (no positive
+    /// weights) is a valid table that always samples `None`.
+    pub fn from_weights<I: IntoIterator<Item = (WorkerId, f64)>>(entries: I) -> AliasTable {
+        let mut out = AliasTable::default();
+        AliasTableBuilder::default().build_into(entries, &mut out);
+        out
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries (always samples `None`).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sample a worker. Consumes exactly one uniform draw when the table is
+    /// non-empty and none when it is empty.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<WorkerId> {
+        let n = self.entries.len();
+        if n == 0 {
+            return None;
+        }
+        let x = rng.gen::<f64>() * n as f64;
+        let i = (x as usize).min(n - 1);
+        let frac = x - i as f64;
+        let e = &self.entries[i];
+        Some(if frac < e.prob {
+            e.worker
+        } else {
+            self.entries[e.alias as usize].worker
+        })
+    }
+}
+
+/// Scratch space for Vose table construction, reusable across builds so
+/// routing-tick recompilation does not allocate.
+#[derive(Debug, Default)]
+pub struct AliasTableBuilder {
+    filtered: Vec<(WorkerId, f64)>,
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+    small: Vec<u32>,
+    large: Vec<u32>,
+}
+
+impl AliasTableBuilder {
+    /// Build the alias table for `entries` into `out` (cleared first), using
+    /// Vose's algorithm: split the scaled weights into under- and over-full
+    /// columns, then repeatedly top up an under-full column from an over-full
+    /// one. Non-positive weights are skipped.
+    pub fn build_into<I: IntoIterator<Item = (WorkerId, f64)>>(
+        &mut self,
+        entries: I,
+        out: &mut AliasTable,
+    ) {
+        out.entries.clear();
+        self.filtered.clear();
+        self.filtered.extend(
+            entries
+                .into_iter()
+                .filter(|(_, w)| *w > 0.0 && w.is_finite()),
+        );
+        let n = self.filtered.len();
+        let total: f64 = self.filtered.iter().map(|(_, w)| *w).sum();
+        if n == 0 || total <= 0.0 {
+            return;
+        }
+        self.prob.clear();
+        self.prob
+            .extend(self.filtered.iter().map(|(_, w)| *w * n as f64 / total));
+        self.alias.clear();
+        self.alias.extend(0..n as u32);
+        self.small.clear();
+        self.large.clear();
+        for (i, &p) in self.prob.iter().enumerate() {
+            if p < 1.0 {
+                self.small.push(i as u32);
+            } else {
+                self.large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (self.small.last(), self.large.last()) {
+            self.small.pop();
+            self.alias[s as usize] = l;
+            // Move the deficit of column `s` out of column `l`.
+            self.prob[l as usize] -= 1.0 - self.prob[s as usize];
+            if self.prob[l as usize] < 1.0 {
+                self.large.pop();
+                self.small.push(l);
+            }
+        }
+        // Numerical leftovers are exactly-full columns.
+        for &i in self.small.iter().chain(self.large.iter()) {
+            self.prob[i as usize] = 1.0;
+        }
+        out.entries
+            .extend(self.filtered.iter().zip(&self.prob).zip(&self.alias).map(
+                |(((worker, _), &prob), &alias)| AliasEntry {
+                    prob,
+                    worker: *worker,
+                    alias,
+                },
+            ));
+    }
+}
+
+const NO_TABLE: u32 = u32::MAX;
+
+/// A routing plan compiled against a snapshot of worker assignments.
+///
+/// Recompiled in place at routing-tick cadence: every buffer (dense index,
+/// alias-table pool, backup lists) is reused across compilations, so a steady
+/// tick performs no allocations once the pools have warmed up.
+#[derive(Debug, Default)]
+pub(crate) struct CompiledRouting {
+    /// The assignment epoch this compilation is valid for.
+    pub epoch: u64,
+    /// Alias table over root-task workers used by the frontend.
+    pub frontend: AliasTable,
+    /// Dense `(upstream worker × child task) -> tables` index (`NO_TABLE` =
+    /// no table → queue-length fallback); the "missing entry → per-task
+    /// default" rule is resolved at compile time.
+    downstream: Vec<u32>,
+    /// Pool of alias tables; only the first `used_tables` are live.
+    tables: Vec<AliasTable>,
+    used_tables: usize,
+    /// Per task: backup workers that currently serve it, sorted by accuracy
+    /// descending (stable, so equal-accuracy workers keep the plan's
+    /// exec-time order).
+    pub backup: Vec<Vec<BackupWorker>>,
+    num_tasks: usize,
+    builder: AliasTableBuilder,
+    /// Scratch: per-task default-table indices, folded into `downstream`.
+    default_scratch: Vec<u32>,
+}
+
+impl CompiledRouting {
+    /// Compile `plan` against the current `workers` assignments, reusing this
+    /// value's buffers. Entries whose worker does not serve the expected task
+    /// are dropped now so sampling needs no per-draw validity checks while the
+    /// epoch matches.
+    pub fn recompile(
+        &mut self,
+        plan: &RoutingPlan,
+        workers: &[Worker],
+        num_tasks: usize,
+        root_task: usize,
+        epoch: u64,
+    ) {
+        let serves = |w: WorkerId, task: usize| {
+            matches!(
+                workers.get(w.index()).and_then(|w| w.assignment.as_ref()),
+                Some(a) if a.variant.task == task
+            )
+        };
+        let nw = workers.len();
+        self.epoch = epoch;
+        self.num_tasks = num_tasks;
+        self.used_tables = 0;
+
+        let mut frontend = std::mem::take(&mut self.frontend);
+        self.builder.build_into(
+            plan.frontend
+                .iter()
+                .filter(|(w, _)| serves(*w, root_task))
+                .copied(),
+            &mut frontend,
+        );
+        self.frontend = frontend;
+
+        self.downstream.clear();
+        self.downstream.resize(nw * num_tasks, NO_TABLE);
+        for (&(up, child), table) in &plan.downstream {
+            if up.index() >= nw || child >= num_tasks {
+                continue;
+            }
+            let idx = self.alloc_table();
+            let mut t = std::mem::take(&mut self.tables[idx as usize]);
+            self.builder.build_into(
+                table.iter().filter(|(w, _)| serves(*w, child)).copied(),
+                &mut t,
+            );
+            self.tables[idx as usize] = t;
+            self.downstream[up.index() * num_tasks + child] = idx;
+        }
+
+        let mut downstream_default = std::mem::take(&mut self.default_scratch);
+        downstream_default.clear();
+        downstream_default.resize(num_tasks, NO_TABLE);
+        for (&child, table) in &plan.downstream_default {
+            if child >= num_tasks {
+                continue;
+            }
+            let idx = self.alloc_table();
+            let mut t = std::mem::take(&mut self.tables[idx as usize]);
+            self.builder.build_into(
+                table.iter().filter(|(w, _)| serves(*w, child)).copied(),
+                &mut t,
+            );
+            self.tables[idx as usize] = t;
+            downstream_default[child] = idx;
+        }
+        // Bake the "no upstream-specific entry → use the per-task default" rule
+        // into the dense index now, so the per-query lookup is a single load.
+        for row in self.downstream.chunks_mut(num_tasks.max(1)) {
+            for (slot, &default) in row.iter_mut().zip(&downstream_default) {
+                if *slot == NO_TABLE {
+                    *slot = default;
+                }
+            }
+        }
+        self.default_scratch = downstream_default;
+
+        self.backup.resize_with(num_tasks, Vec::new);
+        for list in self.backup.iter_mut() {
+            list.clear();
+        }
+        for (&task, list) in &plan.backup {
+            if task >= num_tasks {
+                continue;
+            }
+            let filtered = &mut self.backup[task];
+            filtered.extend(list.iter().filter(|b| serves(b.worker, task)));
+            // Stable sort: filtering commutes with it, so this matches sorting
+            // the runtime-filtered candidate set of the uncompiled path.
+            filtered.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).unwrap());
+        }
+    }
+
+    /// Reserve the next table slot from the pool, reusing a previous
+    /// compilation's allocation when available.
+    fn alloc_table(&mut self) -> u32 {
+        if self.used_tables == self.tables.len() {
+            self.tables.push(AliasTable::default());
+        }
+        self.used_tables += 1;
+        (self.used_tables - 1) as u32
+    }
+
+    /// The table to sample for traffic from `upstream` toward `child_task`:
+    /// the upstream-specific table if the plan had one (even if it compiled
+    /// empty — an empty table means "drop to the queue-length fallback", not
+    /// "use the default"), otherwise the per-task default. The fallback rule
+    /// is resolved at compile time, so this is one load.
+    #[inline]
+    pub fn downstream_table(&self, upstream: WorkerId, child_task: usize) -> Option<&AliasTable> {
+        let idx = self.downstream[upstream.index() * self.num_tasks + child_task];
+        if idx == NO_TABLE {
+            None
+        } else {
+            Some(&self.tables[idx as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn w(i: usize) -> WorkerId {
+        WorkerId(i)
+    }
+
+    #[test]
+    fn empty_table_samples_none() {
+        let t = AliasTable::from_weights(Vec::<(WorkerId, f64)>::new());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(t.is_empty());
+        assert_eq!(t.sample(&mut rng), None);
+        let t = AliasTable::from_weights(vec![(w(0), 0.0), (w(1), -2.0)]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_entry_always_wins() {
+        let t = AliasTable::from_weights(vec![(w(3), 0.25)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), Some(w(3)));
+        }
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        // Weights 1:2:7 over three workers.
+        let t = AliasTable::from_weights(vec![(w(0), 1.0), (w(1), 2.0), (w(2), 7.0)]);
+        assert_eq!(t.len(), 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[t.sample(&mut rng).unwrap().index()] += 1;
+        }
+        let frac = |i: usize| counts[i] as f64 / n as f64;
+        assert!((frac(0) - 0.1).abs() < 0.01, "{}", frac(0));
+        assert!((frac(1) - 0.2).abs() < 0.01, "{}", frac(1));
+        assert!((frac(2) - 0.7).abs() < 0.01, "{}", frac(2));
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let t = AliasTable::from_weights((0..8).map(|i| (w(i), 1.0)));
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 80_000;
+        let mut counts = [0usize; 8];
+        for _ in 0..n {
+            counts[t.sample(&mut rng).unwrap().index()] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.125).abs() < 0.01, "{frac}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_do_not_lose_rare_entries() {
+        let t = AliasTable::from_weights(vec![(w(0), 1e-6), (w(1), 1.0)]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen_rare = false;
+        for _ in 0..5_000_000 {
+            if t.sample(&mut rng) == Some(w(0)) {
+                seen_rare = true;
+                break;
+            }
+        }
+        assert!(seen_rare, "rare entry should still be sampled");
+    }
+}

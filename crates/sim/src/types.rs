@@ -10,13 +10,22 @@ use std::collections::HashMap;
 pub type SimTime = u64;
 
 /// Convert seconds to simulated microseconds.
+///
+/// `+ 0.5` then truncate is round-half-up, identical to `round()` for the
+/// non-negative times used throughout, and compiles to a bare `cvttsd2si`
+/// instead of a libm call on baseline x86-64 — this sits on the hot path.
+#[inline]
 pub fn secs_to_us(s: f64) -> SimTime {
-    (s * 1_000_000.0).round() as SimTime
+    debug_assert!(s >= 0.0);
+    (s * 1_000_000.0 + 0.5) as SimTime
 }
 
-/// Convert milliseconds to simulated microseconds.
+/// Convert milliseconds to simulated microseconds (see [`secs_to_us`] for the
+/// rounding rationale).
+#[inline]
 pub fn ms_to_us(ms: f64) -> SimTime {
-    (ms * 1_000.0).round() as SimTime
+    debug_assert!(ms >= 0.0);
+    (ms * 1_000.0 + 0.5) as SimTime
 }
 
 /// Convert simulated microseconds to seconds.
@@ -25,8 +34,9 @@ pub fn us_to_secs(us: SimTime) -> f64 {
 }
 
 /// Convert simulated microseconds to milliseconds.
+#[inline]
 pub fn us_to_ms(us: SimTime) -> f64 {
-    us as f64 / 1_000.0
+    us as f64 * 1e-3
 }
 
 /// Identifier of a worker (GPU) in the cluster.
@@ -117,7 +127,9 @@ impl AllocationPlan {
 
     /// The instances hosting a given task.
     pub fn instances_for_task(&self, task: usize) -> impl Iterator<Item = &InstanceSpec> {
-        self.instances.iter().filter(move |i| i.variant.task == task)
+        self.instances
+            .iter()
+            .filter(move |i| i.variant.task == task)
     }
 
     /// Aggregate throughput capacity (QPS) provisioned for a task, according to the
@@ -180,8 +192,9 @@ pub struct ObservedState<'a> {
     pub now_s: f64,
     /// Total number of workers in the cluster (the paper's `S`).
     pub cluster_size: usize,
-    /// Current worker assignments.
-    pub workers: Vec<WorkerView>,
+    /// Current worker assignments (borrowed from the engine's reusable
+    /// snapshot buffer — controllers observe, they don't own).
+    pub workers: &'a [WorkerView],
     /// Demand history observed at the frontend (root arrivals per second).
     pub demand: &'a DemandHistory,
     /// A hint about the initial demand, available only at the very first control tick
@@ -227,11 +240,15 @@ pub trait Controller {
 
 /// An in-flight query (either a client query at the first task or an intermediate
 /// query at a downstream task).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Deliberately slim: this struct is copied on every hop through the data plane
+/// (network FIFO → worker queue → in-flight batch → completion scratch), so it
+/// carries only the fields the engine actually reads. The root request's packed
+/// slab reference (`root`) links back to shared per-request state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Query {
-    /// Unique id of this (sub-)query.
-    pub id: u64,
-    /// Id of the root client request this query descends from.
+    /// Packed slab reference ([`crate::slab::SlotRef::pack`]) of the root
+    /// client request this query descends from.
     pub root: u64,
     /// The pipeline task this query is destined for.
     pub task: usize,
@@ -240,12 +257,8 @@ pub struct Query {
     pub path_accuracy: f64,
     /// Absolute deadline (root arrival + SLO).
     pub deadline_us: SimTime,
-    /// Arrival time of the root request.
-    pub released_us: SimTime,
     /// When this query was enqueued at its current worker.
     pub enqueued_us: SimTime,
-    /// Accumulated latency-budget overrun (ms) carried for opportunistic rerouting.
-    pub overrun_ms: f64,
 }
 
 /// Global configuration of a simulation run.

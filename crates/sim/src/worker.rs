@@ -2,16 +2,21 @@
 //! processing times.
 
 use crate::types::{Query, SimTime, WorkerId};
-use loki_pipeline::{BatchSize, PipelineGraph, VariantId};
+use loki_pipeline::{BatchSize, LatencyProfile, PipelineGraph, VariantId};
 use std::collections::VecDeque;
 
 /// The model-variant instance currently hosted on a worker.
+///
+/// Carries a copy of the variant's latency profile so the hot batching path
+/// (`try_start_batch`, the drop-policy checks) never walks the pipeline graph.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Assignment {
     /// The hosted variant.
     pub variant: VariantId,
     /// Maximum batch size the worker may form.
     pub max_batch: BatchSize,
+    /// The variant's profiled batch-latency model, cached at assignment time.
+    pub latency: LatencyProfile,
 }
 
 /// A single worker (GPU) in the simulated cluster.
@@ -79,6 +84,29 @@ impl Worker {
         self.queue.push_back(q);
     }
 
+    /// Deliver a query and immediately try to start a batch — the common case
+    /// in an underloaded cluster is an idle worker with an empty queue, where
+    /// the query can go straight into execution as a batch of one without the
+    /// round trip through the waiting queue.
+    #[inline]
+    pub fn deliver_and_try_start(&mut self, q: Query, now: SimTime) -> Option<(SimTime, usize)> {
+        if self.in_flight.is_empty() && self.queue.is_empty() && !self.is_swapping(now) {
+            if let Some(assignment) = self.assignment.as_ref() {
+                let variant = assignment.variant;
+                let latency_ms = assignment.latency.batch_latency_ms(1);
+                self.in_flight.push(q);
+                self.in_flight_variant = Some(variant);
+                let duration = crate::types::ms_to_us(latency_ms);
+                self.busy_until = now + duration;
+                self.busy_time_us += duration;
+                self.processed += 1;
+                return Some((self.busy_until, 1));
+            }
+        }
+        self.queue.push_back(q);
+        self.try_start_batch(now)
+    }
+
     /// Remove and return every queued query (used when a worker is re-assigned and its
     /// queue has to be re-routed elsewhere).
     pub fn drain_queue(&mut self) -> Vec<Query> {
@@ -90,12 +118,21 @@ impl Worker {
     /// Returns `true` if the model actually changed (which incurs the swap delay the
     /// caller is responsible for applying via [`Worker::begin_swap`]). Changing only
     /// the batch size is free.
-    pub fn assign(&mut self, variant: VariantId, max_batch: BatchSize) -> bool {
+    pub fn assign(
+        &mut self,
+        variant: VariantId,
+        max_batch: BatchSize,
+        graph: &PipelineGraph,
+    ) -> bool {
         let changed = match self.assignment {
             Some(a) => a.variant != variant,
             None => true,
         };
-        self.assignment = Some(Assignment { variant, max_batch });
+        self.assignment = Some(Assignment {
+            variant,
+            max_batch,
+            latency: graph.variant(variant).latency,
+        });
         changed
     }
 
@@ -114,17 +151,22 @@ impl Worker {
     /// Returns `Some((finish_time, batch_size))` if a batch was started; the engine is
     /// expected to schedule a batch-completion event at `finish_time`. Returns `None`
     /// if the worker is unassigned, busy, swapping, or has an empty queue.
-    pub fn try_start_batch(&mut self, now: SimTime, graph: &PipelineGraph) -> Option<(SimTime, usize)> {
+    pub fn try_start_batch(&mut self, now: SimTime) -> Option<(SimTime, usize)> {
         if !self.in_flight.is_empty() || self.queue.is_empty() || self.is_swapping(now) {
             return None;
         }
-        let assignment = self.assignment?;
+        let assignment = self.assignment.as_ref()?;
         let take = (self.queue.len()).min(assignment.max_batch as usize);
-        self.in_flight.extend(self.queue.drain(..take));
-        self.in_flight_variant = Some(assignment.variant);
-        let latency_ms = graph
-            .variant(assignment.variant)
-            .batch_latency_ms(take as BatchSize);
+        let variant = assignment.variant;
+        let latency_ms = assignment.latency.batch_latency_ms(take as BatchSize);
+        // Manual pop loop: cheaper than a `drain` iterator for the tiny batch
+        // sizes that dominate here.
+        self.in_flight.reserve(take);
+        for _ in 0..take {
+            let q = self.queue.pop_front().expect("take <= queue len");
+            self.in_flight.push(q);
+        }
+        self.in_flight_variant = Some(variant);
         let duration = crate::types::ms_to_us(latency_ms);
         self.busy_until = now + duration;
         self.busy_time_us += duration;
@@ -132,23 +174,26 @@ impl Worker {
         Some((self.busy_until, take))
     }
 
-    /// Finish the in-flight batch, returning its queries and the variant that
-    /// processed them.
-    pub fn finish_batch(&mut self) -> (Vec<Query>, Option<VariantId>) {
-        let variant = self.in_flight_variant.take();
-        (std::mem::take(&mut self.in_flight), variant)
+    /// Finish the in-flight batch, moving its queries into `out` (which is
+    /// cleared first) and returning the variant that processed them. The swap
+    /// lets the engine reuse one scratch buffer for every batch instead of
+    /// allocating a fresh `Vec` per completion.
+    pub fn finish_batch_into(&mut self, out: &mut Vec<Query>) -> Option<VariantId> {
+        out.clear();
+        std::mem::swap(&mut self.in_flight, out);
+        self.in_flight_variant.take()
     }
 
     /// Profiled execution time (ms) of one full batch at the configured batch size.
-    pub fn profiled_exec_ms(&self, graph: &PipelineGraph) -> Option<f64> {
+    pub fn profiled_exec_ms(&self) -> Option<f64> {
         self.assignment
-            .map(|a| graph.variant(a.variant).batch_latency_ms(a.max_batch))
+            .map(|a| a.latency.batch_latency_ms(a.max_batch))
     }
 
     /// Profiled throughput (QPS) of this worker at its configured batch size.
-    pub fn capacity_qps(&self, graph: &PipelineGraph) -> f64 {
+    pub fn capacity_qps(&self) -> f64 {
         self.assignment
-            .map(|a| graph.variant(a.variant).throughput_qps(a.max_batch))
+            .map(|a| a.latency.throughput_qps(a.max_batch))
             .unwrap_or(0.0)
     }
 }
@@ -160,23 +205,20 @@ mod tests {
 
     fn query(id: u64, task: usize) -> Query {
         Query {
-            id,
             root: id,
             task,
             path_accuracy: 1.0,
             deadline_us: 1_000_000,
-            released_us: 0,
             enqueued_us: 0,
-            overrun_ms: 0.0,
         }
     }
 
     #[test]
     fn idle_unassigned_worker_does_not_start() {
-        let g = zoo::tiny_pipeline(100.0);
+        let _g = zoo::tiny_pipeline(100.0);
         let mut w = Worker::new(WorkerId(0));
         w.enqueue(query(1, 0));
-        assert!(w.try_start_batch(0, &g).is_none());
+        assert!(w.try_start_batch(0).is_none());
         assert!(!w.is_active());
     }
 
@@ -184,22 +226,23 @@ mod tests {
     fn batch_formation_respects_max_batch() {
         let g = zoo::tiny_pipeline(100.0);
         let mut w = Worker::new(WorkerId(0));
-        w.assign(VariantId::new(0, 0), 4);
+        w.assign(VariantId::new(0, 0), 4, &g);
         for i in 0..10 {
             w.enqueue(query(i, 0));
         }
-        let (finish, size) = w.try_start_batch(0, &g).unwrap();
+        let (finish, size) = w.try_start_batch(0).unwrap();
         assert_eq!(size, 4);
         assert_eq!(w.queue_len(), 6);
         // a-small: alpha=2, beta=1 -> 2 + 4 = 6 ms
         assert_eq!(finish, crate::types::ms_to_us(6.0));
         // cannot start another batch while busy
-        assert!(w.try_start_batch(1, &g).is_none());
-        let (done, variant) = w.finish_batch();
+        assert!(w.try_start_batch(1).is_none());
+        let mut done = Vec::new();
+        let variant = w.finish_batch_into(&mut done);
         assert_eq!(done.len(), 4);
         assert_eq!(variant, Some(VariantId::new(0, 0)));
         // now it can start again with the remaining queries
-        let (_, size2) = w.try_start_batch(finish, &g).unwrap();
+        let (_, size2) = w.try_start_batch(finish).unwrap();
         assert_eq!(size2, 4);
     }
 
@@ -207,10 +250,10 @@ mod tests {
     fn partial_batches_form_when_queue_is_short() {
         let g = zoo::tiny_pipeline(100.0);
         let mut w = Worker::new(WorkerId(1));
-        w.assign(VariantId::new(0, 1), 8);
+        w.assign(VariantId::new(0, 1), 8, &g);
         w.enqueue(query(1, 0));
         w.enqueue(query(2, 0));
-        let (_, size) = w.try_start_batch(100, &g).unwrap();
+        let (_, size) = w.try_start_batch(100).unwrap();
         assert_eq!(size, 2);
         assert_eq!(w.queue_len(), 0);
     }
@@ -219,34 +262,34 @@ mod tests {
     fn swap_blocks_processing_and_reassignment_detects_change() {
         let g = zoo::tiny_pipeline(100.0);
         let mut w = Worker::new(WorkerId(2));
-        let changed = w.assign(VariantId::new(0, 0), 2);
+        let changed = w.assign(VariantId::new(0, 0), 2, &g);
         assert!(changed);
         // same variant, different batch: no swap needed
-        assert!(!w.assign(VariantId::new(0, 0), 4));
+        assert!(!w.assign(VariantId::new(0, 0), 4, &g));
         // different variant: swap needed
-        assert!(w.assign(VariantId::new(0, 1), 4));
+        assert!(w.assign(VariantId::new(0, 1), 4, &g));
         w.begin_swap(5_000);
         w.enqueue(query(1, 0));
-        assert!(w.try_start_batch(1_000, &g).is_none());
+        assert!(w.try_start_batch(1_000).is_none());
         assert!(w.is_swapping(1_000));
         assert!(!w.is_swapping(5_000));
-        assert!(w.try_start_batch(5_000, &g).is_some());
+        assert!(w.try_start_batch(5_000).is_some());
     }
 
     #[test]
     fn drain_queue_and_capacity() {
         let g = zoo::tiny_pipeline(100.0);
         let mut w = Worker::new(WorkerId(3));
-        assert_eq!(w.capacity_qps(&g), 0.0);
-        w.assign(VariantId::new(1, 1), 8);
+        assert_eq!(w.capacity_qps(), 0.0);
+        w.assign(VariantId::new(1, 1), 8, &g);
         w.enqueue(query(1, 1));
         w.enqueue(query(2, 1));
         let drained = w.drain_queue();
         assert_eq!(drained.len(), 2);
         assert_eq!(w.queue_len(), 0);
         let expected = g.variant(VariantId::new(1, 1)).throughput_qps(8);
-        assert!((w.capacity_qps(&g) - expected).abs() < 1e-9);
-        assert!(w.profiled_exec_ms(&g).is_some());
+        assert!((w.capacity_qps() - expected).abs() < 1e-9);
+        assert!(w.profiled_exec_ms().is_some());
         w.unassign();
         assert!(!w.is_active());
     }
@@ -255,14 +298,15 @@ mod tests {
     fn busy_time_accumulates() {
         let g = zoo::tiny_pipeline(100.0);
         let mut w = Worker::new(WorkerId(4));
-        w.assign(VariantId::new(0, 0), 1);
+        w.assign(VariantId::new(0, 0), 1, &g);
         w.enqueue(query(1, 0));
-        let (t1, _) = w.try_start_batch(0, &g).unwrap();
-        w.finish_batch();
+        let mut scratch = Vec::new();
+        let (t1, _) = w.try_start_batch(0).unwrap();
+        w.finish_batch_into(&mut scratch);
         w.enqueue(query(2, 0));
-        let (t2, _) = w.try_start_batch(t1, &g).unwrap();
-        w.finish_batch();
-        assert_eq!(w.busy_time_us, t2 - 0);
+        let (t2, _) = w.try_start_batch(t1).unwrap();
+        w.finish_batch_into(&mut scratch);
+        assert_eq!(w.busy_time_us, t2);
         assert_eq!(w.processed, 2);
     }
 }

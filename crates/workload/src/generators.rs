@@ -28,7 +28,7 @@ pub fn ramp(duration_secs: usize, start_qps: f64, end_qps: f64) -> Trace {
 pub fn steps(levels: &[(usize, f64)]) -> Trace {
     let mut series = Vec::new();
     for &(dur, qps) in levels {
-        series.extend(std::iter::repeat(qps).take(dur));
+        series.extend(std::iter::repeat_n(qps, dur));
     }
     Trace::new("steps", series)
 }
@@ -51,19 +51,14 @@ pub fn sinusoid(duration_secs: usize, min_qps: f64, max_qps: f64, period_secs: u
 /// `duration_secs` is the length of the generated trace (the "day" is compressed into
 /// it); `base_qps` is the off-peak floor and `peak_qps` the typical peak (bursts may
 /// exceed it by up to ~15%).
-pub fn azure_like_diurnal(
-    seed: u64,
-    duration_secs: usize,
-    base_qps: f64,
-    peak_qps: f64,
-) -> Trace {
+pub fn azure_like_diurnal(seed: u64, duration_secs: usize, base_qps: f64, peak_qps: f64) -> Trace {
     assert!(peak_qps >= base_qps && base_qps >= 0.0);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut series = Vec::with_capacity(duration_secs);
     let n = duration_secs as f64;
     for i in 0..duration_secs {
         let t = i as f64 / n; // position within the compressed day, [0, 1)
-        // Diurnal envelope: cosine valley centred at t=0.125 (night), peak at t=0.625.
+                              // Diurnal envelope: cosine valley centred at t=0.125 (night), peak at t=0.625.
         let phase = 2.0 * PI * (t - 0.125);
         let envelope = 0.5 - 0.5 * phase.cos(); // 0 at night, 1 at peak
         let mut qps = base_qps + (peak_qps - base_qps) * envelope;
@@ -80,12 +75,7 @@ pub fn azure_like_diurnal(
 
 /// A Twitter-like bursty trace: a slowly-varying baseline with frequent small bursts
 /// and rare large spikes (e.g. a viral event), on top of a mild diurnal swing.
-pub fn twitter_like_bursty(
-    seed: u64,
-    duration_secs: usize,
-    base_qps: f64,
-    peak_qps: f64,
-) -> Trace {
+pub fn twitter_like_bursty(seed: u64, duration_secs: usize, base_qps: f64, peak_qps: f64) -> Trace {
     assert!(peak_qps >= base_qps && base_qps >= 0.0);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut series = Vec::with_capacity(duration_secs);
@@ -142,7 +132,7 @@ mod tests {
     fn sinusoid_stays_within_bounds() {
         let s = sinusoid(500, 10.0, 90.0, 100);
         for &q in s.series() {
-            assert!(q >= 10.0 - 1e-9 && q <= 90.0 + 1e-9);
+            assert!((10.0 - 1e-9..=90.0 + 1e-9).contains(&q));
         }
         // It should actually reach close to both extremes.
         assert!(s.peak_qps() > 85.0);

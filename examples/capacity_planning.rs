@@ -11,8 +11,14 @@ fn main() {
     let graph = zoo::traffic_analysis_pipeline(250.0);
     let perf = PerfModel::new(&graph, 2.0, 2.0);
     let fanout = FanoutOverrides::new();
-    let best: Vec<usize> = graph.tasks().map(|(_, t)| t.most_accurate_variant()).collect();
-    let worst: Vec<usize> = graph.tasks().map(|(_, t)| t.least_accurate_variant()).collect();
+    let best: Vec<usize> = graph
+        .tasks()
+        .map(|(_, t)| t.most_accurate_variant())
+        .collect();
+    let worst: Vec<usize> = graph
+        .tasks()
+        .map(|(_, t)| t.least_accurate_variant())
+        .collect();
 
     println!("# Capacity planning for the traffic-analysis pipeline (SLO 250 ms)");
     println!(
@@ -22,7 +28,13 @@ fn main() {
     for cluster in [4usize, 8, 12, 16, 20, 32, 64] {
         let hi = perf.max_servable_demand(&best, cluster, &fanout);
         let lo = perf.max_servable_demand(&worst, cluster, &fanout);
-        println!("{:>8} {:>18.0} {:>18.0} {:>9.2}x", cluster, hi, lo, lo / hi.max(1.0));
+        println!(
+            "{:>8} {:>18.0} {:>18.0} {:>9.2}x",
+            cluster,
+            hi,
+            lo,
+            lo / hi.max(1.0)
+        );
     }
     println!("\nAccuracy scaling multiplies the effective capacity of every cluster size by ~3x,");
     println!("which is what lets a fixed 20-GPU cluster ride out demand spikes without dropping requests.");

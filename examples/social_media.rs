@@ -29,11 +29,17 @@ fn main() {
     );
     let proteus = proteus_sim.run(&arrivals);
 
-    println!("{:<10} {:>12} {:>12} {:>14}", "system", "slo_viol", "accuracy", "mean_util");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14}",
+        "system", "slo_viol", "accuracy", "mean_util"
+    );
     for (name, r) in [("loki", &loki), ("proteus", &proteus)] {
         println!(
             "{:<10} {:>12.4} {:>12.4} {:>14.3}",
-            name, r.summary.slo_violation_ratio, r.summary.system_accuracy, r.summary.mean_utilization
+            name,
+            r.summary.slo_violation_ratio,
+            r.summary.system_accuracy,
+            r.summary.mean_utilization
         );
     }
     println!(

@@ -39,6 +39,8 @@ fn main() {
         result.summary.min_active_workers,
         result.summary.max_active_workers,
     );
-    println!("During the off-peak valley Loki powers most of the cluster down; at the peak it trades");
+    println!(
+        "During the off-peak valley Loki powers most of the cluster down; at the peak it trades"
+    );
     println!("a little accuracy for throughput instead of dropping requests.");
 }

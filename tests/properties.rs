@@ -85,10 +85,7 @@ fn arb_chain_pipeline() -> impl Strategy<Value = PipelineGraph> {
         let mut g = PipelineGraph::new("random_chain", 400.0);
         let mut prev = None;
         for (ti, variants) in tasks.into_iter().enumerate() {
-            let max_acc = variants
-                .iter()
-                .map(|(a, ..)| *a)
-                .fold(f64::MIN, f64::max);
+            let max_acc = variants.iter().map(|(a, ..)| *a).fold(f64::MIN, f64::max);
             let vs: Vec<ModelVariant> = variants
                 .into_iter()
                 .enumerate()

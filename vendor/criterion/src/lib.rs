@@ -1,0 +1,257 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! `Criterion::benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros — as a
+//! plain wall-clock harness. Each sample times one closure invocation; the
+//! report prints min/mean/median per iteration plus derived throughput.
+//!
+//! CLI behaviour mirrors what `cargo bench` / `cargo test --benches` expect:
+//! the first non-flag argument is a substring filter on benchmark names, and
+//! `--test` runs every benchmark exactly once (smoke mode) without timing.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (per-iteration work).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Final configuration hook used by `criterion_group!` (no-op here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    measurement_time: Option<Duration>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput for the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub keeps sampling fixed-count.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size
+            },
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("test {full} ... ok");
+            return self;
+        }
+        bencher.report(&full, self.throughput);
+        self
+    }
+
+    /// End the group (report output is emitted eagerly per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Times the benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Run the closure `sample_size` times (after one warm-up run), timing each
+    /// invocation.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        if self.test_mode {
+            return;
+        }
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{name}: no samples collected");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        print!(
+            "{name}: min {}  mean {}  median {}  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(median),
+            sorted.len()
+        );
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_s = n as f64 / mean.as_secs_f64();
+                print!("  thrpt {:.0} elem/s", per_s);
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_s = n as f64 / mean.as_secs_f64();
+                print!("  thrpt {:.0} B/s", per_s);
+            }
+            None => {}
+        }
+        println!();
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a callable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            filter: None,
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut runs = 0;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // one warm-up + three samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("other".to_string()),
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+}

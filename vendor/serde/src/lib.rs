@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names (with blanket impls, so
+//! generic bounds are always satisfiable) and re-exports the no-op derive
+//! macros from the vendored `serde_derive`. This keeps the workspace's derive
+//! annotations compiling without crates.io access; swapping in the real serde
+//! later requires no source changes outside the manifests.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

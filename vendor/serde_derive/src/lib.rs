@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so that a
+//! future PR can turn on real serialization, but nothing currently serializes
+//! through serde (JSON artifacts are written by hand). With no crates.io
+//! access, these derives expand to nothing; the companion `serde` stub crate
+//! provides blanket trait impls so `T: Serialize` bounds would still hold.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
