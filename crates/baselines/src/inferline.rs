@@ -75,6 +75,18 @@ impl InferLineController {
         Self::new(graph, InferLineConfig::default())
     }
 
+    /// Create a controller with the default configuration but a specific runtime drop
+    /// policy (used by scenario factories that ablate drop policies across systems).
+    pub fn with_drop_policy(graph: PipelineGraph, drop_policy: DropPolicy) -> Self {
+        Self::new(
+            graph,
+            InferLineConfig {
+                drop_policy,
+                ..InferLineConfig::default()
+            },
+        )
+    }
+
     fn most_accurate_choice(&self) -> Vec<usize> {
         self.graph
             .tasks()

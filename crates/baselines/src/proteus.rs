@@ -67,6 +67,18 @@ impl ProteusController {
         Self::new(graph, ProteusConfig::default())
     }
 
+    /// Create a controller with the default configuration but a specific runtime drop
+    /// policy (used by scenario factories that ablate drop policies across systems).
+    pub fn with_drop_policy(graph: PipelineGraph, drop_policy: DropPolicy) -> Self {
+        Self::new(
+            graph,
+            ProteusConfig {
+                drop_policy,
+                ..ProteusConfig::default()
+            },
+        )
+    }
+
     /// The per-task latency budget a pipeline-agnostic system would use: an equal split
     /// of the (headroom-adjusted) SLO across tasks, since it has no path model.
     fn per_task_budget_ms(&self) -> f64 {

@@ -1,0 +1,329 @@
+//! The `loki` CLI: one binary for the whole evaluation harness.
+//!
+//! ```text
+//! loki list   [--json]                                  # registered scenarios
+//! loki run    <scenario> [key=value …] [--json] [--jobs N]
+//! loki sweep  <scenario> [axis=v1,v2,…] [key=value …] [--json] [--jobs N] [--serial]
+//! loki report [out=PATH] [skip_large=1] [skip_stress=1] [--jobs N]
+//! ```
+//!
+//! `run` executes one scenario with its kind-specific executor (the former
+//! `fig*`/`ablation_*`/`capacity_table` binaries); `sweep` enumerates a grid over
+//! the controller/slo/peak/cluster/seed axes and fans the points out across cores;
+//! `report` refreshes `BENCH_sim.json`. Unknown keys and unparsable values exit
+//! with a clear error (exit code 2) instead of being silently ignored.
+
+use loki_bench::figures::{self, ScenarioReport};
+use loki_bench::report::Json;
+use loki_bench::runner::Runner;
+use loki_bench::scenario::{self, Scenario};
+use loki_bench::sweep::Sweep;
+use std::fmt::Write as _;
+
+const USAGE: &str = "loki — the Loki evaluation harness
+
+USAGE:
+  loki list   [--json]                                 list registered scenarios
+  loki run    <scenario> [key=value ...] [--json] [--jobs N]
+  loki sweep  <scenario> [axis=v1,v2,...] [key=value ...] [--json] [--jobs N] [--serial]
+  loki report [out=PATH] [skip_large=1] [skip_stress=1] [--jobs N]
+  loki help
+
+Config keys: cluster, slo, duration, peak, base, seed, bucket, drain, runs.
+Sweep axes (comma-separated lists): controllers, slo, peak, cluster, seed.
+See EXPERIMENTS.md for the invocation reproducing each paper figure.";
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("run `loki help` for usage");
+    std::process::exit(2);
+}
+
+/// Flags shared by `run` and `sweep`.
+struct Flags {
+    json: bool,
+    jobs: Option<usize>,
+    serial: bool,
+    /// Remaining `key=value` operands.
+    kv: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut flags = Flags {
+        json: false,
+        jobs: None,
+        serial: false,
+        kv: Vec::new(),
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => flags.json = true,
+            "--serial" => flags.serial = true,
+            "--jobs" => {
+                let Some(value) = iter.next() else {
+                    fail("--jobs requires a value");
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => flags.jobs = Some(n),
+                    _ => fail(&format!("invalid --jobs value {value:?}")),
+                }
+            }
+            other if other.starts_with("--") => fail(&format!("unknown flag {other:?}")),
+            other => flags.kv.push(other.to_string()),
+        }
+    }
+    flags
+}
+
+fn runner_from_flags(flags: &Flags) -> Runner {
+    if flags.serial {
+        Runner::serial()
+    } else if let Some(jobs) = flags.jobs {
+        Runner::with_jobs(jobs)
+    } else {
+        Runner::auto()
+    }
+}
+
+fn lookup_scenario(name: &str) -> &'static Scenario {
+    scenario::find(name).unwrap_or_else(|| {
+        fail(&format!(
+            "unknown scenario {name:?}; `loki list` shows the registry"
+        ))
+    })
+}
+
+fn cmd_list(args: &[String]) {
+    let flags = parse_flags(args);
+    if !flags.kv.is_empty() {
+        fail(&format!("list takes no operands, got {:?}", flags.kv));
+    }
+    if flags.json {
+        let rows = scenario::REGISTRY
+            .iter()
+            .map(|sc| {
+                let mut obj = Json::object();
+                obj.push("name", sc.name.into())
+                    .push("title", sc.title.into())
+                    .push("kind", format!("{:?}", sc.kind).into())
+                    .push("pipeline", sc.pipeline.name().into())
+                    .push("trace", sc.trace.name().into());
+                obj
+            })
+            .collect();
+        let mut out = Json::object();
+        out.push("scenarios", Json::Arr(rows));
+        print!("{}", out.render());
+        return;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<22} {:<20} title", "scenario", "kind");
+    for sc in scenario::REGISTRY {
+        let _ = writeln!(
+            out,
+            "{:<22} {:<20} {}",
+            sc.name,
+            format!("{:?}", sc.kind),
+            sc.title
+        );
+    }
+    print!("{out}");
+}
+
+fn cmd_run(args: &[String]) {
+    let flags = parse_flags(args);
+    let Some((name, overrides)) = flags.kv.split_first() else {
+        fail("run requires a scenario name");
+    };
+    let sc = lookup_scenario(name);
+    let mut cfg = sc.config();
+    if let Err(message) = cfg.apply_overrides(overrides.iter().map(String::as_str)) {
+        fail(&message);
+    }
+    let runner = runner_from_flags(&flags);
+    let report = figures::run_scenario(sc, &cfg, &runner);
+    emit(&report, flags.json);
+}
+
+fn cmd_sweep(args: &[String]) {
+    let flags = parse_flags(args);
+    let Some((name, operands)) = flags.kv.split_first() else {
+        fail("sweep requires a scenario name");
+    };
+    let sc = lookup_scenario(name);
+    let mut cfg = sc.config();
+    let mut axes: Vec<(String, String)> = Vec::new();
+    for arg in operands {
+        let Some((key, value)) = arg.split_once('=') else {
+            fail(&format!("expected key=value, got {arg:?}"));
+        };
+        match key {
+            // Axis keys accept comma-separated lists and are applied to the grid.
+            "controllers" | "controller" | "slo" | "peak" | "cluster" | "seed" => {
+                axes.push((key.to_string(), value.to_string()));
+            }
+            // Everything else is a base-config override.
+            _ => {
+                if let Err(message) = cfg.set(key, value) {
+                    fail(&message);
+                }
+            }
+        }
+    }
+    let mut sweep = Sweep::for_scenario(sc, cfg.clone());
+    for (axis, values) in &axes {
+        if let Err(message) = sweep.set_axis(axis, values) {
+            fail(&message);
+        }
+    }
+    if sweep.is_empty() {
+        fail("sweep grid is empty");
+    }
+    let runner = runner_from_flags(&flags);
+    eprintln!(
+        "sweep {}: {} points across {} worker thread(s)",
+        sc.name,
+        sweep.len(),
+        runner.jobs.min(sweep.len())
+    );
+    let results = runner.run(sweep.points());
+
+    if flags.json {
+        let mut out = Json::object();
+        out.push("scenario", sc.name.into())
+            .push("config", figures::config_json(&cfg))
+            .push("jobs", runner.jobs.into())
+            .push(
+                "points",
+                Json::Arr(
+                    results
+                        .iter()
+                        .map(|point| {
+                            let mut obj = Json::object();
+                            obj.push("label", point.label.as_str().into())
+                                .push("wall_s", point.wall_s.into())
+                                .push("summary", figures::summary_json(&point.result.summary));
+                            obj
+                        })
+                        .collect(),
+                ),
+            );
+        print!("{}", out.render());
+        return;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<40} {:>10} {:>10} {:>8} {:>8} {:>10} {:>10}",
+        "point", "arrivals", "on_time", "late", "dropped", "slo_viol", "accuracy"
+    );
+    for point in &results {
+        let s = &point.result.summary;
+        let _ = writeln!(
+            out,
+            "{:<40} {:>10} {:>10} {:>8} {:>8} {:>10.4} {:>10.4}",
+            point.label,
+            s.total_arrivals,
+            s.total_on_time,
+            s.total_late,
+            s.total_dropped,
+            s.slo_violation_ratio,
+            s.system_accuracy
+        );
+    }
+    print!("{out}");
+}
+
+fn cmd_report(args: &[String]) {
+    let flags = parse_flags(args);
+    if flags.json {
+        fail("report is always JSON; drop --json");
+    }
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut skip_large = false;
+    let mut skip_stress = false;
+    for arg in &flags.kv {
+        let Some((key, value)) = arg.split_once('=') else {
+            fail(&format!("expected key=value, got {arg:?}"));
+        };
+        match key {
+            "out" => out_path = value.to_string(),
+            "skip_large" => skip_large = value == "1" || value == "true",
+            "skip_stress" => skip_stress = value == "1" || value == "true",
+            _ => fail(&format!(
+                "unknown report key {key:?} (known: out, skip_large, skip_stress)"
+            )),
+        }
+    }
+    // Serial by default so per-scenario wall-clocks stay undistorted; --jobs opts in.
+    let runner = if let Some(jobs) = flags.jobs {
+        Runner::with_jobs(jobs)
+    } else {
+        Runner::serial()
+    };
+    let mut entries = Vec::new();
+    for name in [
+        "traffic_300qps_30s",
+        "traffic_1m_arrivals",
+        "stress_diurnal_day",
+    ] {
+        if skip_large && name != "traffic_300qps_30s" {
+            continue;
+        }
+        if skip_stress && name == "stress_diurnal_day" {
+            continue;
+        }
+        let sc = lookup_scenario(name);
+        let cfg = sc.config();
+        eprintln!("running {name} ({} run(s))...", cfg.runs.max(1));
+        let results = runner.run(vec![loki_bench::scenario::RunPoint {
+            label: name.to_string(),
+            pipeline: sc.pipeline,
+            trace: sc.trace,
+            controller: loki_bench::scenario::ControllerSpec::LokiGreedy,
+            drop_policy: None,
+            cfg: cfg.clone(),
+        }]);
+        entries.push(figures::throughput_entry_json(
+            name,
+            cfg.runs.max(1),
+            &results[0],
+        ));
+    }
+    let mut json = Json::object();
+    json.push("benchmark", "simulator_throughput".into())
+        .push("scenarios", Json::Arr(entries));
+    let rendered = json.render();
+    if let Err(error) = std::fs::write(&out_path, &rendered) {
+        fail(&format!("cannot write {out_path}: {error}"));
+    }
+    eprintln!("wrote {out_path}");
+    print!("{rendered}");
+}
+
+fn emit(report: &ScenarioReport, json: bool) {
+    if json {
+        print!("{}", report.json.render());
+    } else {
+        print!("{}", report.text);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        None => {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        Some((command, rest)) => match command.as_str() {
+            "list" => cmd_list(rest),
+            "run" => cmd_run(rest),
+            "sweep" => cmd_sweep(rest),
+            "report" => cmd_report(rest),
+            "help" | "--help" | "-h" => println!("{USAGE}"),
+            other => fail(&format!("unknown command {other:?}")),
+        },
+    }
+}

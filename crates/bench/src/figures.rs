@@ -1,0 +1,722 @@
+//! Kind-specific scenario executors and renderers.
+//!
+//! Each [`ScenarioKind`] maps to one function that turns a scenario + configuration
+//! into a [`ScenarioReport`]: the human-readable text the former figure binaries
+//! printed, plus a machine-readable [`Json`] tree. Simulator-driven kinds express
+//! their work as [`RunPoint`]s and execute through the (possibly parallel)
+//! [`Runner`]; analytic kinds (phase diagram, trade-off tables, allocator probes)
+//! compute in place.
+
+use crate::report::Json;
+use crate::runner::Runner;
+use crate::scenario::{ControllerSpec, PointResult, RunPoint, Scenario, ScenarioKind};
+use crate::sweep::Sweep;
+use crate::ExperimentConfig;
+use crate::{
+    bucketize, format_comparison_timeseries, format_headline_ratios, format_summary_table,
+};
+use loki_core::allocator::{AllocationContext, Allocator};
+use loki_core::greedy::GreedyAllocator;
+use loki_core::milp_alloc::MilpAllocator;
+use loki_core::perf::{FanoutOverrides, PerfModel};
+use loki_core::{LokiConfig, LokiController, ScalingMode};
+use loki_sim::{DropPolicy, RunSummary, SimResult};
+use loki_workload::TraceSpec;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// The rendered outcome of running one scenario.
+pub struct ScenarioReport {
+    /// Human-readable report (what the former figure binaries printed).
+    pub text: String,
+    /// Machine-readable report (`loki run <scenario> --json`).
+    pub json: Json,
+}
+
+/// Pre-refactor (seed-engine) reference wall-clocks for the throughput scenarios,
+/// measured on the PR-1 dev container (single CPU, best of 8×3 runs) with the
+/// HashMap-based engine the repo seeded with. They anchor the `speedup_vs_seed`
+/// field; re-measure and update when the hardware baseline changes.
+///
+/// Scenario note: PR 2 moved these scenarios onto the Scenario API, which uses one
+/// seed (11) for both arrival generation and the simulator RNG, where the deleted
+/// `bench_report` binary paired arrival seed 11 with simulator seed 42. The workload
+/// scale and arrival stream are identical; only the in-sim stochastic draws differ,
+/// so the wall-clock anchors remain statistically comparable (well inside the
+/// ±5-10% single-CPU noise) even though exact event counts shifted slightly.
+pub const SEED_BASELINE_WALL_S: &[(&str, f64)] = &[
+    ("traffic_300qps_30s", 0.009268),
+    ("traffic_1m_arrivals", 1.341551),
+];
+
+fn seed_baseline_wall(name: &str) -> Option<f64> {
+    SEED_BASELINE_WALL_S
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, w)| *w)
+}
+
+/// Run a scenario with its kind-specific executor.
+pub fn run_scenario(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> ScenarioReport {
+    match sc.kind {
+        ScenarioKind::Comparison => comparison(sc, cfg, runner),
+        ScenarioKind::SloSweep => slo_sweep(sc, cfg, runner),
+        ScenarioKind::DropPolicyAblation => drop_policy_ablation(sc, cfg, runner),
+        ScenarioKind::PhaseDiagram => phase_diagram(sc, cfg),
+        ScenarioKind::TradeoffTable => tradeoff_table(sc, cfg),
+        ScenarioKind::AllocatorAblation => allocator_ablation(sc, cfg),
+        ScenarioKind::MultFactorAblation => multfactor_ablation(sc, cfg),
+        ScenarioKind::MilpProbe => milp_probe(sc, cfg),
+        ScenarioKind::CapacityTable => capacity_table(sc, cfg, runner),
+        ScenarioKind::Throughput => throughput(sc, cfg, runner),
+    }
+}
+
+/// JSON view of a whole-run summary.
+pub fn summary_json(s: &RunSummary) -> Json {
+    let mut obj = Json::object();
+    obj.push("total_arrivals", s.total_arrivals.into())
+        .push("on_time", s.total_on_time.into())
+        .push("late", s.total_late.into())
+        .push("dropped", s.total_dropped.into())
+        .push("slo_violation_ratio", s.slo_violation_ratio.into())
+        .push("system_accuracy", s.system_accuracy.into())
+        .push("mean_utilization", s.mean_utilization.into())
+        .push("min_active_workers", s.min_active_workers.into())
+        .push("max_active_workers", s.max_active_workers.into())
+        .push("peak_goodput", s.peak_goodput.into())
+        .push("rerouted", s.total_rerouted.into())
+        .push("events_processed", s.events_processed.into());
+    obj
+}
+
+/// JSON view of the experiment knobs a report was produced with.
+pub fn config_json(cfg: &ExperimentConfig) -> Json {
+    let mut obj = Json::object();
+    obj.push("cluster", cfg.cluster_size.into())
+        .push("slo_ms", cfg.slo_ms.into())
+        .push("duration_s", cfg.duration_s.into())
+        .push("peak_qps", cfg.peak_qps.into())
+        .push("base_qps", cfg.base_qps.into())
+        .push("seed", cfg.seed.into())
+        .push("bucket_s", cfg.bucket_s.into())
+        .push("drain_s", cfg.drain_s.into())
+        .push("runs", cfg.runs.into());
+    obj
+}
+
+fn report_header(sc: &Scenario, cfg: &ExperimentConfig) -> Json {
+    let mut obj = Json::object();
+    obj.push("scenario", sc.name.into())
+        .push("title", sc.title.into())
+        .push("kind", format!("{:?}", sc.kind).into())
+        .push("pipeline", sc.pipeline.name().into())
+        .push("trace", sc.trace.name().into())
+        .push("config", config_json(cfg));
+    obj
+}
+
+fn base_point(sc: &Scenario, cfg: &ExperimentConfig) -> RunPoint {
+    RunPoint {
+        label: sc.name.to_string(),
+        pipeline: sc.pipeline,
+        trace: sc.trace,
+        controller: ControllerSpec::LokiGreedy,
+        drop_policy: None,
+        cfg: cfg.clone(),
+    }
+}
+
+// ---- simulator-driven kinds ----------------------------------------------------
+
+fn comparison(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> ScenarioReport {
+    let points: Vec<RunPoint> = ControllerSpec::COMPARISON
+        .into_iter()
+        .map(|controller| RunPoint {
+            label: controller.system_label().to_string(),
+            controller,
+            ..base_point(sc, cfg)
+        })
+        .collect();
+    let trace = points[0].build_trace();
+    let results = runner.run(points);
+    let named: Vec<(String, SimResult)> =
+        results.into_iter().map(|r| (r.label, r.result)).collect();
+
+    let mut text = format_comparison_timeseries(
+        &format!("{}: {}", sc.name.to_uppercase(), sc.title),
+        &trace,
+        &named,
+        cfg.bucket_s,
+    );
+    text.push_str(&format_summary_table(&named));
+    text.push_str(&format_headline_ratios(&named));
+
+    let mut json = report_header(sc, cfg);
+    json.push(
+        "systems",
+        Json::Arr(
+            named
+                .iter()
+                .map(|(name, r)| {
+                    let mut obj = Json::object();
+                    obj.push("name", name.as_str().into())
+                        .push("summary", summary_json(&r.summary));
+                    obj
+                })
+                .collect(),
+        ),
+    );
+    ScenarioReport { text, json }
+}
+
+fn slo_sweep(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> ScenarioReport {
+    let sweep = Sweep::for_scenario(sc, cfg.clone());
+    let slos = sweep.slo_ms.clone();
+    let results = runner.run(sweep.points());
+
+    let mut text = format!(
+        "# {}: effect of the latency SLO on Loki\n",
+        sc.name.to_uppercase()
+    );
+    let _ = writeln!(
+        text,
+        "{:>8} {:>14} {:>16} {:>16}",
+        "slo_ms", "avg_accuracy", "max_acc_drop_%", "avg_slo_viol"
+    );
+    let mut rows = Vec::new();
+    for (slo, point) in slos.iter().zip(&results) {
+        let max_drop = max_accuracy_drop_pct(sc, *slo, &point.result);
+        let s = &point.result.summary;
+        let _ = writeln!(
+            text,
+            "{:>8.0} {:>14.4} {:>16.2} {:>16.4}",
+            slo, s.system_accuracy, max_drop, s.slo_violation_ratio
+        );
+        let mut row = Json::object();
+        row.push("slo_ms", (*slo).into())
+            .push("max_accuracy_drop_pct", max_drop.into())
+            .push("summary", summary_json(s));
+        rows.push(row);
+    }
+    text.push_str(
+        "\n(The paper reports sharp improvements up to ~300 ms and diminishing returns beyond.)\n",
+    );
+
+    let mut json = report_header(sc, cfg);
+    json.push("points", Json::Arr(rows));
+    ScenarioReport { text, json }
+}
+
+/// Maximum accuracy drop of a run: the worst 30 s-bucket accuracy vs the pipeline
+/// maximum at this SLO.
+fn max_accuracy_drop_pct(sc: &Scenario, slo_ms: f64, result: &SimResult) -> f64 {
+    let graph = sc.pipeline.build(slo_ms);
+    let buckets = bucketize(&result.intervals, 30);
+    let min_acc = buckets
+        .iter()
+        .filter(|b| b.accuracy_count > 0)
+        .map(|b| b.mean_accuracy())
+        .fold(f64::INFINITY, f64::min);
+    if min_acc.is_finite() {
+        100.0 * (graph.max_accuracy() - min_acc) / graph.max_accuracy()
+    } else {
+        100.0
+    }
+}
+
+fn drop_policy_ablation(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> ScenarioReport {
+    let points: Vec<RunPoint> = DropPolicy::all()
+        .into_iter()
+        .map(|policy| RunPoint {
+            label: policy.label().to_string(),
+            drop_policy: Some(policy),
+            ..base_point(sc, cfg)
+        })
+        .collect();
+    let results = runner.run(points);
+
+    let mut text = format!(
+        "# {}: load-balancer ablation (traffic pipeline, overload segment)\n",
+        sc.name.to_uppercase()
+    );
+    let _ = writeln!(
+        text,
+        "{:<28} {:>14} {:>12} {:>12}",
+        "policy", "slo_violation", "accuracy", "rerouted"
+    );
+    let mut rows = Vec::new();
+    for point in &results {
+        let s = &point.result.summary;
+        let _ = writeln!(
+            text,
+            "{:<28} {:>14.4} {:>12.4} {:>12}",
+            point.label, s.slo_violation_ratio, s.system_accuracy, s.total_rerouted
+        );
+        let mut row = Json::object();
+        row.push("policy", point.label.as_str().into())
+            .push("summary", summary_json(s));
+        rows.push(row);
+    }
+    text.push_str(
+        "\n(The paper's Figure 7 shows opportunistic rerouting with the lowest violation ratio.)\n",
+    );
+
+    let mut json = report_header(sc, cfg);
+    json.push("points", Json::Arr(rows));
+    ScenarioReport { text, json }
+}
+
+fn capacity_table(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> ScenarioReport {
+    let mut text = String::from("# T-CAP: headline numbers (paper-reported vs measured)\n");
+
+    // Capacity gain from accuracy scaling (analytical, matches Figure 1).
+    let graph = sc.pipeline.build(cfg.slo_ms);
+    let mut controller = LokiController::new(graph.clone(), LokiConfig::with_greedy());
+    let mut hw_cap = 0.0f64;
+    let mut max_cap = 0.0f64;
+    let mut demand = 25.0;
+    while demand <= 3200.0 {
+        let out = controller.allocate_for_demand(demand, cfg.cluster_size);
+        match out.mode {
+            ScalingMode::Hardware => hw_cap = out.servable_demand,
+            _ => max_cap = max_cap.max(out.servable_demand),
+        }
+        demand += 25.0;
+    }
+    let capacity_gain = max_cap / f64::max(hw_cap, 1.0);
+    let _ = writeln!(
+        text,
+        "effective capacity gain (accuracy vs hardware scaling): measured {capacity_gain:.2}x, paper >2.7x"
+    );
+
+    let mut json = report_header(sc, cfg);
+    json.push("capacity_gain", capacity_gain.into());
+
+    // End-to-end comparison ratios on both pipelines.
+    let mut pipelines_json = Vec::new();
+    for (label, pipeline, trace) in [
+        (
+            "traffic_analysis",
+            crate::scenario::PipelineSpec::Traffic,
+            TraceSpec::AzureDiurnal,
+        ),
+        (
+            "social_media",
+            crate::scenario::PipelineSpec::Social,
+            TraceSpec::TwitterBursty,
+        ),
+    ] {
+        let _ = writeln!(text, "\n## {label}");
+        let points: Vec<RunPoint> = ControllerSpec::COMPARISON
+            .into_iter()
+            .map(|controller| RunPoint {
+                label: controller.system_label().to_string(),
+                pipeline,
+                trace,
+                controller,
+                drop_policy: None,
+                cfg: cfg.clone(),
+            })
+            .collect();
+        let results = runner.run(points);
+        let named: Vec<(String, SimResult)> =
+            results.into_iter().map(|r| (r.label, r.result)).collect();
+        text.push_str(&format_summary_table(&named));
+        text.push_str(&format_headline_ratios(&named));
+        let mut entry = Json::object();
+        entry.push("pipeline", label.into()).push(
+            "systems",
+            Json::Arr(
+                named
+                    .iter()
+                    .map(|(name, r)| {
+                        let mut obj = Json::object();
+                        obj.push("name", name.as_str().into())
+                            .push("summary", summary_json(&r.summary));
+                        obj
+                    })
+                    .collect(),
+            ),
+        );
+        pipelines_json.push(entry);
+    }
+    json.push("pipelines", Json::Arr(pipelines_json));
+    ScenarioReport { text, json }
+}
+
+fn throughput(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> ScenarioReport {
+    let results = runner.run(vec![base_point(sc, cfg)]);
+    let entry = throughput_entry_json(sc.name, cfg.runs.max(1), &results[0]);
+
+    let s = &results[0].result.summary;
+    let mut text = format!("# {}: simulator throughput\n", sc.name);
+    let _ = writeln!(
+        text,
+        "arrivals {}  best_wall_s {:.6}  events {}  events/s {:.0}  arrivals/s {:.0}",
+        results[0].arrivals,
+        results[0].wall_s,
+        s.events_processed,
+        s.events_processed as f64 / results[0].wall_s,
+        results[0].arrivals as f64 / results[0].wall_s,
+    );
+    if let Some(baseline) = seed_baseline_wall(sc.name) {
+        let _ = writeln!(
+            text,
+            "seed baseline {:.6} s -> speedup {:.2}x",
+            baseline,
+            baseline / results[0].wall_s
+        );
+    }
+    let _ = writeln!(
+        text,
+        "on_time {}  late {}  dropped {}  accuracy {:.4}",
+        s.total_on_time, s.total_late, s.total_dropped, s.system_accuracy
+    );
+
+    let mut json = report_header(sc, cfg);
+    json.push("throughput", entry);
+    ScenarioReport { text, json }
+}
+
+/// One `BENCH_sim.json` scenario entry (shared between `loki run` and `loki report`).
+pub fn throughput_entry_json(name: &str, runs: usize, point: &PointResult) -> Json {
+    let s = &point.result.summary;
+    let events = s.events_processed;
+    let baseline = seed_baseline_wall(name);
+    let controller_s = point
+        .controller_stats
+        .as_ref()
+        .map(|st| st.allocation_time_s + st.routing_time_s);
+    let mut entry = Json::object();
+    entry
+        .push("name", name.into())
+        .push("arrivals", point.arrivals.into())
+        .push("runs", runs.into())
+        .push("best_wall_s", point.wall_s.into())
+        .push(
+            "seed_baseline_wall_s",
+            baseline.map(Json::Num).unwrap_or(Json::Null),
+        )
+        .push(
+            "speedup_vs_seed",
+            baseline
+                .map(|b| Json::Num(b / point.wall_s))
+                .unwrap_or(Json::Null),
+        )
+        .push(
+            "controller_s",
+            controller_s.map(Json::Num).unwrap_or(Json::Null),
+        )
+        .push("events_processed", events.into())
+        .push("events_per_sec", (events as f64 / point.wall_s).into())
+        .push(
+            "arrivals_per_sec",
+            (point.arrivals as f64 / point.wall_s).into(),
+        )
+        .push("on_time", s.total_on_time.into())
+        .push("late", s.total_late.into())
+        .push("dropped", s.total_dropped.into())
+        .push("system_accuracy", s.system_accuracy.into());
+    entry
+}
+
+// ---- analytic kinds ------------------------------------------------------------
+
+fn phase_diagram(sc: &Scenario, cfg: &ExperimentConfig) -> ScenarioReport {
+    let graph = sc.pipeline.build(cfg.slo_ms);
+    let mut controller = LokiController::new(graph.clone(), LokiConfig::with_greedy());
+
+    let mut text = format!(
+        "# {}: traffic-analysis pipeline, {} workers, SLO {} ms\n",
+        sc.name.to_uppercase(),
+        cfg.cluster_size,
+        cfg.slo_ms
+    );
+    let _ = writeln!(
+        text,
+        "{:>8} {:>12} {:>9} {:>11} {:>12}",
+        "demand", "mode", "servers", "accuracy", "servable"
+    );
+
+    let mut rows = Vec::new();
+    let mut hw_limit: Option<f64> = None;
+    let mut acc_limit: Option<f64> = None;
+    let mut last: Option<loki_core::AllocationOutcome> = None;
+    let mut demand = 25.0;
+    while demand <= 3200.0 {
+        let out = controller.allocate_for_demand(demand, cfg.cluster_size);
+        let _ = writeln!(
+            text,
+            "{:>8.0} {:>12} {:>9} {:>11.4} {:>12.0}",
+            demand,
+            format!("{:?}", out.mode),
+            out.servers_used,
+            out.expected_accuracy,
+            out.servable_demand
+        );
+        let mut row = Json::object();
+        row.push("demand_qps", demand.into())
+            .push("mode", format!("{:?}", out.mode).into())
+            .push("servers_used", out.servers_used.into())
+            .push("expected_accuracy", out.expected_accuracy.into())
+            .push("servable_demand", out.servable_demand.into());
+        rows.push(row);
+        if let Some(prev) = &last {
+            if prev.mode == ScalingMode::Hardware && out.mode != ScalingMode::Hardware {
+                hw_limit = Some(prev.servable_demand);
+            }
+            if prev.mode != ScalingMode::Saturated && out.mode == ScalingMode::Saturated {
+                acc_limit = Some(prev.servable_demand);
+            }
+        }
+        last = Some(out);
+        demand += 25.0;
+    }
+    if acc_limit.is_none() {
+        acc_limit = last.as_ref().map(|o| o.servable_demand);
+    }
+
+    text.push('\n');
+    match (hw_limit, acc_limit) {
+        (Some(hw), Some(acc)) => {
+            let _ = writeln!(
+                text,
+                "phase 1 -> 2 transition (hardware-scaling capacity): {hw:.0} QPS (paper: ~560 QPS)"
+            );
+            let _ = writeln!(
+                text,
+                "maximum throughput with accuracy scaling:            {acc:.0} QPS (paper: ~1765 QPS)"
+            );
+            let _ = writeln!(
+                text,
+                "effective capacity gain from accuracy scaling:       {:.2}x (paper: ~2.7-3.1x)",
+                acc / hw
+            );
+        }
+        _ => {
+            text.push_str("could not identify both phase transitions; widen the demand sweep\n");
+        }
+    }
+
+    let mut json = report_header(sc, cfg);
+    json.push("points", Json::Arr(rows));
+    if let (Some(hw), Some(acc)) = (hw_limit, acc_limit) {
+        json.push("hardware_capacity_qps", hw.into())
+            .push("max_capacity_qps", acc.into())
+            .push("capacity_gain", (acc / hw).into());
+    }
+    ScenarioReport { text, json }
+}
+
+fn tradeoff_table(sc: &Scenario, cfg: &ExperimentConfig) -> ScenarioReport {
+    let mut text =
+        String::from("# FIG3: accuracy-throughput tradeoff per model family (batch size 8)\n");
+    let mut families = Vec::new();
+    for (family, variants) in loki_pipeline::zoo::all_families() {
+        let _ = writeln!(text, "\n## {family}");
+        let _ = writeln!(
+            text,
+            "{:<20} {:>12} {:>16} {:>16}",
+            "variant", "accuracy", "qps(batch=8)", "qps(batch=1)"
+        );
+        let mut rows = Vec::new();
+        for v in &variants {
+            let _ = writeln!(
+                text,
+                "{:<20} {:>12.3} {:>16.1} {:>16.1}",
+                v.name,
+                v.accuracy,
+                v.throughput_qps(8),
+                v.throughput_qps(1)
+            );
+            let mut row = Json::object();
+            row.push("variant", v.name.as_str().into())
+                .push("accuracy", v.accuracy.into())
+                .push("qps_batch8", v.throughput_qps(8).into())
+                .push("qps_batch1", v.throughput_qps(1).into());
+            rows.push(row);
+        }
+        let mut entry = Json::object();
+        entry
+            .push("family", family.into())
+            .push("variants", Json::Arr(rows));
+        families.push(entry);
+    }
+    text.push_str(
+        "\n(The paper's Figure 3 plots the EfficientNet column: lower accuracy => higher throughput.)\n",
+    );
+    let mut json = report_header(sc, cfg);
+    json.push("families", Json::Arr(families));
+    ScenarioReport { text, json }
+}
+
+fn allocator_ablation(sc: &Scenario, cfg: &ExperimentConfig) -> ScenarioReport {
+    let graph = sc.pipeline.build(cfg.slo_ms);
+    let fanout = FanoutOverrides::new();
+    let greedy = GreedyAllocator::new();
+    // The bounded solve budget mirrors how the paper deploys Gurobi (≈500 ms solves).
+    let milp = MilpAllocator::new(Duration::from_millis(800), 2_000);
+
+    let mut text =
+        String::from("# Allocator ablation: greedy vs MILP (traffic pipeline, 20 workers)\n");
+    let _ = writeln!(
+        text,
+        "{:>8} {:>10} {:>10} {:>12} {:>10} {:>10} {:>12}",
+        "demand", "greedy_acc", "milp_acc", "greedy_srv", "milp_srv", "greedy_ms", "milp_ms"
+    );
+    let mut rows = Vec::new();
+    for demand in [200.0, 500.0, 800.0, 1100.0, 1400.0, 1700.0, 2000.0] {
+        let ctx = AllocationContext {
+            graph: &graph,
+            cluster_size: cfg.cluster_size,
+            demand_qps: demand,
+            fanout: &fanout,
+            drop_policy: DropPolicy::OpportunisticRerouting,
+            slo_divisor: 2.0,
+            comm_ms: 2.0,
+            upgrade_with_leftover: true,
+        };
+        let t0 = Instant::now();
+        let g = greedy.allocate(&ctx);
+        let greedy_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let t1 = Instant::now();
+        let m = milp.allocate(&ctx);
+        let milp_ms = t1.elapsed().as_secs_f64() * 1000.0;
+        let _ = writeln!(
+            text,
+            "{:>8.0} {:>10.4} {:>10.4} {:>12} {:>10} {:>10.2} {:>12.1}",
+            demand,
+            g.expected_accuracy,
+            m.expected_accuracy,
+            g.servers_used,
+            m.servers_used,
+            greedy_ms,
+            milp_ms
+        );
+        let mut row = Json::object();
+        row.push("demand_qps", demand.into())
+            .push("greedy_accuracy", g.expected_accuracy.into())
+            .push("milp_accuracy", m.expected_accuracy.into())
+            .push("greedy_servers", g.servers_used.into())
+            .push("milp_servers", m.servers_used.into())
+            .push("greedy_ms", greedy_ms.into())
+            .push("milp_ms", milp_ms.into());
+        rows.push(row);
+    }
+    let mut json = report_header(sc, cfg);
+    json.push("points", Json::Arr(rows));
+    ScenarioReport { text, json }
+}
+
+fn multfactor_ablation(sc: &Scenario, cfg: &ExperimentConfig) -> ScenarioReport {
+    let graph = sc.pipeline.build(cfg.slo_ms);
+    let perf = PerfModel::new(&graph, 2.0, 2.0);
+    let fanout = FanoutOverrides::new();
+    let choice: Vec<usize> = graph
+        .tasks()
+        .map(|(_, t)| t.most_accurate_variant())
+        .collect();
+
+    let mut text = String::from(
+        "# Multiplicative-factor ablation (traffic pipeline, most accurate variants)\n",
+    );
+    let _ = writeln!(
+        text,
+        "{:>8} {:<22} {:>16} {:>18} {:>12}",
+        "demand", "task", "true_task_qps", "naive_task_qps", "shortfall"
+    );
+    let mut rows = Vec::new();
+    for demand in [200.0, 400.0, 600.0] {
+        let true_demands = perf.task_demands(&choice, demand, &fanout);
+        for (task_id, task) in graph.tasks() {
+            let t = task_id.index();
+            // A pipeline-agnostic controller assumes each task sees the root demand.
+            let naive = demand;
+            let shortfall = (true_demands[t] - naive).max(0.0) / true_demands[t].max(1e-9);
+            let _ = writeln!(
+                text,
+                "{:>8.0} {:<22} {:>16.1} {:>18.1} {:>11.1}%",
+                demand,
+                task.name,
+                true_demands[t],
+                naive,
+                100.0 * shortfall
+            );
+            let mut row = Json::object();
+            row.push("demand_qps", demand.into())
+                .push("task", task.name.as_str().into())
+                .push("true_task_qps", true_demands[t].into())
+                .push("naive_task_qps", naive.into())
+                .push("shortfall_pct", (100.0 * shortfall).into());
+            rows.push(row);
+        }
+    }
+    text.push_str(
+        "\n(Ignoring multiplication under-provisions the car-classification task by ~30-50%.)\n",
+    );
+    let mut json = report_header(sc, cfg);
+    json.push("points", Json::Arr(rows));
+    ScenarioReport { text, json }
+}
+
+fn milp_probe(sc: &Scenario, cfg: &ExperimentConfig) -> ScenarioReport {
+    let graph = sc.pipeline.build(cfg.slo_ms);
+    let fanout = FanoutOverrides::new();
+    let perf = PerfModel::new(&graph, 2.0, 2.0);
+    let best: Vec<usize> = graph
+        .tasks()
+        .map(|(_, t)| t.most_accurate_variant())
+        .collect();
+    let hw_cap = perf.max_servable_demand(&best, cfg.cluster_size, &fanout);
+    let min_choice: Vec<usize> = graph
+        .tasks()
+        .map(|(_, t)| t.least_accurate_variant())
+        .collect();
+    let max_cap = perf.max_servable_demand(&min_choice, cfg.cluster_size, &fanout);
+
+    let mut text = format!(
+        "hw capacity ({} servers, max acc): {hw_cap:.1} qps\n",
+        cfg.cluster_size
+    );
+    let _ = writeln!(
+        text,
+        "max capacity ({} servers, min acc): {max_cap:.1} qps ({:.2}x)",
+        cfg.cluster_size,
+        max_cap / hw_cap
+    );
+    let mut rows = Vec::new();
+    for demand in [hw_cap * 0.5, hw_cap * 1.3, hw_cap * 2.0] {
+        let ctx = AllocationContext {
+            graph: &graph,
+            cluster_size: cfg.cluster_size,
+            demand_qps: demand,
+            fanout: &fanout,
+            drop_policy: DropPolicy::OpportunisticRerouting,
+            slo_divisor: 2.0,
+            comm_ms: 2.0,
+            upgrade_with_leftover: true,
+        };
+        let alloc = MilpAllocator::new(Duration::from_secs(10), 4000);
+        let t0 = Instant::now();
+        let out = alloc.allocate(&ctx);
+        let solve_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let _ = writeln!(
+            text,
+            "demand {:.0}: mode {:?} servers {} acc {:.4} in {:.0} ms",
+            demand, out.mode, out.servers_used, out.expected_accuracy, solve_ms
+        );
+        let mut row = Json::object();
+        row.push("demand_qps", demand.into())
+            .push("mode", format!("{:?}", out.mode).into())
+            .push("servers_used", out.servers_used.into())
+            .push("expected_accuracy", out.expected_accuracy.into())
+            .push("solve_ms", solve_ms.into());
+        rows.push(row);
+    }
+    let mut json = report_header(sc, cfg);
+    json.push("hardware_capacity_qps", hw_cap.into())
+        .push("max_capacity_qps", max_cap.into())
+        .push("points", Json::Arr(rows));
+    ScenarioReport { text, json }
+}

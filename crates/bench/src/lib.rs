@@ -1,22 +1,40 @@
 //! # loki-bench
 //!
 //! The experiment harness that regenerates every table and figure of the Loki
-//! evaluation (Section 6). Each figure has a dedicated binary under `src/bin/` (see
-//! `EXPERIMENTS.md` at the repository root for the full index), and the Criterion
-//! benches under `benches/` reproduce the Section 6.5 runtime measurements.
+//! evaluation (Section 6) behind one declarative API and one CLI.
 //!
-//! The helpers in this crate wire together the pipeline zoo, the workload generators,
-//! the simulator, the Loki controller, and the two baselines so the individual figure
-//! binaries stay small and declarative.
+//! * [`scenario`] — the Scenario subsystem: named experiment registrations
+//!   ([`scenario::REGISTRY`]), the [`scenario::ControllerSpec`] factory enum, and
+//!   self-contained [`scenario::RunPoint`]s.
+//! * [`sweep`] — grid builder over scenario axes (controller / SLO / peak / cluster /
+//!   seed) with deterministic enumeration.
+//! * [`runner`] — a hand-rolled scoped-thread pool that fans independent runs out
+//!   across cores; parallel results are bit-identical to serial execution.
+//! * [`figures`] — kind-specific executors producing text + JSON reports.
+//! * [`report`] — the hand-rolled JSON writer (the vendored serde is a no-op stub).
+//!
+//! The single `loki` binary (`src/bin/loki.rs`) exposes all of it: `loki list`,
+//! `loki run <scenario> [key=value…] [--json]`, `loki sweep <scenario> [axis=v,v…]`,
+//! and `loki report` (which refreshes `BENCH_sim.json`). `EXPERIMENTS.md` at the
+//! repository root indexes every scenario with the invocation that reproduces the
+//! corresponding paper figure. The Criterion benches under `benches/` reproduce the
+//! Section 6.5 runtime measurements.
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod sweep;
 
 use loki_baselines::{InferLineController, ProteusController};
 use loki_core::{LokiConfig, LokiController};
 use loki_pipeline::PipelineGraph;
 use loki_sim::{Controller, IntervalMetrics, SimConfig, SimResult, Simulation};
 use loki_workload::{generate_arrivals, generators, ArrivalProcess, Trace};
+use std::fmt::Write as _;
 
 /// Common knobs for an end-to-end comparison experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Number of workers in the cluster (20, as in the paper).
     pub cluster_size: usize,
@@ -32,6 +50,10 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Reporting bucket for printed time series, in seconds.
     pub bucket_s: usize,
+    /// Post-arrival drain time before unfinished queries count as dropped, in seconds.
+    pub drain_s: f64,
+    /// Repetitions per run point, keeping the best wall-clock (throughput scenarios).
+    pub runs: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -44,29 +66,63 @@ impl Default for ExperimentConfig {
             base_qps: 80.0,
             seed: 42,
             bucket_s: 60,
+            drain_s: 20.0,
+            runs: 1,
         }
     }
 }
 
 impl ExperimentConfig {
-    /// Parse simple `key=value` command-line overrides (`duration=600 peak=1200 ...`).
-    pub fn from_args(mut self) -> Self {
-        for arg in std::env::args().skip(1) {
-            let Some((key, value)) = arg.split_once('=') else {
-                continue;
-            };
-            match key {
-                "cluster" => self.cluster_size = value.parse().unwrap_or(self.cluster_size),
-                "slo" => self.slo_ms = value.parse().unwrap_or(self.slo_ms),
-                "duration" => self.duration_s = value.parse().unwrap_or(self.duration_s),
-                "peak" => self.peak_qps = value.parse().unwrap_or(self.peak_qps),
-                "base" => self.base_qps = value.parse().unwrap_or(self.base_qps),
-                "seed" => self.seed = value.parse().unwrap_or(self.seed),
-                "bucket" => self.bucket_s = value.parse().unwrap_or(self.bucket_s),
-                _ => eprintln!("ignoring unknown argument {key}={value}"),
+    /// Apply one `key=value` override. Unknown keys and unparsable values are hard
+    /// errors — a typo like `slo=25o` must never silently fall back to the default.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), String> {
+        fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("invalid value for {key}: {value:?}"))
+        }
+        match key {
+            "cluster" => self.cluster_size = parse(key, value)?,
+            "slo" => self.slo_ms = parse(key, value)?,
+            "duration" => self.duration_s = parse(key, value)?,
+            "peak" => self.peak_qps = parse(key, value)?,
+            "base" => self.base_qps = parse(key, value)?,
+            "seed" => self.seed = parse(key, value)?,
+            "bucket" => self.bucket_s = parse(key, value)?,
+            "drain" => self.drain_s = parse(key, value)?,
+            "runs" => self.runs = parse(key, value)?,
+            _ => {
+                return Err(format!(
+                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs)"
+                ))
             }
         }
-        self
+        Ok(())
+    }
+
+    /// Apply a sequence of `key=value` overrides, rejecting anything malformed.
+    pub fn apply_overrides<'a>(
+        &mut self,
+        args: impl IntoIterator<Item = &'a str>,
+    ) -> Result<(), String> {
+        for arg in args {
+            let Some((key, value)) = arg.split_once('=') else {
+                return Err(format!("expected key=value, got {arg:?}"));
+            };
+            self.set(key, value)?;
+        }
+        Ok(())
+    }
+}
+
+/// The generator seed a trace family uses for a given experiment seed. The
+/// Twitter-like trace perturbs the seed so paired traffic/social runs with the same
+/// experiment seed do not share an arrival pattern; this is the single place the
+/// perturbation lives.
+pub fn trace_seed(trace: loki_workload::TraceSpec, seed: u64) -> u64 {
+    match trace {
+        loki_workload::TraceSpec::TwitterBursty => seed ^ 0x5eed,
+        _ => seed,
     }
 }
 
@@ -78,7 +134,7 @@ pub fn traffic_trace(cfg: &ExperimentConfig) -> Trace {
 /// The Twitter-like bursty trace used for the social-media pipeline.
 pub fn social_trace(cfg: &ExperimentConfig) -> Trace {
     generators::twitter_like_bursty(
-        cfg.seed ^ 0x5eed,
+        trace_seed(loki_workload::TraceSpec::TwitterBursty, cfg.seed),
         cfg.duration_s,
         cfg.base_qps,
         cfg.peak_qps,
@@ -94,7 +150,7 @@ pub fn sim_config(cfg: &ExperimentConfig, trace: &Trace) -> SimConfig {
         metrics_interval_s: 1.0,
         seed: cfg.seed,
         initial_demand_hint: Some(trace.qps_at(0).max(1.0)),
-        drain_s: 20.0,
+        drain_s: cfg.drain_s,
         ..SimConfig::default()
     }
 }
@@ -160,18 +216,23 @@ pub fn bucketize(intervals: &[IntervalMetrics], bucket_s: usize) -> Vec<Interval
     out
 }
 
-/// Print the end-to-end comparison as the four stacked time series of Figures 5/6:
+/// Render the end-to-end comparison as the four stacked time series of Figures 5/6:
 /// demand, system accuracy, cluster utilization, and SLO-violation ratio.
-pub fn print_comparison_timeseries(
+pub fn format_comparison_timeseries(
     title: &str,
     trace: &Trace,
     results: &[(String, SimResult)],
     bucket_s: usize,
-) {
-    println!("# {title}");
-    println!("# one row per {bucket_s}s bucket; acc/util/viol reported per system");
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(
+        out,
+        "# one row per {bucket_s}s bucket; acc/util/viol reported per system"
+    );
     let header: Vec<String> = results.iter().map(|(n, _)| n.clone()).collect();
-    println!(
+    let _ = writeln!(
+        out,
         "{:>7} {:>9}  {}  {}  {}",
         "time_s",
         "demand",
@@ -214,7 +275,8 @@ pub fn print_comparison_timeseries(
             .iter()
             .map(|b| format!("{:>10.4}", b[row].slo_violation_ratio()))
             .collect();
-        println!(
+        let _ = writeln!(
+            out,
             "{:>7.0} {:>9.1}  {}  {}  {}",
             t,
             demand,
@@ -223,18 +285,21 @@ pub fn print_comparison_timeseries(
             viols.join(" ")
         );
     }
+    out
 }
 
-/// Print the whole-run summary rows (the numbers quoted in the paper's text).
-pub fn print_summary_table(results: &[(String, SimResult)]) {
-    println!();
-    println!(
+/// Render the whole-run summary rows (the numbers quoted in the paper's text).
+pub fn format_summary_table(results: &[(String, SimResult)]) -> String {
+    let mut out = String::from("\n");
+    let _ = writeln!(
+        out,
         "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
         "system", "arrivals", "on_time", "late", "dropped", "slo_viol", "accuracy", "mean_util"
     );
     for (name, r) in results {
         let s = &r.summary;
-        println!(
+        let _ = writeln!(
+            out,
             "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12.4} {:>12.4} {:>10.3}",
             name,
             s.total_arrivals,
@@ -246,16 +311,17 @@ pub fn print_summary_table(results: &[(String, SimResult)]) {
             s.mean_utilization
         );
     }
+    out
 }
 
-/// Derived headline ratios comparing Loki with the baselines (capacity, violation
-/// reduction, off-peak server saving).
-pub fn print_headline_ratios(results: &[(String, SimResult)]) {
+/// Render the derived headline ratios comparing Loki with the baselines (capacity,
+/// violation reduction, off-peak server saving).
+pub fn format_headline_ratios(results: &[(String, SimResult)]) -> String {
     let get = |name: &str| results.iter().find(|(n, _)| n == name).map(|(_, r)| r);
     let (Some(loki), Some(inferline), Some(proteus)) =
         (get("loki"), get("inferline"), get("proteus"))
     else {
-        return;
+        return String::new();
     };
     let viol_reduction = if loki.summary.slo_violation_ratio > 0.0 {
         proteus.summary.slo_violation_ratio / loki.summary.slo_violation_ratio
@@ -266,21 +332,26 @@ pub fn print_headline_ratios(results: &[(String, SimResult)]) {
         loki.summary.peak_goodput as f64 / inferline.summary.peak_goodput.max(1) as f64;
     let server_saving =
         proteus.summary.max_active_workers as f64 / loki.summary.min_active_workers.max(1) as f64;
-    println!();
-    println!("headline ratios (Loki vs baselines):");
-    println!(
+    let mut out = String::from("\n");
+    let _ = writeln!(out, "headline ratios (Loki vs baselines):");
+    let _ = writeln!(
+        out,
         "  peak goodput vs hardware-scaling-only (InferLine-style): {capacity_gain:.2}x (paper: ~2.5-2.7x)"
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  SLO-violation reduction vs pipeline-agnostic accuracy scaling (Proteus-style): {viol_reduction:.1}x (paper: ~10x)"
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  off-peak active servers, Proteus-style vs Loki: {server_saving:.2}x fewer with Loki (paper: ~2.67x)"
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  Loki accuracy {:.3} vs Proteus-style {:.3} (paper: Loki drops up to ~20% less accuracy)",
         loki.summary.system_accuracy, proteus.summary.system_accuracy
     );
+    out
 }
 
 #[cfg(test)]
@@ -327,5 +398,29 @@ mod tests {
         for (name, r) in &results {
             assert!(r.summary.total_arrivals > 0, "{name} saw no arrivals");
         }
+        // The formatters must mention every system.
+        let text = format_summary_table(&results) + &format_headline_ratios(&results);
+        for (name, _) in &results {
+            assert!(text.contains(name.as_str()));
+        }
+    }
+
+    #[test]
+    fn config_overrides_are_strict() {
+        let mut cfg = ExperimentConfig::default();
+        cfg.apply_overrides(["slo=300", "duration=60", "runs=2"])
+            .expect("valid overrides");
+        assert_eq!(cfg.slo_ms, 300.0);
+        assert_eq!(cfg.duration_s, 60);
+        assert_eq!(cfg.runs, 2);
+        // The typo the old parser silently swallowed is now a hard error.
+        let err = cfg.set("slo", "25o").unwrap_err();
+        assert!(err.contains("invalid value"), "{err}");
+        let err = cfg.set("slos", "250").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+        let err = cfg.apply_overrides(["duration"]).unwrap_err();
+        assert!(err.contains("key=value"), "{err}");
+        // Failed overrides must not have clobbered earlier state.
+        assert_eq!(cfg.slo_ms, 300.0);
     }
 }

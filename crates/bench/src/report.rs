@@ -1,0 +1,220 @@
+//! Hand-rolled JSON values and writer.
+//!
+//! The vendored `serde` is a no-op stub (crates.io is unreachable in the build
+//! container), so machine-readable reports are built from this small tree type
+//! instead of derives. Object keys keep insertion order, which keeps the emitted
+//! reports diff-friendly across runs.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    UInt(u64),
+    Int(i64),
+    /// Non-finite floats render as `null` (JSON has no NaN/Infinity).
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, to be extended with [`Json::push`].
+    pub fn object() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key to an object. Panics when `self` is not an object — report
+    /// builders construct shapes statically, so this is a programming error.
+    pub fn push(&mut self, key: &str, value: Json) -> &mut Self {
+        match self {
+            Json::Obj(entries) => entries.push((key.to_string(), value)),
+            _ => panic!("Json::push on a non-object"),
+        }
+        self
+    }
+
+    /// Look up a key in an object (test/diagnostic helper).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Debug formatting is the shortest representation that round-trips,
+                    // and always includes a `.` or exponent, so it is valid JSON.
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let mut obj = Json::object();
+        obj.push("name", "traffic".into())
+            .push("count", 3u64.into())
+            .push("ratio", 0.25.into())
+            .push("flags", Json::Arr(vec![Json::Bool(true), Json::Null]));
+        let text = obj.render();
+        assert!(text.contains("\"name\": \"traffic\""));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"ratio\": 0.25"));
+        assert!(text.contains("true"));
+        assert!(text.ends_with("}\n"));
+        assert_eq!(obj.get("count"), Some(&Json::UInt(3)));
+    }
+
+    #[test]
+    fn escapes_strings_and_nulls_non_finite() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        let mut out = String::new();
+        s.write(&mut out, 0);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn numbers_round_trip_shortest_form() {
+        assert_eq!(Json::Num(17802298.119249).render(), "17802298.119249\n");
+        assert_eq!(Json::Num(1.0).render(), "1.0\n");
+        assert_eq!(Json::UInt(u64::MAX).render(), format!("{}\n", u64::MAX));
+    }
+
+    #[test]
+    fn empty_collections_render_compactly() {
+        assert_eq!(Json::Arr(vec![]).render(), "[]\n");
+        assert_eq!(Json::object().render(), "{}\n");
+    }
+}

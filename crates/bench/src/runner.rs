@@ -1,0 +1,117 @@
+//! Parallel execution of independent simulation runs.
+//!
+//! crates.io (and thus rayon) is unavailable in the build container, so this is a
+//! hand-rolled bounded pool on `std::thread::scope`: a shared work queue drained by
+//! `jobs` scoped workers, with results written back by index so the output order is
+//! the input order regardless of scheduling. Each [`crate::scenario::RunPoint`] is
+//! fully self-contained (it builds its own graph, trace, and controller), which is
+//! what makes parallel summaries bit-identical to serial ones.
+
+use crate::scenario::{PointResult, RunPoint};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Map `f` over `items` using up to `jobs` scoped worker threads, preserving input
+/// order in the output. `jobs <= 1` runs inline on the calling thread (the exact
+/// serial path, with no pool involved).
+pub fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if jobs <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                // Pop under the lock, compute outside it.
+                let next = queue.lock().expect("queue lock").pop_front();
+                let Some((index, item)) = next else { break };
+                let out = f(item);
+                results.lock().expect("results lock")[index] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results lock")
+        .into_iter()
+        .map(|r| r.expect("every queued item completes"))
+        .collect()
+}
+
+/// Executes batches of [`RunPoint`]s, serially or across a bounded thread pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    /// Number of worker threads; `1` means inline serial execution.
+    pub jobs: usize,
+}
+
+impl Runner {
+    /// Strictly serial execution on the calling thread.
+    pub fn serial() -> Self {
+        Self { jobs: 1 }
+    }
+
+    /// A pool with an explicit worker count (clamped to at least one).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// The default parallel runner: one worker per available core, and at least two
+    /// so multi-point batches always exercise the pool.
+    pub fn auto() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self { jobs: cores.max(2) }
+    }
+
+    /// Execute every point, returning results in input order.
+    pub fn run(&self, points: Vec<RunPoint>) -> Vec<PointResult> {
+        par_map(points, self.jobs, |p| p.execute())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order_and_runs_everything() {
+        let items: Vec<usize> = (0..37).collect();
+        let calls = AtomicUsize::new(0);
+        let out = par_map(items.clone(), 4, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i * 3
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 37);
+        assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_maps_agree() {
+        let items: Vec<u64> = (0..16).collect();
+        let serial = par_map(items.clone(), 1, |i| i.wrapping_mul(0x9e3779b9) >> 7);
+        let parallel = par_map(items, 5, |i| i.wrapping_mul(0x9e3779b9) >> 7);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pool_sizes_clamp_sensibly() {
+        assert_eq!(Runner::with_jobs(0).jobs, 1);
+        assert_eq!(Runner::serial().jobs, 1);
+        assert!(Runner::auto().jobs >= 2);
+        // More workers than items must not deadlock or drop work.
+        let out = par_map(vec![1, 2], 16, |i| i + 1);
+        assert_eq!(out, vec![2, 3]);
+        let empty: Vec<i32> = par_map(Vec::<i32>::new(), 4, |i| i);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,630 @@
+//! The declarative Scenario subsystem.
+//!
+//! Every experiment of the Loki evaluation is described by data rather than by a
+//! dedicated binary: a [`Scenario`] names a pipeline ([`PipelineSpec`]), a workload
+//! ([`loki_workload::TraceSpec`]), a [`ScenarioKind`] (which figure archetype it
+//! reproduces), and default [`ExperimentConfig`] knobs. Sweeps construct fresh
+//! controllers per grid point through the [`ControllerSpec`] factory enum, and every
+//! simulator-driven point is a self-contained [`RunPoint`] that the parallel
+//! [`crate::runner::Runner`] can execute on any thread.
+
+use crate::ExperimentConfig;
+use loki_baselines::{InferLineController, ProteusController};
+use loki_core::{ControllerStats, LokiConfig, LokiController};
+use loki_pipeline::{zoo, PipelineGraph};
+use loki_sim::{
+    AllocationPlan, Controller, DropPolicy, ObservedState, RoutingPlan, SimResult, Simulation,
+};
+use loki_workload::{generate_arrivals, ArrivalProcess, Trace, TraceSpec};
+use std::time::Instant;
+
+/// The pipelines of the evaluation, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineSpec {
+    /// The traffic-analysis pipeline (YOLO → EfficientNet car classification + VGG
+    /// pedestrian branch).
+    Traffic,
+    /// The social-media pipeline (ResNet classification feeding CLIP-ViT captioning).
+    Social,
+    /// The two-task toy pipeline used by unit tests.
+    Tiny,
+}
+
+impl PipelineSpec {
+    /// All pipeline specs, in registry order.
+    pub const ALL: [PipelineSpec; 3] = [
+        PipelineSpec::Traffic,
+        PipelineSpec::Social,
+        PipelineSpec::Tiny,
+    ];
+
+    /// Stable name used by the CLI and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineSpec::Traffic => "traffic",
+            PipelineSpec::Social => "social",
+            PipelineSpec::Tiny => "tiny",
+        }
+    }
+
+    /// Look a spec up by its [`PipelineSpec::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Build the pipeline graph for a latency SLO.
+    pub fn build(self, slo_ms: f64) -> PipelineGraph {
+        match self {
+            PipelineSpec::Traffic => zoo::traffic_analysis_pipeline(slo_ms),
+            PipelineSpec::Social => zoo::social_media_pipeline(slo_ms),
+            PipelineSpec::Tiny => zoo::tiny_pipeline(slo_ms),
+        }
+    }
+}
+
+/// Factory enum for the serving systems under comparison. Sweeps construct a fresh
+/// controller per grid point (controllers carry run state and must never be shared
+/// between runs), so the spec — not the controller — is what grids enumerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControllerSpec {
+    /// Loki with the greedy Resource-Manager allocator (the paper's deployed setup).
+    LokiGreedy,
+    /// Loki with the exact MILP allocator (slower; used by the allocator ablation).
+    LokiMilp,
+    /// InferLine-style pipeline-aware hardware scaling, fixed variants.
+    InferLine,
+    /// Proteus-style pipeline-agnostic accuracy scaling.
+    Proteus,
+}
+
+impl ControllerSpec {
+    /// All controller specs, in comparison order.
+    pub const ALL: [ControllerSpec; 4] = [
+        ControllerSpec::LokiGreedy,
+        ControllerSpec::LokiMilp,
+        ControllerSpec::InferLine,
+        ControllerSpec::Proteus,
+    ];
+
+    /// The default three-system comparison of Figures 5/6.
+    pub const COMPARISON: [ControllerSpec; 3] = [
+        ControllerSpec::LokiGreedy,
+        ControllerSpec::InferLine,
+        ControllerSpec::Proteus,
+    ];
+
+    /// Stable name used by the CLI (`controllers=` axis) and sweep labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ControllerSpec::LokiGreedy => "loki-greedy",
+            ControllerSpec::LokiMilp => "loki-milp",
+            ControllerSpec::InferLine => "inferline",
+            ControllerSpec::Proteus => "proteus",
+        }
+    }
+
+    /// The system label used in comparison tables and headline ratios ("loki",
+    /// "inferline", "proteus"); distinct Loki allocators share the "loki" label
+    /// only for the greedy default.
+    pub fn system_label(self) -> &'static str {
+        match self {
+            ControllerSpec::LokiGreedy => "loki",
+            ControllerSpec::LokiMilp => "loki-milp",
+            ControllerSpec::InferLine => "inferline",
+            ControllerSpec::Proteus => "proteus",
+        }
+    }
+
+    /// Look a spec up by its [`ControllerSpec::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Construct a fresh controller for a pipeline, optionally overriding the runtime
+    /// drop policy (used by the Figure 7 ablation).
+    pub fn build(self, graph: &PipelineGraph, drop_policy: Option<DropPolicy>) -> AnyController {
+        match self {
+            ControllerSpec::LokiGreedy => {
+                let mut config = LokiConfig::with_greedy();
+                if let Some(policy) = drop_policy {
+                    config.drop_policy = policy;
+                }
+                AnyController::Loki(LokiController::new(graph.clone(), config))
+            }
+            ControllerSpec::LokiMilp => {
+                let mut config = LokiConfig::with_milp();
+                if let Some(policy) = drop_policy {
+                    config.drop_policy = policy;
+                }
+                AnyController::Loki(LokiController::new(graph.clone(), config))
+            }
+            ControllerSpec::InferLine => AnyController::InferLine(match drop_policy {
+                Some(policy) => InferLineController::with_drop_policy(graph.clone(), policy),
+                None => InferLineController::with_defaults(graph.clone()),
+            }),
+            ControllerSpec::Proteus => AnyController::Proteus(match drop_policy {
+                Some(policy) => ProteusController::with_drop_policy(graph.clone(), policy),
+                None => ProteusController::with_defaults(graph.clone()),
+            }),
+        }
+    }
+}
+
+/// A controller built by [`ControllerSpec::build`]: static dispatch over the three
+/// concrete controller types behind one value the runner can own. One controller
+/// exists per in-flight run, so the size skew between variants is irrelevant.
+#[allow(clippy::large_enum_variant)]
+pub enum AnyController {
+    Loki(LokiController),
+    InferLine(InferLineController),
+    Proteus(ProteusController),
+}
+
+impl AnyController {
+    /// Control-plane runtime statistics, when the underlying controller tracks them.
+    pub fn controller_stats(&self) -> Option<&ControllerStats> {
+        match self {
+            AnyController::Loki(c) => Some(&c.stats),
+            _ => None,
+        }
+    }
+}
+
+impl Controller for AnyController {
+    fn name(&self) -> &str {
+        match self {
+            AnyController::Loki(c) => c.name(),
+            AnyController::InferLine(c) => c.name(),
+            AnyController::Proteus(c) => c.name(),
+        }
+    }
+
+    fn control_interval_s(&self) -> f64 {
+        match self {
+            AnyController::Loki(c) => c.control_interval_s(),
+            AnyController::InferLine(c) => c.control_interval_s(),
+            AnyController::Proteus(c) => c.control_interval_s(),
+        }
+    }
+
+    fn routing_interval_s(&self) -> f64 {
+        match self {
+            AnyController::Loki(c) => c.routing_interval_s(),
+            AnyController::InferLine(c) => c.routing_interval_s(),
+            AnyController::Proteus(c) => c.routing_interval_s(),
+        }
+    }
+
+    fn plan(&mut self, observed: &ObservedState<'_>) -> Option<AllocationPlan> {
+        match self {
+            AnyController::Loki(c) => c.plan(observed),
+            AnyController::InferLine(c) => c.plan(observed),
+            AnyController::Proteus(c) => c.plan(observed),
+        }
+    }
+
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+        match self {
+            AnyController::Loki(c) => c.routing(observed),
+            AnyController::InferLine(c) => c.routing(observed),
+            AnyController::Proteus(c) => c.routing(observed),
+        }
+    }
+}
+
+/// One self-contained simulator run: everything needed to build the pipeline, the
+/// workload, and a fresh controller on any thread. Equality compares the full spec,
+/// which is what makes grid enumeration testable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPoint {
+    /// Label used in tables, sweep output, and JSON reports.
+    pub label: String,
+    pub pipeline: PipelineSpec,
+    pub trace: TraceSpec,
+    pub controller: ControllerSpec,
+    /// Override of the controller's runtime drop policy (Figure 7 ablation).
+    pub drop_policy: Option<DropPolicy>,
+    pub cfg: ExperimentConfig,
+}
+
+/// The outcome of executing one [`RunPoint`].
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    pub label: String,
+    /// Per-interval metrics and whole-run summary (bit-identical across repeated
+    /// executions of the same point — the determinism the figure harness rests on).
+    pub result: SimResult,
+    /// Best simulation wall-clock over `cfg.runs` repetitions, in seconds.
+    pub wall_s: f64,
+    /// Number of generated root arrivals.
+    pub arrivals: usize,
+    /// Control-plane statistics of the best run, when the controller tracks them.
+    pub controller_stats: Option<ControllerStats>,
+}
+
+impl RunPoint {
+    /// The workload trace for this point. The Twitter-like trace perturbs the seed
+    /// (matching the original harness) so paired traffic/social runs with the same
+    /// seed do not share an arrival pattern.
+    pub fn build_trace(&self) -> Trace {
+        self.trace.build(
+            crate::trace_seed(self.trace, self.cfg.seed),
+            self.cfg.duration_s,
+            self.cfg.base_qps,
+            self.cfg.peak_qps,
+        )
+    }
+
+    /// Execute the point: build graph, trace, and arrivals, run the simulator
+    /// `cfg.runs` times (keeping the best wall-clock, the standard way to suppress
+    /// scheduler noise in throughput numbers), and return the result.
+    pub fn execute(&self) -> PointResult {
+        let graph = self.pipeline.build(self.cfg.slo_ms);
+        let trace = self.build_trace();
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, self.cfg.seed);
+        let runs = self.cfg.runs.max(1);
+        let mut best_wall_s = f64::INFINITY;
+        let mut result = None;
+        let mut controller_stats = None;
+        for _ in 0..runs {
+            let controller = self.controller.build(&graph, self.drop_policy);
+            let mut sim = Simulation::new(&graph, crate::sim_config(&self.cfg, &trace), controller);
+            let start = Instant::now();
+            let run = sim.run(&arrivals);
+            let wall_s = start.elapsed().as_secs_f64();
+            if wall_s < best_wall_s {
+                best_wall_s = wall_s;
+                controller_stats = sim.into_controller().controller_stats().cloned();
+            }
+            result = Some(run);
+        }
+        PointResult {
+            label: self.label.clone(),
+            result: result.expect("runs >= 1"),
+            wall_s: best_wall_s,
+            arrivals: arrivals.len(),
+            controller_stats,
+        }
+    }
+}
+
+/// Which figure archetype a scenario reproduces; decides how its report is computed
+/// and rendered (see `crate::figures`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Three-system end-to-end comparison with stacked time series (Figures 5/6).
+    Comparison,
+    /// Loki accuracy/violation sensitivity across the SLO axis (Figure 8).
+    SloSweep,
+    /// Runtime drop-policy ablation (Figure 7).
+    DropPolicyAblation,
+    /// Analytic hardware→accuracy scaling phase diagram (Figure 1).
+    PhaseDiagram,
+    /// Accuracy/throughput trade-off table of the model zoo (Figure 3).
+    TradeoffTable,
+    /// Greedy vs MILP allocator ablation (Section 6.5 complement).
+    AllocatorAblation,
+    /// Multiplicative-factor awareness ablation (Section 2.2.1 failure mode).
+    MultFactorAblation,
+    /// MILP allocator runtime probe.
+    MilpProbe,
+    /// Headline capacity/efficiency numbers (abstract / Section 6.2).
+    CapacityTable,
+    /// Simulator-throughput measurement feeding `BENCH_sim.json`.
+    Throughput,
+}
+
+/// A registered experiment: a named, declarative description of one figure or table
+/// of the evaluation. `defaults` is a function pointer so the registry can stay a
+/// `const` table while `ExperimentConfig` carries floats.
+#[derive(Clone)]
+pub struct Scenario {
+    pub name: &'static str,
+    pub title: &'static str,
+    pub kind: ScenarioKind,
+    pub pipeline: PipelineSpec,
+    pub trace: TraceSpec,
+    pub defaults: fn() -> ExperimentConfig,
+}
+
+impl Scenario {
+    /// The default configuration of this scenario.
+    pub fn config(&self) -> ExperimentConfig {
+        (self.defaults)()
+    }
+}
+
+fn base_cfg() -> ExperimentConfig {
+    ExperimentConfig::default()
+}
+
+fn fig5_cfg() -> ExperimentConfig {
+    ExperimentConfig::default()
+}
+
+fn fig6_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        peak_qps: 1200.0,
+        base_qps: 60.0,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn fig7_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        duration_s: 300,
+        peak_qps: 1100.0,
+        base_qps: 700.0,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn fig8_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        duration_s: 600,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn capacity_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        duration_s: 900,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn smoke_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        duration_s: 30,
+        peak_qps: 120.0,
+        base_qps: 120.0,
+        bucket_s: 10,
+        drain_s: 10.0,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn throughput_300qps_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        cluster_size: 20,
+        duration_s: 30,
+        peak_qps: 300.0,
+        base_qps: 300.0,
+        seed: 11,
+        drain_s: 10.0,
+        runs: 3,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn throughput_1m_cfg() -> ExperimentConfig {
+    ExperimentConfig {
+        cluster_size: 100,
+        duration_s: 500,
+        peak_qps: 2000.0,
+        base_qps: 2000.0,
+        seed: 11,
+        drain_s: 10.0,
+        runs: 1,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn stress_diurnal_day_cfg() -> ExperimentConfig {
+    // A full day at diurnal rates averaging ~1150 QPS: ≈100M root arrivals.
+    ExperimentConfig {
+        cluster_size: 100,
+        duration_s: 86_400,
+        peak_qps: 2000.0,
+        base_qps: 300.0,
+        seed: 11,
+        drain_s: 10.0,
+        runs: 1,
+        bucket_s: 3600,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// The scenario registry: every former figure/ablation/capacity binary, plus the
+/// throughput scenarios tracked in `BENCH_sim.json`. `loki list` prints this table.
+pub const REGISTRY: &[Scenario] = &[
+    Scenario {
+        name: "fig1_phases",
+        title: "Phase diagram: hardware -> accuracy scaling transitions (Figure 1)",
+        kind: ScenarioKind::PhaseDiagram,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: base_cfg,
+    },
+    Scenario {
+        name: "fig3_tradeoff",
+        title: "Accuracy/throughput trade-off per model family (Figure 3)",
+        kind: ScenarioKind::TradeoffTable,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::Constant,
+        defaults: base_cfg,
+    },
+    Scenario {
+        name: "fig5_traffic",
+        title: "End-to-end comparison, traffic pipeline, diurnal trace (Figure 5)",
+        kind: ScenarioKind::Comparison,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: fig5_cfg,
+    },
+    Scenario {
+        name: "fig6_social",
+        title: "End-to-end comparison, social pipeline, bursty trace (Figure 6)",
+        kind: ScenarioKind::Comparison,
+        pipeline: PipelineSpec::Social,
+        trace: TraceSpec::TwitterBursty,
+        defaults: fig6_cfg,
+    },
+    Scenario {
+        name: "fig7_ablation",
+        title: "Load-balancer drop-policy ablation on an overload segment (Figure 7)",
+        kind: ScenarioKind::DropPolicyAblation,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: fig7_cfg,
+    },
+    Scenario {
+        name: "fig8_slo_sweep",
+        title: "SLO sensitivity: accuracy and violations vs latency SLO (Figure 8)",
+        kind: ScenarioKind::SloSweep,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: fig8_cfg,
+    },
+    Scenario {
+        name: "ablation_allocator",
+        title: "Resource-Manager ablation: greedy vs exact MILP allocator",
+        kind: ScenarioKind::AllocatorAblation,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::Constant,
+        defaults: base_cfg,
+    },
+    Scenario {
+        name: "ablation_multfactor",
+        title: "Multiplicative-factor awareness ablation (per-task shortfall)",
+        kind: ScenarioKind::MultFactorAblation,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::Constant,
+        defaults: base_cfg,
+    },
+    Scenario {
+        name: "capacity_table",
+        title: "Headline capacity/violation/off-peak ratios (T-CAP)",
+        kind: ScenarioKind::CapacityTable,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: capacity_cfg,
+    },
+    Scenario {
+        name: "milp_probe",
+        title: "MILP allocator runtime probe",
+        kind: ScenarioKind::MilpProbe,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::Constant,
+        defaults: base_cfg,
+    },
+    Scenario {
+        name: "smoke",
+        title: "Fast end-to-end comparison for CI smoke runs (30 s sim)",
+        kind: ScenarioKind::Comparison,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::Constant,
+        defaults: smoke_cfg,
+    },
+    Scenario {
+        name: "traffic_300qps_30s",
+        title: "Simulator throughput: 300 QPS x 30 s constant trace (best of 3)",
+        kind: ScenarioKind::Throughput,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::Constant,
+        defaults: throughput_300qps_cfg,
+    },
+    Scenario {
+        name: "traffic_1m_arrivals",
+        title: "Simulator throughput: one million arrivals (2000 QPS x 500 s)",
+        kind: ScenarioKind::Throughput,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::Constant,
+        defaults: throughput_1m_cfg,
+    },
+    Scenario {
+        name: "stress_diurnal_day",
+        title: "Trace-scale stress: day-long diurnal trace, ~100M arrivals",
+        kind: ScenarioKind::Throughput,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: stress_diurnal_day_cfg,
+    },
+];
+
+/// Look a scenario up by name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names: Vec<_> = REGISTRY.iter().map(|s| s.name).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total, "duplicate scenario names");
+        for sc in REGISTRY {
+            assert!(find(sc.name).is_some());
+            // Defaults must be constructible and sane.
+            let cfg = sc.config();
+            assert!(cfg.duration_s > 0);
+            assert!(cfg.peak_qps >= cfg.base_qps || sc.trace == TraceSpec::Constant);
+        }
+        assert!(find("no_such_scenario").is_none());
+    }
+
+    #[test]
+    fn every_former_binary_is_registered() {
+        for name in [
+            "fig1_phases",
+            "fig3_tradeoff",
+            "fig5_traffic",
+            "fig6_social",
+            "fig7_ablation",
+            "fig8_slo_sweep",
+            "ablation_allocator",
+            "ablation_multfactor",
+            "capacity_table",
+            "milp_probe",
+        ] {
+            assert!(find(name).is_some(), "{name} missing from registry");
+        }
+    }
+
+    #[test]
+    fn controller_spec_round_trips_and_builds_fresh_controllers() {
+        let graph = zoo::tiny_pipeline(100.0);
+        for spec in ControllerSpec::ALL {
+            assert_eq!(ControllerSpec::from_name(spec.name()), Some(spec));
+            let ctl = spec.build(&graph, Some(DropPolicy::PerTask));
+            assert!(!ctl.name().is_empty());
+        }
+        assert_eq!(ControllerSpec::from_name("gurobi"), None);
+        // Loki controllers expose stats; baselines do not.
+        assert!(ControllerSpec::LokiGreedy
+            .build(&graph, None)
+            .controller_stats()
+            .is_some());
+        assert!(ControllerSpec::Proteus
+            .build(&graph, None)
+            .controller_stats()
+            .is_none());
+    }
+
+    #[test]
+    fn run_point_execution_is_deterministic() {
+        let point = RunPoint {
+            label: "det".to_string(),
+            pipeline: PipelineSpec::Traffic,
+            trace: TraceSpec::Constant,
+            controller: ControllerSpec::LokiGreedy,
+            drop_policy: None,
+            cfg: ExperimentConfig {
+                duration_s: 10,
+                peak_qps: 100.0,
+                base_qps: 100.0,
+                drain_s: 5.0,
+                ..ExperimentConfig::default()
+            },
+        };
+        let a = point.execute();
+        let b = point.execute();
+        assert_eq!(a.result.summary, b.result.summary);
+        assert!(a.result.summary.total_arrivals > 0);
+    }
+}

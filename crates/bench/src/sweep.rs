@@ -1,0 +1,214 @@
+//! Declarative sweep grids over scenario axes.
+//!
+//! A [`Sweep`] takes a base scenario configuration and per-axis value lists
+//! (controller, SLO, peak demand, cluster size, seed) and enumerates the cartesian
+//! product as [`RunPoint`]s in a fixed nesting order — controller outermost, seed
+//! innermost — so grid enumeration is deterministic and parallel execution (which
+//! preserves input order) reports points exactly where a serial loop would.
+
+use crate::scenario::{ControllerSpec, RunPoint, Scenario, ScenarioKind};
+use crate::ExperimentConfig;
+use std::fmt::Write as _;
+
+/// A grid of experiment points over a base configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sweep {
+    pub scenario_name: String,
+    pub base: RunPoint,
+    pub controllers: Vec<ControllerSpec>,
+    pub slo_ms: Vec<f64>,
+    pub peak_qps: Vec<f64>,
+    pub cluster_size: Vec<usize>,
+    pub seed: Vec<u64>,
+}
+
+impl Sweep {
+    /// A sweep whose axes are all singletons taken from `cfg` — `points()` returns
+    /// exactly the scenario's canonical runs until axes are widened. Comparison
+    /// scenarios default to the three-system panel, the SLO-sensitivity scenario to
+    /// its canonical 200–400 ms axis, everything else to Loki-greedy alone.
+    pub fn for_scenario(scenario: &Scenario, cfg: ExperimentConfig) -> Self {
+        let controllers = match scenario.kind {
+            ScenarioKind::Comparison | ScenarioKind::CapacityTable => {
+                ControllerSpec::COMPARISON.to_vec()
+            }
+            _ => vec![ControllerSpec::LokiGreedy],
+        };
+        let slo_ms = match scenario.kind {
+            ScenarioKind::SloSweep => vec![200.0, 250.0, 300.0, 350.0, 400.0],
+            _ => vec![cfg.slo_ms],
+        };
+        let base = RunPoint {
+            label: scenario.name.to_string(),
+            pipeline: scenario.pipeline,
+            trace: scenario.trace,
+            controller: ControllerSpec::LokiGreedy,
+            drop_policy: None,
+            cfg: cfg.clone(),
+        };
+        Self {
+            scenario_name: scenario.name.to_string(),
+            base,
+            controllers,
+            slo_ms,
+            peak_qps: vec![cfg.peak_qps],
+            cluster_size: vec![cfg.cluster_size],
+            seed: vec![cfg.seed],
+        }
+    }
+
+    /// Set an axis from a comma-separated value list (CLI surface). Unknown axes and
+    /// unparsable values are hard errors, never silently ignored.
+    pub fn set_axis(&mut self, axis: &str, values: &str) -> Result<(), String> {
+        fn parse_list<T: std::str::FromStr>(axis: &str, values: &str) -> Result<Vec<T>, String> {
+            let parsed: Result<Vec<T>, _> = values.split(',').map(|v| v.trim().parse()).collect();
+            match parsed {
+                Ok(list) if !list.is_empty() => Ok(list),
+                _ => Err(format!("invalid value list for axis {axis}: {values:?}")),
+            }
+        }
+        match axis {
+            "slo" => self.slo_ms = parse_list(axis, values)?,
+            "peak" => self.peak_qps = parse_list(axis, values)?,
+            "cluster" => self.cluster_size = parse_list(axis, values)?,
+            "seed" => self.seed = parse_list(axis, values)?,
+            "controllers" | "controller" => {
+                let specs: Option<Vec<ControllerSpec>> = values
+                    .split(',')
+                    .map(|v| ControllerSpec::from_name(v.trim()))
+                    .collect();
+                match specs {
+                    Some(list) if !list.is_empty() => self.controllers = list,
+                    _ => {
+                        return Err(format!(
+                            "invalid controller list {values:?} (known: {})",
+                            ControllerSpec::ALL.map(|c| c.name()).join(", ")
+                        ))
+                    }
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, seed)"
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.controllers.len()
+            * self.slo_ms.len()
+            * self.peak_qps.len()
+            * self.cluster_size.len()
+            * self.seed.len()
+    }
+
+    /// True when the grid is empty (some axis has no values).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerate the grid in its fixed nesting order. Labels name only the axes that
+    /// actually vary, so single-axis sweeps stay readable.
+    pub fn points(&self) -> Vec<RunPoint> {
+        let mut out = Vec::with_capacity(self.len());
+        for &controller in &self.controllers {
+            for &slo in &self.slo_ms {
+                for &peak in &self.peak_qps {
+                    for &cluster in &self.cluster_size {
+                        for &seed in &self.seed {
+                            let mut cfg = self.base.cfg.clone();
+                            cfg.slo_ms = slo;
+                            cfg.peak_qps = peak;
+                            cfg.cluster_size = cluster;
+                            cfg.seed = seed;
+                            let mut label = controller.name().to_string();
+                            if self.slo_ms.len() > 1 {
+                                let _ = write!(label, " slo={slo}");
+                            }
+                            if self.peak_qps.len() > 1 {
+                                let _ = write!(label, " peak={peak}");
+                            }
+                            if self.cluster_size.len() > 1 {
+                                let _ = write!(label, " cluster={cluster}");
+                            }
+                            if self.seed.len() > 1 {
+                                let _ = write!(label, " seed={seed}");
+                            }
+                            out.push(RunPoint {
+                                label,
+                                controller,
+                                cfg,
+                                ..self.base.clone()
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    fn fig8() -> &'static Scenario {
+        scenario::find("fig8_slo_sweep").expect("fig8 registered")
+    }
+
+    #[test]
+    fn singleton_sweep_has_one_point_per_controller() {
+        let sc = scenario::find("fig5_traffic").unwrap();
+        let sweep = Sweep::for_scenario(sc, sc.config());
+        assert_eq!(sweep.len(), 3, "comparison panel has three systems");
+        let labels: Vec<_> = sweep.points().into_iter().map(|p| p.label).collect();
+        assert_eq!(labels, vec!["loki-greedy", "inferline", "proteus"]);
+    }
+
+    #[test]
+    fn slo_scenario_defaults_to_canonical_axis() {
+        let sweep = Sweep::for_scenario(fig8(), fig8().config());
+        assert_eq!(sweep.slo_ms, vec![200.0, 250.0, 300.0, 350.0, 400.0]);
+        assert_eq!(sweep.len(), 5);
+    }
+
+    #[test]
+    fn grid_enumeration_is_deterministic_and_complete() {
+        let mut sweep = Sweep::for_scenario(fig8(), fig8().config());
+        sweep.set_axis("seed", "1,2,3").unwrap();
+        sweep.set_axis("cluster", "10,20").unwrap();
+        assert_eq!(sweep.len(), 5 * 3 * 2);
+        let a = sweep.points();
+        let b = sweep.points();
+        assert_eq!(a, b, "enumeration must be reproducible");
+        assert_eq!(a.len(), sweep.len());
+        // Seed is the innermost axis; the first three points share every other knob.
+        assert_eq!(a[0].cfg.seed, 1);
+        assert_eq!(a[1].cfg.seed, 2);
+        assert_eq!(a[2].cfg.seed, 3);
+        assert_eq!(a[0].cfg.slo_ms, a[2].cfg.slo_ms);
+        // All labels unique.
+        let mut labels: Vec<_> = a.iter().map(|p| p.label.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), sweep.len());
+    }
+
+    #[test]
+    fn axis_errors_are_loud() {
+        let mut sweep = Sweep::for_scenario(fig8(), fig8().config());
+        assert!(sweep.set_axis("slo", "200,25o").is_err());
+        assert!(sweep.set_axis("warp", "9").is_err());
+        assert!(sweep.set_axis("controllers", "loki-greedy,gurobi").is_err());
+        assert!(sweep.set_axis("controllers", "loki-milp,proteus").is_ok());
+        assert_eq!(
+            sweep.controllers,
+            vec![ControllerSpec::LokiMilp, ControllerSpec::Proteus]
+        );
+    }
+}

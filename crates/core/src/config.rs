@@ -51,6 +51,11 @@ pub struct LokiConfig {
     /// run below saturation and queueing delays stay within the SLO headroom (i.e. a
     /// target utilization of `1 / provisioning_margin`).
     pub provisioning_margin: f64,
+    /// Relative demand change below which the Load Balancer keeps the previous routing
+    /// tables instead of rebuilding them every tick, provided worker assignments and
+    /// the adopted fan-out observations are also unchanged. `0.0` disables the cache
+    /// (only bit-identical demand estimates reuse tables).
+    pub routing_cache_threshold: f64,
 }
 
 impl Default for LokiConfig {
@@ -67,6 +72,7 @@ impl Default for LokiConfig {
             milp_node_limit: 2_000,
             upgrade_with_leftover: true,
             provisioning_margin: 1.25,
+            routing_cache_threshold: 0.02,
         }
     }
 }

@@ -6,8 +6,8 @@ use crate::allocator::{AllocationContext, AllocationOutcome, Allocator, Allocato
 use crate::config::LokiConfig;
 use crate::load_balancer::MostAccurateFirst;
 use crate::perf::FanoutOverrides;
-use loki_pipeline::PipelineGraph;
-use loki_sim::{AllocationPlan, Controller, ObservedState, RoutingPlan};
+use loki_pipeline::{BatchSize, PipelineGraph, VariantId};
+use loki_sim::{AllocationPlan, Controller, ObservedState, RoutingPlan, WorkerId, WorkerView};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -24,6 +24,9 @@ pub struct ControllerStats {
     pub routings: usize,
     /// Total wall-clock time spent computing routing tables (seconds).
     pub routing_time_s: f64,
+    /// Routing ticks answered from the cache (demand within the configured deadband
+    /// and worker assignments + fan-out unchanged), skipping the table rebuild.
+    pub routing_cache_hits: usize,
 }
 
 impl ControllerStats {
@@ -44,6 +47,45 @@ impl ControllerStats {
             1000.0 * self.routing_time_s / self.routings as f64
         }
     }
+
+    /// Fraction of routing ticks served from the cache.
+    pub fn routing_cache_hit_ratio(&self) -> f64 {
+        let total = self.routings + self.routing_cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.routing_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The routing inputs that produced the last built routing plan. A routing tick whose
+/// inputs still match (demand within the deadband, identical worker assignments, same
+/// adopted fan-out) keeps the engine's current tables instead of rebuilding.
+#[derive(Debug, Clone)]
+struct RoutingCacheKey {
+    demand_qps: f64,
+    /// Assignment fields of each worker view; `queue_len` is deliberately excluded
+    /// because `MostAccurateFirst` never reads it.
+    workers: Vec<(WorkerId, Option<VariantId>, BatchSize, bool)>,
+    /// Generation of the adopted fan-out observations (bumped whenever `plan` adopts a
+    /// new heartbeat aggregate). Comparing generations avoids cloning the map per tick.
+    fanout_generation: u64,
+    /// Simulated time of the rebuild. A hit certifies "the engine already holds these
+    /// tables", which no longer holds if the controller is moved to a fresh engine —
+    /// observed time jumping backwards detects that and invalidates the cache.
+    now_s: f64,
+}
+
+fn worker_assignments_match(
+    cached: &[(WorkerId, Option<VariantId>, BatchSize, bool)],
+    current: &[WorkerView],
+) -> bool {
+    cached.len() == current.len()
+        && cached
+            .iter()
+            .zip(current)
+            .all(|(c, w)| *c == (w.id, w.variant, w.max_batch, w.swapping))
 }
 
 /// The Loki controller.
@@ -52,8 +94,10 @@ pub struct LokiController {
     config: LokiConfig,
     allocator: AllocatorKind,
     fanout: FanoutOverrides,
+    fanout_generation: u64,
     last_outcome: Option<AllocationOutcome>,
     last_planned_demand: f64,
+    routing_cache: Option<RoutingCacheKey>,
     /// Runtime statistics (allocation / routing latency, invocation counts).
     pub stats: ControllerStats,
 }
@@ -68,8 +112,10 @@ impl LokiController {
             config,
             allocator,
             fanout: FanoutOverrides::new(),
+            fanout_generation: 0,
             last_outcome: None,
             last_planned_demand: 0.0,
+            routing_cache: None,
             stats: ControllerStats::default(),
         }
     }
@@ -160,9 +206,12 @@ impl Controller for LokiController {
     }
 
     fn plan(&mut self, observed: &ObservedState<'_>) -> Option<AllocationPlan> {
-        // Heartbeat aggregation: adopt the observed multiplicative factors.
+        // Heartbeat aggregation: adopt the observed multiplicative factors. The
+        // generation bump conservatively invalidates the routing cache (adopted
+        // aggregates usually differ between control ticks).
         if !observed.observed_fanout.is_empty() {
             self.fanout = observed.observed_fanout.clone();
+            self.fanout_generation += 1;
         }
         // Provision for the estimate times the margin so workers run below saturation.
         let demand = self.demand_estimate(observed) * self.config.provisioning_margin;
@@ -175,11 +224,36 @@ impl Controller for LokiController {
 
     fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
         let demand = self.demand_estimate(observed) * self.config.provisioning_margin;
+        // Routing cache: if nothing the table builder reads has changed materially
+        // since the last rebuild, keep the engine's current tables (`None`). The
+        // deadband is relative to the demand the cached tables were built for, so
+        // drift cannot accumulate across consecutive hits.
+        if let Some(cache) = &self.routing_cache {
+            let tolerance = self.config.routing_cache_threshold * cache.demand_qps.max(1.0);
+            if observed.now_s >= cache.now_s
+                && cache.fanout_generation == self.fanout_generation
+                && (demand - cache.demand_qps).abs() <= tolerance
+                && worker_assignments_match(&cache.workers, observed.workers)
+            {
+                self.stats.routing_cache_hits += 1;
+                return None;
+            }
+        }
         let start = Instant::now();
         let plan =
             MostAccurateFirst::build_routing(&self.graph, observed.workers, demand, &self.fanout);
         self.stats.routings += 1;
         self.stats.routing_time_s += start.elapsed().as_secs_f64();
+        self.routing_cache = Some(RoutingCacheKey {
+            demand_qps: demand,
+            workers: observed
+                .workers
+                .iter()
+                .map(|w| (w.id, w.variant, w.max_batch, w.swapping))
+                .collect(),
+            fanout_generation: self.fanout_generation,
+            now_s: observed.now_s,
+        });
         Some(plan)
     }
 }
@@ -256,6 +330,46 @@ mod tests {
         let ctl = sim.into_controller();
         assert!(ctl.stats.allocations >= 1);
         assert!(ctl.stats.routings >= 1);
+    }
+
+    #[test]
+    fn routing_cache_skips_rebuilds_at_steady_demand() {
+        let g = zoo::traffic_analysis_pipeline(250.0);
+        let controller = LokiController::new(g.clone(), LokiConfig::with_greedy());
+        let trace = generators::constant(60, 150.0);
+        let arrivals = generate_arrivals(&trace, ArrivalProcess::Uniform, 5);
+        let config = SimConfig {
+            cluster_size: 20,
+            initial_demand_hint: Some(150.0),
+            drain_s: 10.0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&g, config, controller);
+        sim.run(&arrivals);
+        let stats = sim.into_controller().stats;
+        // At steady demand, most of the ~60 one-second routing ticks must be served
+        // from the cache rather than rebuilding the tables.
+        assert!(
+            stats.routing_cache_hits > stats.routings,
+            "cache hits {} vs rebuilds {}",
+            stats.routing_cache_hits,
+            stats.routings
+        );
+        assert!(stats.routing_cache_hit_ratio() > 0.5);
+        // Disabling the deadband (exact matching only) must produce far fewer hits.
+        let mut strict_cfg = LokiConfig::with_greedy();
+        strict_cfg.routing_cache_threshold = 0.0;
+        let strict = LokiController::new(g.clone(), strict_cfg);
+        let config = SimConfig {
+            cluster_size: 20,
+            initial_demand_hint: Some(150.0),
+            drain_s: 10.0,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(&g, config, strict);
+        sim.run(&arrivals);
+        let strict_stats = sim.into_controller().stats;
+        assert!(strict_stats.routings >= stats.routings);
     }
 
     #[test]

@@ -64,9 +64,14 @@ fn golden_summary_is_stable() {
     assert!((s.system_accuracy - GOLDEN_ACCURACY).abs() < 1e-12);
 }
 
-// Golden values pinned after the zero-allocation event-core refactor (PR 1).
-const GOLDEN_ON_TIME: u64 = 8961;
-const GOLDEN_LATE: u64 = 19;
-const GOLDEN_DROPPED: u64 = 1;
-const GOLDEN_EVENTS: u64 = 51483;
+// Golden values pinned after the routing-cache change (PR 2): the Load Balancer now
+// keeps its tables when the demand estimate moves less than the 2% deadband and
+// worker assignments are unchanged, so table refreshes (and the RNG draws behind
+// re-sampled routing) land on slightly different ticks than in PR 1. Validated
+// against the PR-1 goldens on this scenario: on-time within 0.2% (8976 vs 8961),
+// identical accuracy, late+dropped down from 20 to 5.
+const GOLDEN_ON_TIME: u64 = 8976;
+const GOLDEN_LATE: u64 = 3;
+const GOLDEN_DROPPED: u64 = 2;
+const GOLDEN_EVENTS: u64 = 51628;
 const GOLDEN_ACCURACY: f64 = 1.0;

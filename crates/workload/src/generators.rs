@@ -8,6 +8,59 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::f64::consts::PI;
 
+/// A named trace family, so experiment harnesses can declare workloads by name
+/// instead of wiring generator calls by hand.
+///
+/// Every spec builds from the same four knobs (seed, duration, off-peak floor,
+/// peak); families that need fewer simply ignore the rest, so a spec plus those
+/// knobs fully determines a [`Trace`] bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceSpec {
+    /// Constant rate at `peak_qps` (duration only; used for throughput benches).
+    Constant,
+    /// [`azure_like_diurnal`]: off-peak valley, ramp, evening peak, small bursts.
+    AzureDiurnal,
+    /// [`twitter_like_bursty`]: noisy baseline with heavy short spikes.
+    TwitterBursty,
+    /// Linear ramp from `base_qps` to `peak_qps`.
+    Ramp,
+}
+
+impl TraceSpec {
+    /// All specs, in registry order.
+    pub const ALL: [TraceSpec; 4] = [
+        TraceSpec::Constant,
+        TraceSpec::AzureDiurnal,
+        TraceSpec::TwitterBursty,
+        TraceSpec::Ramp,
+    ];
+
+    /// Stable name used by CLIs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceSpec::Constant => "constant",
+            TraceSpec::AzureDiurnal => "azure-diurnal",
+            TraceSpec::TwitterBursty => "twitter-bursty",
+            TraceSpec::Ramp => "ramp",
+        }
+    }
+
+    /// Look a spec up by its [`TraceSpec::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Materialize the trace.
+    pub fn build(self, seed: u64, duration_s: usize, base_qps: f64, peak_qps: f64) -> Trace {
+        match self {
+            TraceSpec::Constant => constant(duration_s, peak_qps),
+            TraceSpec::AzureDiurnal => azure_like_diurnal(seed, duration_s, base_qps, peak_qps),
+            TraceSpec::TwitterBursty => twitter_like_bursty(seed, duration_s, base_qps, peak_qps),
+            TraceSpec::Ramp => ramp(duration_s, base_qps, peak_qps),
+        }
+    }
+}
+
 /// A constant-rate trace.
 pub fn constant(duration_secs: usize, qps: f64) -> Trace {
     Trace::new("constant", vec![qps; duration_secs])
@@ -165,6 +218,21 @@ mod tests {
         let mean = t.mean_qps();
         assert!(mean < 0.75 * t.peak_qps());
         assert!(t.min_qps() >= 0.0);
+    }
+
+    #[test]
+    fn trace_specs_roundtrip_names_and_build_deterministically() {
+        for spec in TraceSpec::ALL {
+            assert_eq!(TraceSpec::from_name(spec.name()), Some(spec));
+            let a = spec.build(9, 120, 20.0, 200.0);
+            let b = spec.build(9, 120, 20.0, 200.0);
+            assert_eq!(a.series(), b.series());
+            assert_eq!(a.duration_secs(), 120);
+        }
+        assert_eq!(TraceSpec::from_name("no-such-trace"), None);
+        // Constant ignores the base and runs at the peak rate.
+        let c = TraceSpec::Constant.build(0, 10, 1.0, 77.0);
+        assert!(c.series().iter().all(|&q| q == 77.0));
     }
 
     #[test]

@@ -29,4 +29,5 @@ pub mod trace;
 
 pub use arrivals::{generate_arrivals, ArrivalProcess};
 pub use estimator::{DemandHistory, EwmaEstimator};
+pub use generators::TraceSpec;
 pub use trace::Trace;
