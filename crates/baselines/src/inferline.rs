@@ -87,6 +87,17 @@ impl InferLineController {
         )
     }
 
+    /// The controller configuration.
+    pub fn config(&self) -> &InferLineConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (scenario factories adjust the comm
+    /// latency to the cluster's link-delay model before the run starts).
+    pub fn config_mut(&mut self) -> &mut InferLineConfig {
+        &mut self.config
+    }
+
     fn most_accurate_choice(&self) -> Vec<usize> {
         self.graph
             .tasks()

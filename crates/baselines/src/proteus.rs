@@ -79,6 +79,17 @@ impl ProteusController {
         )
     }
 
+    /// The controller configuration.
+    pub fn config(&self) -> &ProteusConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (scenario factories adjust the comm
+    /// latency to the cluster's link-delay model before the run starts).
+    pub fn config_mut(&mut self) -> &mut ProteusConfig {
+        &mut self.config
+    }
+
     /// The per-task latency budget a pipeline-agnostic system would use: an equal split
     /// of the (headroom-adjusted) SLO across tasks, since it has no path model.
     fn per_task_budget_ms(&self) -> f64 {

@@ -3,18 +3,20 @@
 //! ```text
 //! loki list   [--json]                                  # registered scenarios
 //! loki run    <scenario> [key=value …] [--json] [--jobs N]
-//! loki sweep  <scenario> [axis=v1,v2,…] [key=value …] [--json] [--jobs N] [--serial]
+//! loki sweep  <scenario> [axis=v1,v2,…] [key=value …] [--json] [--csv] [--jobs N] [--serial]
 //! loki report [out=PATH] [skip_large=1] [skip_stress=1] [--jobs N]
 //! ```
 //!
 //! `run` executes one scenario with its kind-specific executor (the former
 //! `fig*`/`ablation_*`/`capacity_table` binaries); `sweep` enumerates a grid over
-//! the controller/slo/peak/cluster/seed axes and fans the points out across cores;
-//! `report` refreshes `BENCH_sim.json`. Unknown keys and unparsable values exit
-//! with a clear error (exit code 2) instead of being silently ignored.
+//! the controller/slo/peak/cluster/links/seed axes and fans the points out across
+//! cores, reporting cross-seed mean/stddev per axis point (with a `--csv` emitter
+//! for figure plotting); `report` refreshes `BENCH_sim.json`. Unknown keys and
+//! unparsable values exit with a clear error (exit code 2) instead of being
+//! silently ignored.
 
 use loki_bench::figures::{self, ScenarioReport};
-use loki_bench::report::Json;
+use loki_bench::report::{self, Json};
 use loki_bench::runner::Runner;
 use loki_bench::scenario::{self, Scenario};
 use loki_bench::sweep::Sweep;
@@ -25,12 +27,15 @@ const USAGE: &str = "loki — the Loki evaluation harness
 USAGE:
   loki list   [--json]                                 list registered scenarios
   loki run    <scenario> [key=value ...] [--json] [--jobs N]
-  loki sweep  <scenario> [axis=v1,v2,...] [key=value ...] [--json] [--jobs N] [--serial]
+  loki sweep  <scenario> [axis=v1,v2,...] [key=value ...] [--json] [--csv] [--jobs N] [--serial]
   loki report [out=PATH] [skip_large=1] [skip_stress=1] [--jobs N]
   loki help
 
-Config keys: cluster, slo, duration, peak, base, seed, bucket, drain, runs.
-Sweep axes (comma-separated lists): controllers, slo, peak, cluster, seed.
+Config keys: cluster, slo, duration, peak, base, seed, bucket, drain, runs,
+links (uniform, two-tier, edge-split).
+Sweep axes (comma-separated lists): controllers, slo, peak, cluster, links, seed.
+Multi-seed sweeps report cross-seed mean/stddev per axis point; --csv emits one
+flat CSV (stat=point|mean|stddev) ready for plotting.
 See EXPERIMENTS.md for the invocation reproducing each paper figure.";
 
 fn fail(message: &str) -> ! {
@@ -42,6 +47,7 @@ fn fail(message: &str) -> ! {
 /// Flags shared by `run` and `sweep`.
 struct Flags {
     json: bool,
+    csv: bool,
     jobs: Option<usize>,
     serial: bool,
     /// Remaining `key=value` operands.
@@ -51,6 +57,7 @@ struct Flags {
 fn parse_flags(args: &[String]) -> Flags {
     let mut flags = Flags {
         json: false,
+        csv: false,
         jobs: None,
         serial: false,
         kv: Vec::new(),
@@ -59,6 +66,7 @@ fn parse_flags(args: &[String]) -> Flags {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--json" => flags.json = true,
+            "--csv" => flags.csv = true,
             "--serial" => flags.serial = true,
             "--jobs" => {
                 let Some(value) = iter.next() else {
@@ -96,6 +104,9 @@ fn lookup_scenario(name: &str) -> &'static Scenario {
 
 fn cmd_list(args: &[String]) {
     let flags = parse_flags(args);
+    if flags.csv {
+        fail("--csv is only available for sweep");
+    }
     if !flags.kv.is_empty() {
         fail(&format!("list takes no operands, got {:?}", flags.kv));
     }
@@ -133,6 +144,9 @@ fn cmd_list(args: &[String]) {
 
 fn cmd_run(args: &[String]) {
     let flags = parse_flags(args);
+    if flags.csv {
+        fail("--csv is only available for sweep");
+    }
     let Some((name, overrides)) = flags.kv.split_first() else {
         fail("run requires a scenario name");
     };
@@ -148,6 +162,9 @@ fn cmd_run(args: &[String]) {
 
 fn cmd_sweep(args: &[String]) {
     let flags = parse_flags(args);
+    if flags.json && flags.csv {
+        fail("--json and --csv are mutually exclusive");
+    }
     let Some((name, operands)) = flags.kv.split_first() else {
         fail("sweep requires a scenario name");
     };
@@ -160,7 +177,7 @@ fn cmd_sweep(args: &[String]) {
         };
         match key {
             // Axis keys accept comma-separated lists and are applied to the grid.
-            "controllers" | "controller" | "slo" | "peak" | "cluster" | "seed" => {
+            "controllers" | "controller" | "slo" | "peak" | "cluster" | "links" | "seed" => {
                 axes.push((key.to_string(), value.to_string()));
             }
             // Everything else is a base-config override.
@@ -187,8 +204,14 @@ fn cmd_sweep(args: &[String]) {
         sweep.len(),
         runner.jobs.min(sweep.len())
     );
-    let results = runner.run(sweep.points());
+    let points = sweep.points();
+    let results = runner.run(points.clone());
+    let multi_seed = sweep.seed.len() > 1;
 
+    if flags.csv {
+        print!("{}", report::sweep_csv(sc.name, &points, &results));
+        return;
+    }
     if flags.json {
         let mut out = Json::object();
         out.push("scenario", sc.name.into())
@@ -209,6 +232,28 @@ fn cmd_sweep(args: &[String]) {
                         .collect(),
                 ),
             );
+        if multi_seed {
+            out.push(
+                "aggregates",
+                Json::Arr(
+                    report::aggregate_sweep(&points, &results)
+                        .iter()
+                        .map(|agg| {
+                            let mut obj = Json::object();
+                            obj.push("label", agg.label.as_str().into()).push(
+                                "seeds",
+                                Json::Arr(agg.seeds.iter().map(|&s| Json::UInt(s)).collect()),
+                            );
+                            for (i, metric) in report::SWEEP_METRICS.iter().enumerate() {
+                                obj.push(&format!("{metric}_mean"), agg.mean[i].into())
+                                    .push(&format!("{metric}_stddev"), agg.stddev[i].into());
+                            }
+                            obj
+                        })
+                        .collect(),
+                ),
+            );
+        }
         print!("{}", out.render());
         return;
     }
@@ -232,13 +277,40 @@ fn cmd_sweep(args: &[String]) {
             s.system_accuracy
         );
     }
+    if multi_seed {
+        let _ = writeln!(
+            out,
+            "\ncross-seed aggregates (mean ± stddev per axis point):"
+        );
+        let _ = writeln!(
+            out,
+            "{:<34} {:>7} {:>22} {:>22} {:>20}",
+            "axis point", "seeds", "slo_viol", "accuracy", "on_time"
+        );
+        for agg in report::aggregate_sweep(&points, &results) {
+            // SWEEP_METRICS order: on_time, late, dropped, slo_violation_ratio,
+            // system_accuracy, mean_utilization, wall_s.
+            let _ = writeln!(
+                out,
+                "{:<34} {:>7} {:>12.4} ± {:>7.4} {:>12.4} ± {:>7.4} {:>11.1} ± {:>6.1}",
+                agg.label,
+                agg.seeds.len(),
+                agg.mean[3],
+                agg.stddev[3],
+                agg.mean[4],
+                agg.stddev[4],
+                agg.mean[0],
+                agg.stddev[0],
+            );
+        }
+    }
     print!("{out}");
 }
 
 fn cmd_report(args: &[String]) {
     let flags = parse_flags(args);
-    if flags.json {
-        fail("report is always JSON; drop --json");
+    if flags.json || flags.csv {
+        fail("report is always JSON; drop --json/--csv");
     }
     let mut out_path = "BENCH_sim.json".to_string();
     let mut skip_large = false;
@@ -266,6 +338,7 @@ fn cmd_report(args: &[String]) {
     for name in [
         "traffic_300qps_30s",
         "traffic_1m_arrivals",
+        "traffic_hetnet",
         "stress_diurnal_day",
     ] {
         if skip_large && name != "traffic_300qps_30s" {

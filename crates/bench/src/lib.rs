@@ -29,9 +29,71 @@ pub mod sweep;
 use loki_baselines::{InferLineController, ProteusController};
 use loki_core::{LokiConfig, LokiController};
 use loki_pipeline::PipelineGraph;
-use loki_sim::{Controller, IntervalMetrics, SimConfig, SimResult, Simulation};
+use loki_sim::{Controller, IntervalMetrics, LinkDelayModel, SimConfig, SimResult, Simulation};
 use loki_workload::{generate_arrivals, generators, ArrivalProcess, Trace};
 use std::fmt::Write as _;
+
+/// Named per-link delay profiles for the experiment harness: the CLI's `links=`
+/// key (and sweep axis) selects one by name, and [`LinkProfile::to_model`]
+/// expands it into the simulator's [`LinkDelayModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LinkProfile {
+    /// Every hop takes the uniform `network_delay_ms` (2 ms): the paper's
+    /// homogeneous testbed.
+    #[default]
+    Uniform,
+    /// Two interconnect classes striped across the cluster (worker `w` is in
+    /// class `w % 2`): intra-class hops are PCIe-fast (0.2 ms), cross-class
+    /// hops cross the datacenter network (5 ms), and the frontend reaches both
+    /// classes in 2 ms.
+    TwoTier,
+    /// Per-pipeline-edge delays for a detection → classification split across
+    /// racks: the edge from task 0 to task 1 costs 5 ms, the edge from task 0
+    /// to task 2 is co-located (0.2 ms), everything else (and the frontend)
+    /// keeps the uniform 2 ms. Meant for the three-task traffic pipeline; the
+    /// engine rejects the model loudly on pipelines without tasks 0–2.
+    EdgeSplit,
+}
+
+impl LinkProfile {
+    /// All profiles, in registry order.
+    pub const ALL: [LinkProfile; 3] = [
+        LinkProfile::Uniform,
+        LinkProfile::TwoTier,
+        LinkProfile::EdgeSplit,
+    ];
+
+    /// Stable name used by the CLI (`links=` key / sweep axis) and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkProfile::Uniform => "uniform",
+            LinkProfile::TwoTier => "two-tier",
+            LinkProfile::EdgeSplit => "edge-split",
+        }
+    }
+
+    /// Look a profile up by its [`LinkProfile::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Expand into the simulator's per-link delay model.
+    pub fn to_model(self) -> LinkDelayModel {
+        match self {
+            LinkProfile::Uniform => LinkDelayModel::Uniform,
+            LinkProfile::TwoTier => LinkDelayModel::PerWorkerClass {
+                classes: 2,
+                delay_ms: vec![0.2, 5.0, 5.0, 0.2],
+                frontend_ms: vec![2.0, 2.0],
+            },
+            LinkProfile::EdgeSplit => LinkDelayModel::PerEdge {
+                frontend_ms: 2.0,
+                default_ms: 2.0,
+                edges: vec![((0, 1), 5.0), ((0, 2), 0.2)],
+            },
+        }
+    }
+}
 
 /// Common knobs for an end-to-end comparison experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +116,8 @@ pub struct ExperimentConfig {
     pub drain_s: f64,
     /// Repetitions per run point, keeping the best wall-clock (throughput scenarios).
     pub runs: usize,
+    /// Per-link network-delay profile (`links=` key; uniform by default).
+    pub links: LinkProfile,
 }
 
 impl Default for ExperimentConfig {
@@ -68,6 +132,7 @@ impl Default for ExperimentConfig {
             bucket_s: 60,
             drain_s: 20.0,
             runs: 1,
+            links: LinkProfile::Uniform,
         }
     }
 }
@@ -91,9 +156,17 @@ impl ExperimentConfig {
             "bucket" => self.bucket_s = parse(key, value)?,
             "drain" => self.drain_s = parse(key, value)?,
             "runs" => self.runs = parse(key, value)?,
+            "links" => {
+                self.links = LinkProfile::from_name(value).ok_or_else(|| {
+                    format!(
+                        "invalid value for links: {value:?} (known: {})",
+                        LinkProfile::ALL.map(|p| p.name()).join(", ")
+                    )
+                })?
+            }
             _ => {
                 return Err(format!(
-                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs)"
+                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, links)"
                 ))
             }
         }
@@ -151,6 +224,7 @@ pub fn sim_config(cfg: &ExperimentConfig, trace: &Trace) -> SimConfig {
         seed: cfg.seed,
         initial_demand_hint: Some(trace.qps_at(0).max(1.0)),
         drain_s: cfg.drain_s,
+        link_delays: cfg.links.to_model(),
         ..SimConfig::default()
     }
 }
@@ -422,5 +496,33 @@ mod tests {
         assert!(err.contains("key=value"), "{err}");
         // Failed overrides must not have clobbered earlier state.
         assert_eq!(cfg.slo_ms, 300.0);
+    }
+
+    #[test]
+    fn link_profiles_round_trip_and_expand() {
+        use loki_sim::LinkDelayModel;
+        for profile in LinkProfile::ALL {
+            assert_eq!(LinkProfile::from_name(profile.name()), Some(profile));
+            assert!(profile.to_model().validate().is_ok());
+        }
+        assert_eq!(LinkProfile::from_name("warp-drive"), None);
+        assert_eq!(LinkProfile::Uniform.to_model(), LinkDelayModel::Uniform);
+        // The heterogeneous profiles must actually be heterogeneous: their
+        // worst hop exceeds the 2 ms uniform delay.
+        assert!(LinkProfile::TwoTier.to_model().max_hop_ms(2.0) > 2.0);
+        assert!(LinkProfile::EdgeSplit.to_model().max_hop_ms(2.0) > 2.0);
+
+        let mut cfg = ExperimentConfig::default();
+        assert_eq!(cfg.links, LinkProfile::Uniform);
+        cfg.apply_overrides(["links=two-tier"]).expect("valid");
+        assert_eq!(cfg.links, LinkProfile::TwoTier);
+        let err = cfg.set("links", "nope").unwrap_err();
+        assert!(err.contains("invalid value for links"), "{err}");
+        // The simulator config inherits the expanded model.
+        let trace = generators::constant(5, 10.0);
+        assert_eq!(
+            sim_config(&cfg, &trace).link_delays,
+            LinkProfile::TwoTier.to_model()
+        );
     }
 }

@@ -1,10 +1,17 @@
-//! Hand-rolled JSON values and writer.
+//! Hand-rolled JSON values and writer, plus the sweep CSV emitter and
+//! cross-seed aggregation.
 //!
 //! The vendored `serde` is a no-op stub (crates.io is unreachable in the build
 //! container), so machine-readable reports are built from this small tree type
 //! instead of derives. Object keys keep insertion order, which keeps the emitted
 //! reports diff-friendly across runs.
+//!
+//! [`sweep_csv`] renders a `loki sweep` result as one flat CSV (per-point rows
+//! tagged `stat=point`, cross-seed aggregates as `stat=mean` / `stat=stddev`),
+//! so figure plotting needs no post-processing; [`aggregate_sweep`] exposes the
+//! same aggregation programmatically.
 
+use crate::scenario::{PointResult, RunPoint};
 use std::fmt::Write as _;
 
 /// A JSON value.
@@ -151,6 +158,241 @@ impl From<bool> for Json {
     }
 }
 
+// ---- sweep aggregation and CSV -------------------------------------------------
+
+/// The metrics a sweep point contributes to cross-seed statistics, in the
+/// column order of [`sweep_csv`].
+pub const SWEEP_METRICS: [&str; 7] = [
+    "on_time",
+    "late",
+    "dropped",
+    "slo_violation_ratio",
+    "system_accuracy",
+    "mean_utilization",
+    "wall_s",
+];
+
+fn metric_values(point: &PointResult) -> [f64; 7] {
+    let s = &point.result.summary;
+    [
+        s.total_on_time as f64,
+        s.total_late as f64,
+        s.total_dropped as f64,
+        s.slo_violation_ratio,
+        s.system_accuracy,
+        s.mean_utilization,
+        point.wall_s,
+    ]
+}
+
+/// One axis point of a sweep (every knob except the seed), aggregated across
+/// the seeds that ran it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisAggregate {
+    /// The point's label with its ` seed=N` component removed.
+    pub label: String,
+    /// Seeds aggregated, in grid order.
+    pub seeds: Vec<u64>,
+    /// Per-metric means, ordered as [`SWEEP_METRICS`].
+    pub mean: [f64; 7],
+    /// Per-metric sample standard deviations (0 for a single seed), ordered as
+    /// [`SWEEP_METRICS`].
+    pub stddev: [f64; 7],
+}
+
+/// The grouping key of an axis point: everything the grid varies except the
+/// seed. Controller and drop policy come from the point, the rest from its
+/// config; floats key by bit pattern (grid values are exact, not computed).
+type AxisKey = (String, u64, u64, usize, &'static str);
+
+fn axis_key(point: &RunPoint) -> AxisKey {
+    (
+        format!("{:?}|{:?}", point.controller, point.drop_policy),
+        point.cfg.slo_ms.to_bits(),
+        point.cfg.peak_qps.to_bits(),
+        point.cfg.cluster_size,
+        point.cfg.links.name(),
+    )
+}
+
+fn strip_seed(label: &str) -> String {
+    label
+        .split_whitespace()
+        .filter(|part| !part.starts_with("seed="))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Group a sweep's results by axis point (all knobs except the seed) and
+/// compute per-metric mean and sample standard deviation across seeds.
+/// `points` and `results` must be the sweep's grid and its results in the same
+/// (input) order — which is what [`crate::runner::Runner::run`] guarantees.
+pub fn aggregate_sweep(points: &[RunPoint], results: &[PointResult]) -> Vec<AxisAggregate> {
+    assert_eq!(points.len(), results.len(), "one result per grid point");
+    struct Group {
+        key: AxisKey,
+        label: String,
+        seeds: Vec<u64>,
+        rows: Vec<[f64; 7]>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    for (point, result) in points.iter().zip(results) {
+        let key = axis_key(point);
+        let values = metric_values(result);
+        match groups.iter_mut().find(|g| g.key == key) {
+            Some(group) => {
+                group.seeds.push(point.cfg.seed);
+                group.rows.push(values);
+            }
+            None => groups.push(Group {
+                key,
+                label: strip_seed(&point.label),
+                seeds: vec![point.cfg.seed],
+                rows: vec![values],
+            }),
+        }
+    }
+    groups
+        .into_iter()
+        .map(
+            |Group {
+                 label, seeds, rows, ..
+             }| {
+                let n = rows.len() as f64;
+                let mut mean = [0.0; 7];
+                let mut stddev = [0.0; 7];
+                for row in &rows {
+                    for (m, v) in mean.iter_mut().zip(row) {
+                        *m += v / n;
+                    }
+                }
+                if rows.len() > 1 {
+                    for row in &rows {
+                        for ((sd, v), m) in stddev.iter_mut().zip(row).zip(&mean) {
+                            *sd += (v - m) * (v - m) / (n - 1.0);
+                        }
+                    }
+                    for sd in &mut stddev {
+                        *sd = sd.sqrt();
+                    }
+                }
+                AxisAggregate {
+                    label,
+                    seeds,
+                    mean,
+                    stddev,
+                }
+            },
+        )
+        .collect()
+}
+
+/// Render one CSV field, quoting only when the content requires it.
+fn csv_field(out: &mut String, field: &str) {
+    if field.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+fn csv_row(out: &mut String, fields: &[String]) {
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        csv_field(out, field);
+    }
+    out.push('\n');
+}
+
+/// Render a sweep as one flat CSV: a `stat=point` row per grid point (with its
+/// seed), then — when the seed axis has more than one value — `stat=mean` and
+/// `stat=stddev` rows per axis point with the seed column empty. Uniform
+/// columns throughout, so a plotting script filters on `stat` and is done.
+pub fn sweep_csv(scenario: &str, points: &[RunPoint], results: &[PointResult]) -> String {
+    assert_eq!(points.len(), results.len(), "one result per grid point");
+    let mut out = String::new();
+    let mut header: Vec<String> = [
+        "scenario",
+        "stat",
+        "label",
+        "controller",
+        "pipeline",
+        "trace",
+        "slo_ms",
+        "peak_qps",
+        "base_qps",
+        "cluster",
+        "links",
+        "seed",
+        "arrivals",
+    ]
+    .map(str::to_string)
+    .to_vec();
+    header.extend(SWEEP_METRICS.map(str::to_string));
+    csv_row(&mut out, &header);
+
+    let axis_fields = |point: &RunPoint| -> Vec<String> {
+        vec![
+            point.controller.name().to_string(),
+            point.pipeline.name().to_string(),
+            point.trace.name().to_string(),
+            format!("{}", point.cfg.slo_ms),
+            format!("{}", point.cfg.peak_qps),
+            format!("{}", point.cfg.base_qps),
+            format!("{}", point.cfg.cluster_size),
+            point.cfg.links.name().to_string(),
+        ]
+    };
+
+    for (point, result) in points.iter().zip(results) {
+        let mut row = vec![
+            scenario.to_string(),
+            "point".to_string(),
+            point.label.clone(),
+        ];
+        row.extend(axis_fields(point));
+        row.push(format!("{}", point.cfg.seed));
+        row.push(format!("{}", result.arrivals));
+        row.extend(metric_values(result).map(|v| format!("{v}")));
+        csv_row(&mut out, &row);
+    }
+
+    let multi_seed = {
+        let mut seeds: Vec<u64> = points.iter().map(|p| p.cfg.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        seeds.len() > 1
+    };
+    if multi_seed {
+        let aggregates = aggregate_sweep(points, results);
+        // The representative point of each group carries the axis columns.
+        for agg in &aggregates {
+            let rep = points
+                .iter()
+                .position(|p| strip_seed(&p.label) == agg.label)
+                .expect("aggregate label comes from a point");
+            for (stat, values) in [("mean", &agg.mean), ("stddev", &agg.stddev)] {
+                let mut row = vec![scenario.to_string(), stat.to_string(), agg.label.clone()];
+                row.extend(axis_fields(&points[rep]));
+                row.push(String::new()); // seed
+                row.push(String::new()); // arrivals
+                row.extend(values.iter().map(|v| format!("{v}")));
+                csv_row(&mut out, &row);
+            }
+        }
+    }
+    out
+}
+
 fn push_indent(out: &mut String, indent: usize) {
     for _ in 0..indent {
         out.push_str("  ");
@@ -216,5 +458,92 @@ mod tests {
     fn empty_collections_render_compactly() {
         assert_eq!(Json::Arr(vec![]).render(), "[]\n");
         assert_eq!(Json::object().render(), "{}\n");
+    }
+
+    #[test]
+    fn csv_fields_escape_only_when_needed() {
+        let mut out = String::new();
+        csv_row(
+            &mut out,
+            &[
+                "plain".to_string(),
+                "with,comma".to_string(),
+                "with\"quote".to_string(),
+            ],
+        );
+        assert_eq!(out, "plain,\"with,comma\",\"with\"\"quote\"\n");
+    }
+
+    fn tiny_sweep() -> (Vec<RunPoint>, Vec<PointResult>) {
+        use crate::scenario::{ControllerSpec, PipelineSpec};
+        use crate::ExperimentConfig;
+        let cfg = ExperimentConfig {
+            duration_s: 10,
+            peak_qps: 60.0,
+            base_qps: 60.0,
+            drain_s: 5.0,
+            ..ExperimentConfig::default()
+        };
+        let points: Vec<RunPoint> = [41u64, 42]
+            .into_iter()
+            .map(|seed| RunPoint {
+                label: format!("loki-greedy seed={seed}"),
+                pipeline: PipelineSpec::Tiny,
+                trace: loki_workload::TraceSpec::Constant,
+                controller: ControllerSpec::LokiGreedy,
+                drop_policy: None,
+                cfg: ExperimentConfig {
+                    seed,
+                    ..cfg.clone()
+                },
+            })
+            .collect();
+        let results: Vec<PointResult> = points.iter().map(|p| p.execute()).collect();
+        (points, results)
+    }
+
+    #[test]
+    fn cross_seed_aggregation_means_and_deviations() {
+        let (points, results) = tiny_sweep();
+        let aggs = aggregate_sweep(&points, &results);
+        assert_eq!(aggs.len(), 1, "one axis point across two seeds");
+        let agg = &aggs[0];
+        assert_eq!(agg.label, "loki-greedy");
+        assert_eq!(agg.seeds, vec![41, 42]);
+        // Mean of on_time is the arithmetic mean of the two runs.
+        let on_time: Vec<f64> = results
+            .iter()
+            .map(|r| r.result.summary.total_on_time as f64)
+            .collect();
+        let mean = (on_time[0] + on_time[1]) / 2.0;
+        assert!((agg.mean[0] - mean).abs() < 1e-9);
+        // Sample stddev of two points: |a - b| / sqrt(2).
+        let sd = (on_time[0] - on_time[1]).abs() / 2f64.sqrt();
+        assert!((agg.stddev[0] - sd).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_csv_has_point_and_aggregate_rows() {
+        let (points, results) = tiny_sweep();
+        let csv = sweep_csv("unit", &points, &results);
+        let lines: Vec<&str> = csv.lines().collect();
+        // header + 2 points + mean + stddev
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("scenario,stat,label,controller,"));
+        let columns = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+        }
+        assert!(lines[1].contains(",point,") && lines[1].contains(",41,"));
+        assert!(lines[2].contains(",point,") && lines[2].contains(",42,"));
+        assert!(lines[3].contains(",mean,loki-greedy,"));
+        assert!(lines[4].contains(",stddev,loki-greedy,"));
+    }
+
+    #[test]
+    fn single_seed_sweep_csv_skips_aggregates() {
+        let (points, results) = tiny_sweep();
+        let csv = sweep_csv("unit", &points[..1], &results[..1]);
+        assert_eq!(csv.lines().count(), 2, "header + one point, no aggregates");
     }
 }

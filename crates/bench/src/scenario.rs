@@ -8,12 +8,13 @@
 //! simulator-driven point is a self-contained [`RunPoint`] that the parallel
 //! [`crate::runner::Runner`] can execute on any thread.
 
-use crate::ExperimentConfig;
+use crate::{ExperimentConfig, LinkProfile};
 use loki_baselines::{InferLineController, ProteusController};
 use loki_core::{ControllerStats, LokiConfig, LokiController};
 use loki_pipeline::{zoo, PipelineGraph};
 use loki_sim::{
-    AllocationPlan, Controller, DropPolicy, ObservedState, RoutingPlan, SimResult, Simulation,
+    AllocationPlan, Controller, DropPolicy, LinkDelayModel, ObservedState, RoutingPlan, SimResult,
+    Simulation,
 };
 use loki_workload::{generate_arrivals, ArrivalProcess, Trace, TraceSpec};
 use std::time::Instant;
@@ -121,14 +122,23 @@ impl ControllerSpec {
     }
 
     /// Construct a fresh controller for a pipeline, optionally overriding the runtime
-    /// drop policy (used by the Figure 7 ablation).
-    pub fn build(self, graph: &PipelineGraph, drop_policy: Option<DropPolicy>) -> AnyController {
+    /// drop policy (used by the Figure 7 ablation). `links` is the cluster's per-link
+    /// delay model: Loki mirrors it into its planner config, the baselines budget
+    /// with its worst-case hop (they only know one comm latency), so every system
+    /// plans against the interconnect it will actually be simulated on.
+    pub fn build(
+        self,
+        graph: &PipelineGraph,
+        drop_policy: Option<DropPolicy>,
+        links: &LinkDelayModel,
+    ) -> AnyController {
         match self {
             ControllerSpec::LokiGreedy => {
                 let mut config = LokiConfig::with_greedy();
                 if let Some(policy) = drop_policy {
                     config.drop_policy = policy;
                 }
+                config.link_delays = links.clone();
                 AnyController::Loki(LokiController::new(graph.clone(), config))
             }
             ControllerSpec::LokiMilp => {
@@ -136,16 +146,27 @@ impl ControllerSpec {
                 if let Some(policy) = drop_policy {
                     config.drop_policy = policy;
                 }
+                config.link_delays = links.clone();
                 AnyController::Loki(LokiController::new(graph.clone(), config))
             }
-            ControllerSpec::InferLine => AnyController::InferLine(match drop_policy {
-                Some(policy) => InferLineController::with_drop_policy(graph.clone(), policy),
-                None => InferLineController::with_defaults(graph.clone()),
-            }),
-            ControllerSpec::Proteus => AnyController::Proteus(match drop_policy {
-                Some(policy) => ProteusController::with_drop_policy(graph.clone(), policy),
-                None => ProteusController::with_defaults(graph.clone()),
-            }),
+            ControllerSpec::InferLine => {
+                let mut controller = match drop_policy {
+                    Some(policy) => InferLineController::with_drop_policy(graph.clone(), policy),
+                    None => InferLineController::with_defaults(graph.clone()),
+                };
+                let comm = links.max_hop_ms(controller.config().comm_latency_ms);
+                controller.config_mut().comm_latency_ms = comm;
+                AnyController::InferLine(controller)
+            }
+            ControllerSpec::Proteus => {
+                let mut controller = match drop_policy {
+                    Some(policy) => ProteusController::with_drop_policy(graph.clone(), policy),
+                    None => ProteusController::with_defaults(graph.clone()),
+                };
+                let comm = links.max_hop_ms(controller.config().comm_latency_ms);
+                controller.config_mut().comm_latency_ms = comm;
+                AnyController::Proteus(controller)
+            }
         }
     }
 }
@@ -262,12 +283,13 @@ impl RunPoint {
         let graph = self.pipeline.build(self.cfg.slo_ms);
         let trace = self.build_trace();
         let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, self.cfg.seed);
+        let links = self.cfg.links.to_model();
         let runs = self.cfg.runs.max(1);
         let mut best_wall_s = f64::INFINITY;
         let mut result = None;
         let mut controller_stats = None;
         for _ in 0..runs {
-            let controller = self.controller.build(&graph, self.drop_policy);
+            let controller = self.controller.build(&graph, self.drop_policy, &links);
             let mut sim = Simulation::new(&graph, crate::sim_config(&self.cfg, &trace), controller);
             let start = Instant::now();
             let run = sim.run(&arrivals);
@@ -425,6 +447,23 @@ fn stress_diurnal_day_cfg() -> ExperimentConfig {
     }
 }
 
+fn traffic_hetnet_cfg() -> ExperimentConfig {
+    // The 1M-arrival workload on a two-tier interconnect: PCIe-fast intra-class
+    // hops (0.2 ms) mixed with 5 ms cross-class hops, which exercises the
+    // calendar queue's out-of-order delivery scheduling at trace scale.
+    ExperimentConfig {
+        cluster_size: 100,
+        duration_s: 500,
+        peak_qps: 2000.0,
+        base_qps: 2000.0,
+        seed: 11,
+        drain_s: 10.0,
+        runs: 1,
+        links: LinkProfile::TwoTier,
+        ..ExperimentConfig::default()
+    }
+}
+
 /// The scenario registry: every former figure/ablation/capacity binary, plus the
 /// throughput scenarios tracked in `BENCH_sim.json`. `loki list` prints this table.
 pub const REGISTRY: &[Scenario] = &[
@@ -540,6 +579,14 @@ pub const REGISTRY: &[Scenario] = &[
         trace: TraceSpec::AzureDiurnal,
         defaults: stress_diurnal_day_cfg,
     },
+    Scenario {
+        name: "traffic_hetnet",
+        title: "Heterogeneous per-link delays: 1M arrivals on a two-tier interconnect",
+        kind: ScenarioKind::Throughput,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::Constant,
+        defaults: traffic_hetnet_cfg,
+    },
 ];
 
 /// Look a scenario up by name.
@@ -591,19 +638,51 @@ mod tests {
         let graph = zoo::tiny_pipeline(100.0);
         for spec in ControllerSpec::ALL {
             assert_eq!(ControllerSpec::from_name(spec.name()), Some(spec));
-            let ctl = spec.build(&graph, Some(DropPolicy::PerTask));
+            let ctl = spec.build(&graph, Some(DropPolicy::PerTask), &LinkDelayModel::Uniform);
             assert!(!ctl.name().is_empty());
         }
         assert_eq!(ControllerSpec::from_name("gurobi"), None);
         // Loki controllers expose stats; baselines do not.
         assert!(ControllerSpec::LokiGreedy
-            .build(&graph, None)
+            .build(&graph, None, &LinkDelayModel::Uniform)
             .controller_stats()
             .is_some());
         assert!(ControllerSpec::Proteus
-            .build(&graph, None)
+            .build(&graph, None, &LinkDelayModel::Uniform)
             .controller_stats()
             .is_none());
+    }
+
+    #[test]
+    fn controllers_budget_with_the_link_delay_model() {
+        let graph = zoo::tiny_pipeline(100.0);
+        let links = LinkProfile::TwoTier.to_model();
+        // Loki mirrors the model; the baselines budget with its worst hop.
+        let AnyController::Loki(loki) = ControllerSpec::LokiGreedy.build(&graph, None, &links)
+        else {
+            panic!("loki spec must build a loki controller");
+        };
+        assert_eq!(loki.config().link_delays, links);
+        assert_eq!(loki.config().effective_comm_ms(), 5.0);
+        let AnyController::InferLine(inferline) =
+            ControllerSpec::InferLine.build(&graph, None, &links)
+        else {
+            panic!("inferline spec must build an inferline controller");
+        };
+        assert_eq!(inferline.config().comm_latency_ms, 5.0);
+        let AnyController::Proteus(proteus) = ControllerSpec::Proteus.build(&graph, None, &links)
+        else {
+            panic!("proteus spec must build a proteus controller");
+        };
+        assert_eq!(proteus.config().comm_latency_ms, 5.0);
+    }
+
+    #[test]
+    fn traffic_hetnet_scenario_is_registered_with_two_tier_links() {
+        let sc = find("traffic_hetnet").expect("traffic_hetnet registered");
+        let cfg = sc.config();
+        assert_eq!(cfg.links, LinkProfile::TwoTier);
+        assert_ne!(cfg.links.to_model(), LinkDelayModel::Uniform);
     }
 
     #[test]

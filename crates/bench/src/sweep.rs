@@ -7,7 +7,7 @@
 //! preserves input order) reports points exactly where a serial loop would.
 
 use crate::scenario::{ControllerSpec, RunPoint, Scenario, ScenarioKind};
-use crate::ExperimentConfig;
+use crate::{ExperimentConfig, LinkProfile};
 use std::fmt::Write as _;
 
 /// A grid of experiment points over a base configuration.
@@ -19,6 +19,7 @@ pub struct Sweep {
     pub slo_ms: Vec<f64>,
     pub peak_qps: Vec<f64>,
     pub cluster_size: Vec<usize>,
+    pub links: Vec<LinkProfile>,
     pub seed: Vec<u64>,
 }
 
@@ -53,6 +54,7 @@ impl Sweep {
             slo_ms,
             peak_qps: vec![cfg.peak_qps],
             cluster_size: vec![cfg.cluster_size],
+            links: vec![cfg.links],
             seed: vec![cfg.seed],
         }
     }
@@ -87,10 +89,25 @@ impl Sweep {
                     }
                 }
             }
+            "links" => {
+                let profiles: Option<Vec<LinkProfile>> = values
+                    .split(',')
+                    .map(|v| LinkProfile::from_name(v.trim()))
+                    .collect();
+                match profiles {
+                    Some(list) if !list.is_empty() => self.links = list,
+                    _ => {
+                        return Err(format!(
+                            "invalid links list {values:?} (known: {})",
+                            LinkProfile::ALL.map(|p| p.name()).join(", ")
+                        ))
+                    }
+                }
+            }
             _ => {
                 return Err(format!(
-                    "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, seed)"
-                ))
+                "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, links, seed)"
+            ))
             }
         }
         Ok(())
@@ -102,6 +119,7 @@ impl Sweep {
             * self.slo_ms.len()
             * self.peak_qps.len()
             * self.cluster_size.len()
+            * self.links.len()
             * self.seed.len()
     }
 
@@ -118,31 +136,37 @@ impl Sweep {
             for &slo in &self.slo_ms {
                 for &peak in &self.peak_qps {
                     for &cluster in &self.cluster_size {
-                        for &seed in &self.seed {
-                            let mut cfg = self.base.cfg.clone();
-                            cfg.slo_ms = slo;
-                            cfg.peak_qps = peak;
-                            cfg.cluster_size = cluster;
-                            cfg.seed = seed;
-                            let mut label = controller.name().to_string();
-                            if self.slo_ms.len() > 1 {
-                                let _ = write!(label, " slo={slo}");
+                        for &links in &self.links {
+                            for &seed in &self.seed {
+                                let mut cfg = self.base.cfg.clone();
+                                cfg.slo_ms = slo;
+                                cfg.peak_qps = peak;
+                                cfg.cluster_size = cluster;
+                                cfg.links = links;
+                                cfg.seed = seed;
+                                let mut label = controller.name().to_string();
+                                if self.slo_ms.len() > 1 {
+                                    let _ = write!(label, " slo={slo}");
+                                }
+                                if self.peak_qps.len() > 1 {
+                                    let _ = write!(label, " peak={peak}");
+                                }
+                                if self.cluster_size.len() > 1 {
+                                    let _ = write!(label, " cluster={cluster}");
+                                }
+                                if self.links.len() > 1 {
+                                    let _ = write!(label, " links={}", links.name());
+                                }
+                                if self.seed.len() > 1 {
+                                    let _ = write!(label, " seed={seed}");
+                                }
+                                out.push(RunPoint {
+                                    label,
+                                    controller,
+                                    cfg,
+                                    ..self.base.clone()
+                                });
                             }
-                            if self.peak_qps.len() > 1 {
-                                let _ = write!(label, " peak={peak}");
-                            }
-                            if self.cluster_size.len() > 1 {
-                                let _ = write!(label, " cluster={cluster}");
-                            }
-                            if self.seed.len() > 1 {
-                                let _ = write!(label, " seed={seed}");
-                            }
-                            out.push(RunPoint {
-                                label,
-                                controller,
-                                cfg,
-                                ..self.base.clone()
-                            });
                         }
                     }
                 }
@@ -205,10 +229,27 @@ mod tests {
         assert!(sweep.set_axis("slo", "200,25o").is_err());
         assert!(sweep.set_axis("warp", "9").is_err());
         assert!(sweep.set_axis("controllers", "loki-greedy,gurobi").is_err());
+        assert!(sweep.set_axis("links", "uniform,warp-drive").is_err());
         assert!(sweep.set_axis("controllers", "loki-milp,proteus").is_ok());
         assert_eq!(
             sweep.controllers,
             vec![ControllerSpec::LokiMilp, ControllerSpec::Proteus]
         );
+    }
+
+    #[test]
+    fn links_axis_enumerates_and_labels_profiles() {
+        let sc = scenario::find("traffic_hetnet").unwrap();
+        let mut sweep = Sweep::for_scenario(sc, sc.config());
+        assert_eq!(sweep.links, vec![LinkProfile::TwoTier]);
+        sweep.set_axis("links", "uniform,two-tier").unwrap();
+        sweep.set_axis("seed", "1,2").unwrap();
+        assert_eq!(sweep.len(), 4);
+        let points = sweep.points();
+        assert_eq!(points[0].cfg.links, LinkProfile::Uniform);
+        assert_eq!(points[2].cfg.links, LinkProfile::TwoTier);
+        assert!(points[0].label.contains("links=uniform"));
+        assert!(points[2].label.contains("links=two-tier"));
+        assert!(points[0].label.contains("seed=1"));
     }
 }

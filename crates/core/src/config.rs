@@ -1,6 +1,6 @@
 //! Configuration of the Loki controller.
 
-use loki_sim::DropPolicy;
+use loki_sim::{DropPolicy, LinkDelayModel};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -35,8 +35,16 @@ pub struct LokiConfig {
     /// before its own batch starts").
     pub slo_headroom_divisor: f64,
     /// One-way communication latency between servers in milliseconds (subtracted from
-    /// the SLO once per hop along a path).
+    /// the SLO once per hop along a path). Under a non-uniform [`LinkDelayModel`] the
+    /// planner budgets with the model's worst-case hop instead (see
+    /// [`LokiConfig::effective_comm_ms`]).
     pub comm_latency_ms: f64,
+    /// The cluster's per-link delay model, mirrored from
+    /// [`loki_sim::SimConfig::link_delays`]. The Resource Manager cannot know which
+    /// worker a query will traverse at plan time, so it budgets the SLO with the
+    /// worst-case hop delay of this model — conservative, but safe on the slowest
+    /// link.
+    pub link_delays: LinkDelayModel,
     /// Relative demand change (e.g. 0.05 = 5%) below which the Resource Manager keeps
     /// the previous plan instead of re-allocating.
     pub replan_threshold: f64,
@@ -67,6 +75,7 @@ impl Default for LokiConfig {
             drop_policy: DropPolicy::OpportunisticRerouting,
             slo_headroom_divisor: 2.0,
             comm_latency_ms: 2.0,
+            link_delays: LinkDelayModel::Uniform,
             replan_threshold: 0.05,
             milp_time_budget: Duration::from_millis(800),
             milp_node_limit: 2_000,
@@ -78,6 +87,13 @@ impl Default for LokiConfig {
 }
 
 impl LokiConfig {
+    /// The per-hop latency (ms) the planner subtracts from the SLO: the
+    /// configured uniform latency under [`LinkDelayModel::Uniform`], the
+    /// worst-case hop of the model otherwise.
+    pub fn effective_comm_ms(&self) -> f64 {
+        self.link_delays.max_hop_ms(self.comm_latency_ms)
+    }
+
     /// A configuration using the exact MILP allocator.
     pub fn with_milp() -> Self {
         Self {
@@ -111,5 +127,17 @@ mod tests {
     fn backend_constructors() {
         assert_eq!(LokiConfig::with_milp().backend, AllocatorBackend::Milp);
         assert_eq!(LokiConfig::with_greedy().backend, AllocatorBackend::Greedy);
+    }
+
+    #[test]
+    fn effective_comm_budgets_the_worst_hop() {
+        let mut c = LokiConfig::default();
+        assert_eq!(c.effective_comm_ms(), c.comm_latency_ms);
+        c.link_delays = LinkDelayModel::PerWorkerClass {
+            classes: 2,
+            delay_ms: vec![0.2, 5.0, 5.0, 0.2],
+            frontend_ms: vec![1.0, 1.0],
+        };
+        assert_eq!(c.effective_comm_ms(), 5.0);
     }
 }

@@ -150,7 +150,7 @@ impl LokiController {
             fanout: &self.fanout,
             drop_policy: self.config.drop_policy,
             slo_divisor: self.config.slo_headroom_divisor,
-            comm_ms: self.config.comm_latency_ms,
+            comm_ms: self.config.effective_comm_ms(),
             upgrade_with_leftover: self.config.upgrade_with_leftover,
         };
         let start = Instant::now();

@@ -21,6 +21,30 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default)]
 pub struct MostAccurateFirst;
 
+/// Map a NaN (degenerate profile) to `-inf` so `f64::total_cmp` sorts it below
+/// every real value — `total_cmp` alone ranks NaN *above* `+inf`, which would
+/// hand a degenerate worker all the traffic; `partial_cmp(..).unwrap()`, the
+/// previous comparator, panicked outright.
+#[inline]
+fn nan_last(value: f64) -> f64 {
+    if value.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        value
+    }
+}
+
+/// Companion of [`nan_last`] for ascending sorts: NaN maps to `+inf` so a
+/// degenerate execution time is never advertised as the fastest backup.
+#[inline]
+fn nan_slowest(value: f64) -> f64 {
+    if value.is_nan() {
+        f64::INFINITY
+    } else {
+        value
+    }
+}
+
 /// Internal per-worker routing state.
 #[derive(Debug, Clone)]
 struct WorkerState {
@@ -69,9 +93,8 @@ impl MostAccurateFirst {
         }
         for states in by_task.values_mut() {
             states.sort_by(|a, b| {
-                b.accuracy
-                    .partial_cmp(&a.accuracy)
-                    .unwrap()
+                nan_last(b.accuracy)
+                    .total_cmp(&nan_last(a.accuracy))
                     .then(a.id.cmp(&b.id))
             });
         }
@@ -153,7 +176,9 @@ impl MostAccurateFirst {
                     accuracy: s.accuracy,
                 })
                 .collect();
-            backups.sort_by(|a, b| a.exec_time_ms.partial_cmp(&b.exec_time_ms).unwrap());
+            backups.sort_by(|a, b| {
+                nan_slowest(a.exec_time_ms).total_cmp(&nan_slowest(b.exec_time_ms))
+            });
             if !backups.is_empty() {
                 plan.backup.insert(*task, backups);
             }
@@ -311,6 +336,38 @@ mod tests {
             .map(|(_, p)| *p)
             .sum();
         assert!(b7_share > 0.5, "b7 share = {b7_share}");
+    }
+
+    #[test]
+    fn nan_accuracy_from_a_degenerate_profile_does_not_panic() {
+        use loki_pipeline::{LatencyProfile, ModelVariant, PipelineGraph};
+        // A corrupted/degenerate profile can surface a NaN accuracy at runtime;
+        // the router must keep working (NaNs sort last) instead of panicking on
+        // `partial_cmp(..).unwrap()`.
+        let mut bad = ModelVariant::new("bad", "fam", 0.5, LatencyProfile::new(2.0, 1.0), 1.0);
+        bad.accuracy = f64::NAN;
+        let good = ModelVariant::new("good", "fam", 0.9, LatencyProfile::new(2.0, 1.0), 1.0);
+        let leaf = ModelVariant::new("leaf", "fam", 1.0, LatencyProfile::new(2.0, 1.0), 0.0);
+        let mut g = PipelineGraph::new("degenerate", 100.0);
+        let t0 = g.add_task("a", vec![bad, good]);
+        let t1 = g.add_task("b", vec![leaf]);
+        g.add_edge(t0, t1, 1.0);
+        let workers = vec![
+            view(0, VariantId::new(0, 0), 4), // NaN accuracy
+            view(1, VariantId::new(0, 1), 4),
+            view(2, VariantId::new(1, 0), 4),
+        ];
+        let plan = MostAccurateFirst::build_routing(&g, &workers, 5.0, &FanoutOverrides::new());
+        // The well-profiled worker absorbs the low demand; the NaN one gets none.
+        let weight = |w: usize| -> f64 {
+            plan.frontend
+                .iter()
+                .filter(|(id, _)| *id == WorkerId(w))
+                .map(|(_, p)| *p)
+                .sum()
+        };
+        assert!(weight(1) > 0.0);
+        assert!(weight(0).abs() < 1e-9, "NaN-profiled worker must sort last");
     }
 
     #[test]

@@ -15,23 +15,40 @@
 
 use loki_core::{LokiConfig, LokiController};
 use loki_pipeline::zoo;
-use loki_sim::{RunSummary, SimConfig, Simulation};
+use loki_sim::{LinkDelayModel, RunSummary, SimConfig, Simulation};
 use loki_workload::{generate_arrivals, generators, ArrivalProcess};
 
-fn run_once(seed: u64) -> RunSummary {
+fn run_with_links(seed: u64, link_delays: LinkDelayModel) -> RunSummary {
     let graph = zoo::traffic_analysis_pipeline(250.0);
     let trace = generators::constant(30, 300.0);
     let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, 11);
-    let controller = LokiController::new(graph.clone(), LokiConfig::with_greedy());
+    let mut loki_config = LokiConfig::with_greedy();
+    loki_config.link_delays = link_delays.clone();
+    let controller = LokiController::new(graph.clone(), loki_config);
     let config = SimConfig {
         cluster_size: 20,
         initial_demand_hint: Some(300.0),
         drain_s: 10.0,
         seed,
+        link_delays,
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(&graph, config, controller);
     sim.run(&arrivals).summary
+}
+
+fn run_once(seed: u64) -> RunSummary {
+    run_with_links(seed, LinkDelayModel::Uniform)
+}
+
+/// The two-tier interconnect of the `traffic_hetnet` scenario: PCIe-fast
+/// intra-class hops, 5 ms cross-class hops, workers striped over two classes.
+fn two_tier() -> LinkDelayModel {
+    LinkDelayModel::PerWorkerClass {
+        classes: 2,
+        delay_ms: vec![0.2, 5.0, 5.0, 0.2],
+        frontend_ms: vec![2.0, 2.0],
+    }
 }
 
 #[test]
@@ -70,8 +87,67 @@ fn golden_summary_is_stable() {
 // re-sampled routing) land on slightly different ticks than in PR 1. Validated
 // against the PR-1 goldens on this scenario: on-time within 0.2% (8976 vs 8961),
 // identical accuracy, late+dropped down from 20 to 5.
+//
+// The calendar-queue scheduler (PR 3) reproduced these constants bit-for-bit —
+// under the uniform link-delay model its pop order is provably identical to the
+// heap+FIFO merge it replaced, so no re-pin was needed.
 const GOLDEN_ON_TIME: u64 = 8976;
 const GOLDEN_LATE: u64 = 3;
 const GOLDEN_DROPPED: u64 = 2;
 const GOLDEN_EVENTS: u64 = 51628;
 const GOLDEN_ACCURACY: f64 = 1.0;
+
+#[test]
+fn same_seed_hetnet_runs_are_identical() {
+    let a = run_with_links(42, two_tier());
+    let b = run_with_links(42, two_tier());
+    assert_eq!(
+        a, b,
+        "same-seed hetnet runs must produce identical summaries"
+    );
+}
+
+#[test]
+fn heterogeneous_delays_change_the_schedule() {
+    // Per-link delays must demonstrably reorder deliveries relative to the
+    // single-constant model: the same seed and arrivals produce a different
+    // event schedule (and thus different totals) under the two-tier model.
+    let uniform = run_once(42);
+    let hetnet = run_with_links(42, two_tier());
+    assert_eq!(uniform.total_arrivals, hetnet.total_arrivals);
+    assert_ne!(
+        (
+            uniform.total_on_time,
+            uniform.total_late,
+            uniform.events_processed
+        ),
+        (
+            hetnet.total_on_time,
+            hetnet.total_late,
+            hetnet.events_processed
+        ),
+        "two-tier links must change the delivery schedule"
+    );
+}
+
+#[test]
+fn golden_hetnet_summary_is_stable() {
+    let s = run_with_links(42, two_tier());
+    println!("hetnet golden candidate: {s:?}");
+    assert_eq!(s.total_arrivals, 8981);
+    assert_eq!(s.total_on_time, GOLDEN_HETNET_ON_TIME);
+    assert_eq!(s.total_late, GOLDEN_HETNET_LATE);
+    assert_eq!(s.total_dropped, GOLDEN_HETNET_DROPPED);
+    assert_eq!(s.events_processed, GOLDEN_HETNET_EVENTS);
+    assert!((s.system_accuracy - GOLDEN_HETNET_ACCURACY).abs() < 1e-12);
+}
+
+// Golden values for the heterogeneous two-tier interconnect (pinned with the
+// calendar-queue scheduler that makes per-link delays possible, PR 3). Same
+// workload as the uniform golden above; the slower cross-class hops shift
+// batch formation and routing draws, hence the different totals.
+const GOLDEN_HETNET_ON_TIME: u64 = 8975;
+const GOLDEN_HETNET_LATE: u64 = 4;
+const GOLDEN_HETNET_DROPPED: u64 = 2;
+const GOLDEN_HETNET_EVENTS: u64 = 51638;
+const GOLDEN_HETNET_ACCURACY: f64 = 1.0;

@@ -14,7 +14,10 @@
 //!   pipeline, and are finally aggregated back;
 //! * per-worker FIFO queues with greedy batch formation (a worker that becomes idle
 //!   immediately takes up to its maximum batch size from its queue);
-//! * homogeneous network delay between any pair of workers;
+//! * a per-link network-delay model ([`LinkDelayModel`]): homogeneous by default,
+//!   with per-pipeline-edge and per-worker-class variants for heterogeneous
+//!   interconnects (PCIe vs. network hops), scheduled by a calendar-queue event
+//!   scheduler ([`calendar::CalendarQueue`]);
 //! * runtime drop policies (none / last-task / per-task / opportunistic rerouting,
 //!   Section 5.2 of the paper) executed by the data plane using the latency budgets and
 //!   backup tables supplied by the control plane;
@@ -26,6 +29,7 @@
 //! The simulator is fully deterministic for a given seed, which is what makes the
 //! figure-regeneration harness in `loki-bench` reproducible.
 
+pub mod calendar;
 pub mod engine;
 pub mod metrics;
 pub mod routing;
@@ -33,11 +37,12 @@ pub mod slab;
 pub mod types;
 pub mod worker;
 
-pub use engine::{SimResult, Simulation};
+pub use calendar::CalendarQueue;
+pub use engine::{EngineError, SimResult, Simulation};
 pub use metrics::{IntervalMetrics, RunSummary};
 pub use routing::AliasTable;
 pub use slab::{Slab, SlotRef};
 pub use types::{
-    AllocationPlan, BackupWorker, Controller, DropPolicy, InstanceSpec, ObservedState, Query,
-    RoutingPlan, SimConfig, WorkerId, WorkerView,
+    AllocationPlan, BackupWorker, CompiledLinkDelays, Controller, DropPolicy, InstanceSpec,
+    LinkDelayModel, ObservedState, Query, RoutingPlan, SimConfig, WorkerId, WorkerView,
 };

@@ -39,6 +39,254 @@ pub fn us_to_ms(us: SimTime) -> f64 {
     us as f64 * 1e-3
 }
 
+/// The per-link network-delay model of the simulated cluster (Section 6.1 runs
+/// everything on one homogeneous testbed; heterogeneous interconnects — PCIe
+/// between co-located stages, datacenter network between racks — need per-link
+/// delays).
+///
+/// A *hop* is one network traversal of a query: frontend → first-task worker, or
+/// an upstream worker → a downstream worker. The engine compiles the model into
+/// dense microsecond tables ([`LinkDelayModel::compile`]) so the dispatch path
+/// pays one array index per hop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum LinkDelayModel {
+    /// Every hop takes [`SimConfig::network_delay_ms`]: the historical
+    /// single-constant model.
+    #[default]
+    Uniform,
+    /// Per-pipeline-edge delays: a hop carrying a query from a worker of task
+    /// `from` into task `to` takes the delay listed for `(from, to)`;
+    /// unlisted edges take `default_ms` and frontend → root-task hops take
+    /// `frontend_ms`. Every listed edge must reference tasks that exist in the
+    /// pipeline the simulation runs — [`LinkDelayModel::compile`] rejects
+    /// out-of-range edges loudly.
+    PerEdge {
+        /// Frontend → first-task hop delay (ms).
+        frontend_ms: f64,
+        /// Delay of pipeline edges not listed in `edges` (ms).
+        default_ms: f64,
+        /// `((from_task, to_task), delay_ms)` overrides.
+        edges: Vec<((usize, usize), f64)>,
+    },
+    /// Per-worker-class delays: workers are striped round-robin over `classes`
+    /// interconnect classes (worker `w` belongs to class `w % classes`), and a
+    /// hop from a worker of class `a` to one of class `b` takes
+    /// `delay_ms[a * classes + b]`. Frontend hops into class `b` take
+    /// `frontend_ms[b]`.
+    PerWorkerClass {
+        /// Number of interconnect classes.
+        classes: usize,
+        /// Row-major `classes x classes` delay matrix (ms).
+        delay_ms: Vec<f64>,
+        /// Frontend → class delay vector (ms), `classes` long.
+        frontend_ms: Vec<f64>,
+    },
+}
+
+impl LinkDelayModel {
+    /// Check internal consistency (matrix shapes, non-negative finite delays).
+    pub fn validate(&self) -> Result<(), String> {
+        let ok = |v: f64| v.is_finite() && v >= 0.0;
+        match self {
+            LinkDelayModel::Uniform => Ok(()),
+            LinkDelayModel::PerEdge {
+                frontend_ms,
+                default_ms,
+                edges,
+            } => {
+                if !ok(*frontend_ms) || !ok(*default_ms) {
+                    return Err("per-edge frontend/default delays must be finite and >= 0".into());
+                }
+                for ((from, to), ms) in edges {
+                    if !ok(*ms) {
+                        return Err(format!("edge ({from}, {to}) delay must be finite and >= 0"));
+                    }
+                }
+                Ok(())
+            }
+            LinkDelayModel::PerWorkerClass {
+                classes,
+                delay_ms,
+                frontend_ms,
+            } => {
+                if *classes == 0 {
+                    return Err("per-class model needs at least one class".into());
+                }
+                if delay_ms.len() != classes * classes {
+                    return Err(format!(
+                        "delay matrix must be {classes}x{classes} (got {} entries)",
+                        delay_ms.len()
+                    ));
+                }
+                if frontend_ms.len() != *classes {
+                    return Err(format!(
+                        "frontend delay vector must have {classes} entries (got {})",
+                        frontend_ms.len()
+                    ));
+                }
+                if delay_ms.iter().chain(frontend_ms).any(|v| !ok(*v)) {
+                    return Err("per-class delays must be finite and >= 0".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The worst-case single-hop delay (ms). Controllers budget the SLO with
+    /// this so latency decomposition stays safe on the slowest link;
+    /// `uniform_ms` is the [`SimConfig::network_delay_ms`] the `Uniform` model
+    /// resolves to.
+    pub fn max_hop_ms(&self, uniform_ms: f64) -> f64 {
+        match self {
+            LinkDelayModel::Uniform => uniform_ms,
+            LinkDelayModel::PerEdge {
+                frontend_ms,
+                default_ms,
+                edges,
+            } => edges
+                .iter()
+                .map(|(_, ms)| *ms)
+                .fold(frontend_ms.max(*default_ms), f64::max),
+            LinkDelayModel::PerWorkerClass {
+                delay_ms,
+                frontend_ms,
+                ..
+            } => delay_ms
+                .iter()
+                .chain(frontend_ms)
+                .fold(0.0f64, |a, &b| a.max(b)),
+        }
+    }
+
+    /// Compile into dense per-hop microsecond tables for the engine's dispatch
+    /// path. Panics when [`LinkDelayModel::validate`] fails — the engine calls
+    /// this once at construction, where a bad model is a configuration error.
+    pub fn compile(
+        &self,
+        uniform_ms: f64,
+        cluster_size: usize,
+        num_tasks: usize,
+    ) -> CompiledLinkDelays {
+        self.validate().expect("link-delay model must be valid");
+        match self {
+            LinkDelayModel::Uniform => CompiledLinkDelays::Uniform {
+                hop_us: ms_to_us(uniform_ms),
+            },
+            LinkDelayModel::PerEdge {
+                frontend_ms,
+                default_ms,
+                edges,
+            } => {
+                let mut edge_us = vec![ms_to_us(*default_ms); num_tasks * num_tasks];
+                for ((from, to), ms) in edges {
+                    // Out-of-range edges must fail loudly: silently skipping
+                    // them would leave the simulated network charging
+                    // `default_ms` while `max_hop_ms` (planner budgeting)
+                    // still counts the listed delay — a quiet disagreement
+                    // between controller and data plane.
+                    assert!(
+                        *from < num_tasks && *to < num_tasks,
+                        "per-edge link delay references edge ({from}, {to}) \
+                         outside a {num_tasks}-task pipeline"
+                    );
+                    edge_us[from * num_tasks + to] = ms_to_us(*ms);
+                }
+                CompiledLinkDelays::PerEdge {
+                    frontend_us: ms_to_us(*frontend_ms),
+                    num_tasks,
+                    edge_us,
+                }
+            }
+            LinkDelayModel::PerWorkerClass {
+                classes,
+                delay_ms,
+                frontend_ms,
+            } => CompiledLinkDelays::PerClass {
+                classes: *classes,
+                class_of: (0..cluster_size).map(|w| (w % classes) as u32).collect(),
+                hop_us: delay_ms.iter().map(|&ms| ms_to_us(ms)).collect(),
+                frontend_us: frontend_ms.iter().map(|&ms| ms_to_us(ms)).collect(),
+            },
+        }
+    }
+}
+
+/// Dense microsecond form of a [`LinkDelayModel`], one array index per hop.
+#[derive(Debug, Clone)]
+pub enum CompiledLinkDelays {
+    /// One constant for every hop.
+    Uniform {
+        /// The hop delay in µs.
+        hop_us: SimTime,
+    },
+    /// Per-pipeline-edge delays, `edge_us[from * num_tasks + to]`.
+    PerEdge {
+        /// Frontend hop delay in µs.
+        frontend_us: SimTime,
+        /// Row length of `edge_us`.
+        num_tasks: usize,
+        /// Dense `(from, to)` → µs table.
+        edge_us: Vec<SimTime>,
+    },
+    /// Per-worker-class delays, `hop_us[class(src) * classes + class(dst)]`.
+    PerClass {
+        /// Number of interconnect classes.
+        classes: usize,
+        /// Worker index → class.
+        class_of: Vec<u32>,
+        /// Dense class-pair → µs matrix.
+        hop_us: Vec<SimTime>,
+        /// Frontend → class delays in µs.
+        frontend_us: Vec<SimTime>,
+    },
+}
+
+impl CompiledLinkDelays {
+    /// Delay of a frontend → `dst` hop, in µs.
+    #[inline]
+    pub fn frontend_us(&self, dst: WorkerId) -> SimTime {
+        match self {
+            CompiledLinkDelays::Uniform { hop_us } => *hop_us,
+            CompiledLinkDelays::PerEdge { frontend_us, .. } => *frontend_us,
+            CompiledLinkDelays::PerClass {
+                class_of,
+                frontend_us,
+                ..
+            } => frontend_us[class_of[dst.index()] as usize],
+        }
+    }
+
+    /// Delay of a hop from a worker of `src_task` to a downstream worker of
+    /// `dst_task`, in µs.
+    #[inline]
+    pub fn hop_us(
+        &self,
+        src: WorkerId,
+        src_task: usize,
+        dst: WorkerId,
+        dst_task: usize,
+    ) -> SimTime {
+        match self {
+            CompiledLinkDelays::Uniform { hop_us } => *hop_us,
+            CompiledLinkDelays::PerEdge {
+                num_tasks, edge_us, ..
+            } => {
+                let _ = (src, dst);
+                edge_us[src_task * num_tasks + dst_task]
+            }
+            CompiledLinkDelays::PerClass {
+                classes,
+                class_of,
+                hop_us,
+                ..
+            } => {
+                let _ = (src_task, dst_task);
+                hop_us[class_of[src.index()] as usize * classes + class_of[dst.index()] as usize]
+            }
+        }
+    }
+}
+
 /// Identifier of a worker (GPU) in the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct WorkerId(pub usize);
@@ -267,7 +515,11 @@ pub struct SimConfig {
     /// Number of workers (GPUs) in the cluster.
     pub cluster_size: usize,
     /// One-way network delay between any pair of servers, in milliseconds.
+    /// This is the hop delay of the [`LinkDelayModel::Uniform`] model; the
+    /// other models carry their own delays and ignore it.
     pub network_delay_ms: f64,
+    /// Per-link delay model (uniform by default; see [`LinkDelayModel`]).
+    pub link_delays: LinkDelayModel,
     /// Time to load a different model variant onto a worker, in milliseconds.
     pub model_swap_ms: f64,
     /// Interval between Resource-Manager invocations, in seconds.
@@ -290,6 +542,7 @@ impl Default for SimConfig {
         Self {
             cluster_size: 20,
             network_delay_ms: 2.0,
+            link_delays: LinkDelayModel::Uniform,
             model_swap_ms: 500.0,
             control_interval_s: 10.0,
             routing_interval_s: 1.0,
@@ -349,6 +602,76 @@ mod tests {
         let cap0 = plan.task_capacity_qps(&g, 0);
         let expected = 3.0 * g.variant(VariantId::new(0, 1)).throughput_qps(4);
         assert!((cap0 - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_delay_model_validates_and_compiles() {
+        assert!(LinkDelayModel::Uniform.validate().is_ok());
+        assert_eq!(LinkDelayModel::Uniform.max_hop_ms(2.0), 2.0);
+
+        let per_edge = LinkDelayModel::PerEdge {
+            frontend_ms: 1.0,
+            default_ms: 2.0,
+            edges: vec![((0, 1), 5.0)],
+        };
+        assert!(per_edge.validate().is_ok());
+        assert_eq!(per_edge.max_hop_ms(2.0), 5.0);
+        let compiled = per_edge.compile(2.0, 4, 2);
+        assert_eq!(compiled.frontend_us(WorkerId(3)), 1_000);
+        assert_eq!(compiled.hop_us(WorkerId(0), 0, WorkerId(1), 1), 5_000);
+        assert_eq!(compiled.hop_us(WorkerId(1), 1, WorkerId(0), 0), 2_000);
+
+        let per_class = LinkDelayModel::PerWorkerClass {
+            classes: 2,
+            delay_ms: vec![0.2, 5.0, 4.0, 0.3],
+            frontend_ms: vec![1.0, 2.5],
+        };
+        assert!(per_class.validate().is_ok());
+        assert_eq!(per_class.max_hop_ms(2.0), 5.0);
+        let compiled = per_class.compile(2.0, 4, 2);
+        // Workers are striped: 0 and 2 are class 0, 1 and 3 are class 1.
+        assert_eq!(compiled.frontend_us(WorkerId(2)), 1_000);
+        assert_eq!(compiled.frontend_us(WorkerId(3)), 2_500);
+        assert_eq!(compiled.hop_us(WorkerId(0), 0, WorkerId(2), 1), 200);
+        assert_eq!(compiled.hop_us(WorkerId(0), 0, WorkerId(1), 1), 5_000);
+        assert_eq!(compiled.hop_us(WorkerId(1), 0, WorkerId(2), 1), 4_000);
+        assert_eq!(compiled.hop_us(WorkerId(3), 0, WorkerId(1), 1), 300);
+
+        // Malformed models are rejected.
+        assert!(LinkDelayModel::PerWorkerClass {
+            classes: 2,
+            delay_ms: vec![1.0; 3],
+            frontend_ms: vec![1.0; 2],
+        }
+        .validate()
+        .is_err());
+        assert!(LinkDelayModel::PerWorkerClass {
+            classes: 0,
+            delay_ms: vec![],
+            frontend_ms: vec![],
+        }
+        .validate()
+        .is_err());
+        assert!(LinkDelayModel::PerEdge {
+            frontend_ms: f64::NAN,
+            default_ms: 1.0,
+            edges: vec![],
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a 2-task pipeline")]
+    fn per_edge_compile_rejects_out_of_range_edges() {
+        // A typo'd edge must fail loudly, not silently fall back to the
+        // default delay while the planner budgets with the listed one.
+        LinkDelayModel::PerEdge {
+            frontend_ms: 1.0,
+            default_ms: 2.0,
+            edges: vec![((2, 3), 50.0)],
+        }
+        .compile(2.0, 4, 2);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Property-style equivalence tests: the calendar queue must dequeue any event
+//! stream in exactly the order `BinaryHeap<Reverse<(time, seq)>>` would,
+//! including same-time `seq` tie-breaks. Cases are generated from seeded RNG
+//! loops (the vendored proptest stub offers no interleaving control), so every
+//! failure is reproducible from its printed seed.
+
+use loki_sim::calendar::CalendarQueue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Drive a calendar queue and a reference heap through the same randomized
+/// interleaving of pushes and pops, mimicking engine usage: every push is
+/// scheduled at or after the time of the last popped event (`now + delay`,
+/// `delay >= 0`), with `delay` drawn from `0..=max_delay_us`.
+fn exercise(seed: u64, ops: usize, max_delay_us: u64, shift: u32, buckets: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut calendar: CalendarQueue<u64> = CalendarQueue::new(shift, buckets);
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    let mut pops = 0usize;
+
+    let pop_both = |calendar: &mut CalendarQueue<u64>,
+                    heap: &mut BinaryHeap<Reverse<(u64, u64)>>,
+                    now: &mut u64,
+                    pops: &mut usize| {
+        let expected = heap.pop().map(|Reverse(e)| e);
+        assert_eq!(
+            calendar.peek(),
+            expected,
+            "peek diverged from heap (seed {seed}, pop #{pops})"
+        );
+        let got = calendar.pop().map(|(t, s, item)| {
+            assert_eq!(s, item, "payload must ride with its event");
+            (t, s)
+        });
+        assert_eq!(got, expected, "pop diverged from heap (seed {seed})");
+        if let Some((t, _)) = got {
+            assert!(*now <= t, "time went backwards (seed {seed})");
+            *now = t;
+            *pops += 1;
+        }
+    };
+
+    for _ in 0..ops {
+        // Bias towards pushes so the queues stay populated across rotations.
+        if rng.gen_range(0..3u32) < 2 || heap.is_empty() {
+            // Small delay ranges force same-time collisions (seq tie-breaks);
+            // large ones force overflow and wheel rotations.
+            let time = now + rng.gen_range(0..max_delay_us + 1);
+            seq += 1;
+            calendar.push(time, seq, seq);
+            heap.push(Reverse((time, seq)));
+        } else {
+            pop_both(&mut calendar, &mut heap, &mut now, &mut pops);
+        }
+        assert_eq!(calendar.len(), heap.len());
+    }
+    while !heap.is_empty() {
+        pop_both(&mut calendar, &mut heap, &mut now, &mut pops);
+    }
+    assert!(calendar.is_empty());
+    assert_eq!(calendar.pop(), None);
+    assert!(pops > 0);
+}
+
+#[test]
+fn matches_heap_on_engine_like_delays() {
+    // Engine-shaped parameters: 256 us buckets, delays up to ~10 ms.
+    for seed in 0..32 {
+        exercise(seed, 4_000, 10_000, 8, 1024);
+    }
+}
+
+#[test]
+fn matches_heap_with_heavy_ties() {
+    // Delay range 0..=3 us on 16 us buckets: nearly every event collides in
+    // time and the order is decided by seq alone.
+    for seed in 100..116 {
+        exercise(seed, 2_000, 3, 4, 8);
+    }
+}
+
+#[test]
+fn matches_heap_across_overflow_and_rotations() {
+    // A tiny wheel (8 buckets x 16 us = 128 us horizon) with delays up to
+    // 100x the horizon: most pushes overflow and every rotation redistributes.
+    for seed in 200..216 {
+        exercise(seed, 2_000, 12_800, 4, 8);
+    }
+}
+
+#[test]
+fn matches_heap_on_default_geometry() {
+    // The engine's default wheel, including far-future "control tick" delays
+    // past the ~2 s horizon.
+    for seed in 300..308 {
+        exercise(seed, 3_000, 12_000_000, 8, 8192);
+    }
+}
+
+/// The ordering hazard the calendar queue fixes: with per-link delays, a
+/// delivery pushed later can be due earlier. A FIFO (the old delivery queue)
+/// would hand events out in push order; the calendar queue must reorder them.
+#[test]
+fn reorders_deliveries_a_fifo_could_not() {
+    let mut q: CalendarQueue<&str> = CalendarQueue::default();
+    // Pushed in seq order, but the cross-rack hop (5 ms) is due after the
+    // PCIe hop (200 us) that was scheduled later.
+    q.push(5_000, 1, "cross-rack");
+    q.push(200, 2, "pcie");
+    q.push(5_000, 3, "cross-rack-2");
+    let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, i)| i)).collect();
+    assert_eq!(order, vec!["pcie", "cross-rack", "cross-rack-2"]);
+}
