@@ -114,12 +114,43 @@ fn cmd_list(args: &[String]) {
         let rows = scenario::REGISTRY
             .iter()
             .map(|sc| {
+                let cfg = sc.config();
+                // The default sweep grid: what `loki sweep <name>` enumerates
+                // before any axis is widened — scripts drive sweeps from this.
+                let sweep = Sweep::for_scenario(sc, cfg.clone());
+                let mut axes = Json::object();
+                axes.push(
+                    "controllers",
+                    Json::Arr(sweep.controllers.iter().map(|c| c.name().into()).collect()),
+                )
+                .push(
+                    "slo",
+                    Json::Arr(sweep.slo_ms.iter().map(|&v| v.into()).collect()),
+                )
+                .push(
+                    "peak",
+                    Json::Arr(sweep.peak_qps.iter().map(|&v| v.into()).collect()),
+                )
+                .push(
+                    "cluster",
+                    Json::Arr(sweep.cluster_size.iter().map(|&v| v.into()).collect()),
+                )
+                .push(
+                    "links",
+                    Json::Arr(sweep.links.iter().map(|l| l.name().into()).collect()),
+                )
+                .push(
+                    "seed",
+                    Json::Arr(sweep.seed.iter().map(|&v| Json::UInt(v)).collect()),
+                );
                 let mut obj = Json::object();
                 obj.push("name", sc.name.into())
                     .push("title", sc.title.into())
                     .push("kind", format!("{:?}", sc.kind).into())
                     .push("pipeline", sc.pipeline.name().into())
-                    .push("trace", sc.trace.name().into());
+                    .push("trace", sc.trace.name().into())
+                    .push("axes", axes)
+                    .push("config", figures::config_json(&cfg));
                 obj
             })
             .collect();
@@ -227,6 +258,25 @@ fn cmd_sweep(args: &[String]) {
                             obj.push("label", point.label.as_str().into())
                                 .push("wall_s", point.wall_s.into())
                                 .push("summary", figures::summary_json(&point.result.summary));
+                            if !point.per_pipeline.is_empty() {
+                                obj.push(
+                                    "pipelines",
+                                    Json::Arr(
+                                        point
+                                            .per_pipeline
+                                            .iter()
+                                            .map(|lane| {
+                                                let mut entry = Json::object();
+                                                entry.push("name", lane.name.as_str().into()).push(
+                                                    "summary",
+                                                    figures::summary_json(&lane.summary),
+                                                );
+                                                entry
+                                            })
+                                            .collect(),
+                                    ),
+                                );
+                            }
                             obj
                         })
                         .collect(),
@@ -276,6 +326,21 @@ fn cmd_sweep(args: &[String]) {
             s.slo_violation_ratio,
             s.system_accuracy
         );
+        // Multi-pipeline points: one indented row per pipeline on the cluster.
+        for lane in &point.per_pipeline {
+            let s = &lane.summary;
+            let _ = writeln!(
+                out,
+                "{:<40} {:>10} {:>10} {:>8} {:>8} {:>10.4} {:>10.4}",
+                format!("  └ {}", lane.name),
+                s.total_arrivals,
+                s.total_on_time,
+                s.total_late,
+                s.total_dropped,
+                s.slo_violation_ratio,
+                s.system_accuracy
+            );
+        }
     }
     if multi_seed {
         let _ = writeln!(
@@ -339,6 +404,7 @@ fn cmd_report(args: &[String]) {
         "traffic_300qps_30s",
         "traffic_1m_arrivals",
         "traffic_hetnet",
+        "multi_traffic_social",
         "stress_diurnal_day",
     ] {
         if skip_large && name != "traffic_300qps_30s" {
@@ -350,14 +416,7 @@ fn cmd_report(args: &[String]) {
         let sc = lookup_scenario(name);
         let cfg = sc.config();
         eprintln!("running {name} ({} run(s))...", cfg.runs.max(1));
-        let results = runner.run(vec![loki_bench::scenario::RunPoint {
-            label: name.to_string(),
-            pipeline: sc.pipeline,
-            trace: sc.trace,
-            controller: loki_bench::scenario::ControllerSpec::LokiGreedy,
-            drop_policy: None,
-            cfg: cfg.clone(),
-        }]);
+        let results = runner.run(vec![scenario::scenario_point(sc, &cfg)]);
         entries.push(figures::throughput_entry_json(
             name,
             cfg.runs.max(1),

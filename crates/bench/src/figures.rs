@@ -69,6 +69,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> S
         ScenarioKind::MilpProbe => milp_probe(sc, cfg),
         ScenarioKind::CapacityTable => capacity_table(sc, cfg, runner),
         ScenarioKind::Throughput => throughput(sc, cfg, runner),
+        ScenarioKind::MultiPipeline(_) => multi_pipeline(sc, cfg, runner),
     }
 }
 
@@ -101,7 +102,8 @@ pub fn config_json(cfg: &ExperimentConfig) -> Json {
         .push("seed", cfg.seed.into())
         .push("bucket_s", cfg.bucket_s.into())
         .push("drain_s", cfg.drain_s.into())
-        .push("runs", cfg.runs.into());
+        .push("runs", cfg.runs.into())
+        .push("links", cfg.links.name().into());
     obj
 }
 
@@ -117,14 +119,7 @@ fn report_header(sc: &Scenario, cfg: &ExperimentConfig) -> Json {
 }
 
 fn base_point(sc: &Scenario, cfg: &ExperimentConfig) -> RunPoint {
-    RunPoint {
-        label: sc.name.to_string(),
-        pipeline: sc.pipeline,
-        trace: sc.trace,
-        controller: ControllerSpec::LokiGreedy,
-        drop_policy: None,
-        cfg: cfg.clone(),
-    }
+    crate::scenario::scenario_point(sc, cfg)
 }
 
 // ---- simulator-driven kinds ----------------------------------------------------
@@ -316,6 +311,7 @@ fn capacity_table(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Sce
                 trace,
                 controller,
                 drop_policy: None,
+                multi: None,
                 cfg: cfg.clone(),
             })
             .collect();
@@ -376,6 +372,88 @@ fn throughput(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Scenari
 
     let mut json = report_header(sc, cfg);
     json.push("throughput", entry);
+    ScenarioReport { text, json }
+}
+
+/// SLO attainment of a summary: on-time completions over finished requests.
+fn slo_attainment(s: &RunSummary) -> f64 {
+    let finished = s.total_on_time + s.total_late + s.total_dropped;
+    if finished == 0 {
+        0.0
+    } else {
+        s.total_on_time as f64 / finished as f64
+    }
+}
+
+fn multi_pipeline(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> ScenarioReport {
+    let results = runner.run(vec![base_point(sc, cfg)]);
+    let point = &results[0];
+    let stats = point
+        .multi_stats
+        .as_ref()
+        .expect("multi scenario yields arbitration stats");
+
+    let mut text = format!(
+        "# {}: {} pipelines on one {}-worker cluster\n",
+        sc.name.to_uppercase(),
+        point.per_pipeline.len(),
+        cfg.cluster_size
+    );
+    let _ = writeln!(
+        text,
+        "arbiter {}  rebalances {}  migrations {}  events {}",
+        stats.arbiter, stats.rebalances, stats.migrations, point.result.summary.events_processed
+    );
+    let _ = writeln!(
+        text,
+        "\n{:<12} {:>10} {:>10} {:>8} {:>9} {:>11} {:>10}",
+        "pipeline", "arrivals", "on_time", "late", "dropped", "slo_attain", "accuracy"
+    );
+    let mut rows = Vec::new();
+    for lane in &point.per_pipeline {
+        let s = &lane.summary;
+        let _ = writeln!(
+            text,
+            "{:<12} {:>10} {:>10} {:>8} {:>9} {:>11.4} {:>10.4}",
+            lane.name,
+            s.total_arrivals,
+            s.total_on_time,
+            s.total_late,
+            s.total_dropped,
+            slo_attainment(s),
+            s.system_accuracy
+        );
+        let mut row = Json::object();
+        row.push("pipeline", lane.name.as_str().into())
+            .push("slo_attainment", slo_attainment(s).into())
+            .push("summary", summary_json(s));
+        rows.push(row);
+    }
+    let agg = &point.result.summary;
+    let _ = writeln!(
+        text,
+        "{:<12} {:>10} {:>10} {:>8} {:>9} {:>11.4} {:>10.4}",
+        "aggregate",
+        agg.total_arrivals,
+        agg.total_on_time,
+        agg.total_late,
+        agg.total_dropped,
+        slo_attainment(agg),
+        agg.system_accuracy
+    );
+    text.push_str(
+        "\n(Compare multi_traffic_social against multi_static_split / multi_oracle_split: \
+         under the skewed mix the contended Resource Manager beats the 50/50 split on \
+         aggregate SLO attainment.)\n",
+    );
+
+    let mut json = report_header(sc, cfg);
+    json.push("arbiter", stats.arbiter.as_str().into())
+        .push("rebalances", stats.rebalances.into())
+        .push("migrations", stats.migrations.into())
+        .push("pipelines", Json::Arr(rows))
+        .push("aggregate_slo_attainment", slo_attainment(agg).into())
+        .push("aggregate", summary_json(agg));
     ScenarioReport { text, json }
 }
 

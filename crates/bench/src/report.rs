@@ -172,8 +172,9 @@ pub const SWEEP_METRICS: [&str; 7] = [
     "wall_s",
 ];
 
-fn metric_values(point: &PointResult) -> [f64; 7] {
-    let s = &point.result.summary;
+/// The [`SWEEP_METRICS`] column values of one summary; `wall_s` is the run's
+/// wall-clock (shared by every pipeline of a multi-pipeline point).
+fn summary_metrics(s: &loki_sim::RunSummary, wall_s: f64) -> [f64; 7] {
     [
         s.total_on_time as f64,
         s.total_late as f64,
@@ -181,8 +182,12 @@ fn metric_values(point: &PointResult) -> [f64; 7] {
         s.slo_violation_ratio,
         s.system_accuracy,
         s.mean_utilization,
-        point.wall_s,
+        wall_s,
     ]
+}
+
+fn metric_values(point: &PointResult) -> [f64; 7] {
+    summary_metrics(&point.result.summary, point.wall_s)
 }
 
 /// One axis point of a sweep (every knob except the seed), aggregated across
@@ -364,6 +369,21 @@ pub fn sweep_csv(scenario: &str, points: &[RunPoint], results: &[PointResult]) -
         row.push(format!("{}", result.arrivals));
         row.extend(metric_values(result).map(|v| format!("{v}")));
         csv_row(&mut out, &row);
+        // Multi-pipeline points additionally emit one `stat=pipeline` row per
+        // pipeline on the cluster, same columns (wall_s is the shared run's).
+        for lane in &result.per_pipeline {
+            let s = &lane.summary;
+            let mut row = vec![
+                scenario.to_string(),
+                "pipeline".to_string(),
+                format!("{}/{}", point.label, lane.name),
+            ];
+            row.extend(axis_fields(point));
+            row.push(format!("{}", point.cfg.seed));
+            row.push(format!("{}", s.total_arrivals));
+            row.extend(summary_metrics(s, result.wall_s).map(|v| format!("{v}")));
+            csv_row(&mut out, &row);
+        }
     }
 
     let multi_seed = {
@@ -492,6 +512,7 @@ mod tests {
                 trace: loki_workload::TraceSpec::Constant,
                 controller: ControllerSpec::LokiGreedy,
                 drop_policy: None,
+                multi: None,
                 cfg: ExperimentConfig {
                     seed,
                     ..cfg.clone()

@@ -10,11 +10,12 @@
 
 use crate::{ExperimentConfig, LinkProfile};
 use loki_baselines::{InferLineController, ProteusController};
-use loki_core::{ControllerStats, LokiConfig, LokiController};
+use loki_core::{ControllerStats, LokiConfig, LokiController, ResourceManager};
 use loki_pipeline::{zoo, PipelineGraph};
 use loki_sim::{
-    AllocationPlan, Controller, DropPolicy, LinkDelayModel, ObservedState, RoutingPlan, SimResult,
-    Simulation,
+    AllocationPlan, Controller, DropPolicy, LinkDelayModel, MultiPipeline, MultiSimulation,
+    ObservedState, ResourceArbiter, RoutingPlan, RunSummary, SimResult, Simulation,
+    StaticPartition,
 };
 use loki_workload::{generate_arrivals, ArrivalProcess, Trace, TraceSpec};
 use std::time::Instant;
@@ -233,8 +234,92 @@ impl Controller for AnyController {
     }
 }
 
-/// One self-contained simulator run: everything needed to build the pipeline, the
-/// workload, and a fresh controller on any thread. Equality compares the full spec,
+/// How the shared cluster is arbitrated in a multi-pipeline scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiMode {
+    /// The cluster-level [`ResourceManager`]: demand/SLO-weighted partitions,
+    /// rebalanced at epoch cadence with hysteresis.
+    Contended,
+    /// A naive fixed 50/50 (1/N) split — the baseline the contended manager
+    /// must beat under skewed demand.
+    StaticEven,
+    /// A fixed split proportional to each pipeline's *true* mean offered load
+    /// (an oracle no online system has).
+    OracleSplit,
+}
+
+impl MultiMode {
+    /// Stable name used in labels and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MultiMode::Contended => "contended",
+            MultiMode::StaticEven => "static-even",
+            MultiMode::OracleSplit => "oracle-split",
+        }
+    }
+
+    /// Build the arbiter for this mode. `offered_qps` is each pipeline's mean
+    /// offered load (only the oracle split reads it).
+    pub fn arbiter(self, offered_qps: &[f64]) -> Box<dyn ResourceArbiter> {
+        match self {
+            MultiMode::Contended => Box::new(ResourceManager::default()),
+            MultiMode::StaticEven => Box::new(StaticPartition::even(offered_qps.len())),
+            MultiMode::OracleSplit => Box::new(StaticPartition::with_shares(
+                "oracle-split",
+                offered_qps.to_vec(),
+            )),
+        }
+    }
+}
+
+/// One pipeline of a multi-pipeline scenario, parameterized against the
+/// experiment's shared knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiLane {
+    /// Lane label in reports ("traffic", "social").
+    pub name: &'static str,
+    pub pipeline: PipelineSpec,
+    pub trace: TraceSpec,
+    /// Fraction of the experiment's `peak_qps`/`base_qps` this lane carries.
+    pub demand_share: f64,
+    /// Multiplier on the experiment's `slo_ms` for this lane.
+    pub slo_scale: f64,
+}
+
+/// The multi-pipeline half of a [`RunPoint`]: which pipelines share the
+/// cluster and how it is arbitrated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSpec {
+    pub mode: MultiMode,
+    pub lanes: Vec<MultiLane>,
+}
+
+/// The pipeline mix of the `multi_` scenario family: the traffic-analysis
+/// pipeline carrying the bulk of the demand on the diurnal trace, plus the
+/// social-media pipeline at a tenth of the demand on the bursty trace with a
+/// 20% looser SLO — the skewed mix under which a 50/50 split starves traffic
+/// while social idles.
+pub fn traffic_social_lanes() -> Vec<MultiLane> {
+    vec![
+        MultiLane {
+            name: "traffic",
+            pipeline: PipelineSpec::Traffic,
+            trace: TraceSpec::AzureDiurnal,
+            demand_share: 1.0,
+            slo_scale: 1.0,
+        },
+        MultiLane {
+            name: "social",
+            pipeline: PipelineSpec::Social,
+            trace: TraceSpec::TwitterBursty,
+            demand_share: 0.1,
+            slo_scale: 1.2,
+        },
+    ]
+}
+
+/// One self-contained simulator run: everything needed to build the pipeline(s), the
+/// workload, and fresh controllers on any thread. Equality compares the full spec,
 /// which is what makes grid enumeration testable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunPoint {
@@ -245,7 +330,28 @@ pub struct RunPoint {
     pub controller: ControllerSpec,
     /// Override of the controller's runtime drop policy (Figure 7 ablation).
     pub drop_policy: Option<DropPolicy>,
+    /// When set, this point runs several pipelines on one shared cluster
+    /// (`pipeline`/`trace` above are ignored in favour of the lanes).
+    pub multi: Option<MultiSpec>,
     pub cfg: ExperimentConfig,
+}
+
+/// One pipeline's summary within a multi-pipeline point.
+#[derive(Debug, Clone)]
+pub struct PipelineSummary {
+    pub name: String,
+    pub summary: RunSummary,
+}
+
+/// Cluster-arbitration statistics of a multi-pipeline point.
+#[derive(Debug, Clone)]
+pub struct MultiStats {
+    /// The arbiter that partitioned the cluster.
+    pub arbiter: String,
+    /// Rebalance ticks that moved at least one worker.
+    pub rebalances: u64,
+    /// Workers moved across pipelines over the run.
+    pub migrations: u64,
 }
 
 /// The outcome of executing one [`RunPoint`].
@@ -253,14 +359,19 @@ pub struct RunPoint {
 pub struct PointResult {
     pub label: String,
     /// Per-interval metrics and whole-run summary (bit-identical across repeated
-    /// executions of the same point — the determinism the figure harness rests on).
+    /// executions of the same point — the determinism the figure harness rests
+    /// on). For multi-pipeline points this is the cluster-level aggregate.
     pub result: SimResult,
     /// Best simulation wall-clock over `cfg.runs` repetitions, in seconds.
     pub wall_s: f64,
-    /// Number of generated root arrivals.
+    /// Number of generated root arrivals (all pipelines).
     pub arrivals: usize,
     /// Control-plane statistics of the best run, when the controller tracks them.
     pub controller_stats: Option<ControllerStats>,
+    /// Per-pipeline summaries (empty for single-pipeline points).
+    pub per_pipeline: Vec<PipelineSummary>,
+    /// Cluster-arbitration statistics (multi-pipeline points only).
+    pub multi_stats: Option<MultiStats>,
 }
 
 impl RunPoint {
@@ -280,6 +391,9 @@ impl RunPoint {
     /// `cfg.runs` times (keeping the best wall-clock, the standard way to suppress
     /// scheduler noise in throughput numbers), and return the result.
     pub fn execute(&self) -> PointResult {
+        if let Some(multi) = &self.multi {
+            return self.execute_multi(multi);
+        }
         let graph = self.pipeline.build(self.cfg.slo_ms);
         let trace = self.build_trace();
         let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, self.cfg.seed);
@@ -306,6 +420,104 @@ impl RunPoint {
             wall_s: best_wall_s,
             arrivals: arrivals.len(),
             controller_stats,
+            per_pipeline: Vec::new(),
+            multi_stats: None,
+        }
+    }
+
+    /// Execute a multi-pipeline point: every lane's pipeline, trace, and
+    /// arrivals are built from the shared experiment knobs (scaled by the
+    /// lane's `demand_share`/`slo_scale`), fresh controllers are constructed
+    /// per lane, and one engine run serves them all on the shared cluster
+    /// under the mode's arbiter.
+    fn execute_multi(&self, spec: &MultiSpec) -> PointResult {
+        assert!(
+            !spec.lanes.is_empty(),
+            "multi point needs at least one lane"
+        );
+        let cfg = &self.cfg;
+        let links = cfg.links.to_model();
+        let graphs: Vec<PipelineGraph> = spec
+            .lanes
+            .iter()
+            .map(|lane| lane.pipeline.build(cfg.slo_ms * lane.slo_scale))
+            .collect();
+        let traces: Vec<Trace> = spec
+            .lanes
+            .iter()
+            .map(|lane| {
+                lane.trace.build(
+                    crate::trace_seed(lane.trace, cfg.seed),
+                    cfg.duration_s,
+                    cfg.base_qps * lane.demand_share,
+                    cfg.peak_qps * lane.demand_share,
+                )
+            })
+            .collect();
+        // Lane 0 keeps the experiment seed (comparable with single-pipeline
+        // runs); later lanes perturb it so co-served frontends do not share an
+        // arrival pattern.
+        let arrivals: Vec<Vec<f64>> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| {
+                generate_arrivals(
+                    trace,
+                    ArrivalProcess::Poisson,
+                    cfg.seed.wrapping_add(i as u64 * 7919),
+                )
+            })
+            .collect();
+        let offered: Vec<f64> = traces.iter().map(Trace::mean_qps).collect();
+        let total_arrivals: usize = arrivals.iter().map(Vec::len).sum();
+
+        let runs = cfg.runs.max(1);
+        let mut best_wall_s = f64::INFINITY;
+        let mut outcome = None;
+        for _ in 0..runs {
+            let mut config = crate::sim_config(cfg, &traces[0]);
+            config.initial_demand_hint = None;
+            let mut sim = MultiSimulation::new(config);
+            for (i, lane) in spec.lanes.iter().enumerate() {
+                sim.add_pipeline(MultiPipeline {
+                    name: lane.name.to_string(),
+                    graph: &graphs[i],
+                    controller: Box::new(self.controller.build(
+                        &graphs[i],
+                        self.drop_policy,
+                        &links,
+                    )),
+                    arrivals_s: arrivals[i].clone(),
+                    initial_demand_hint: Some(traces[i].qps_at(0).max(1.0)),
+                });
+            }
+            let mut arbiter = spec.mode.arbiter(&offered);
+            let start = Instant::now();
+            let run = sim.run(&mut *arbiter);
+            let wall_s = start.elapsed().as_secs_f64();
+            best_wall_s = best_wall_s.min(wall_s);
+            outcome = Some(run);
+        }
+        let outcome = outcome.expect("runs >= 1");
+        PointResult {
+            label: self.label.clone(),
+            result: outcome.aggregate(cfg.cluster_size),
+            wall_s: best_wall_s,
+            arrivals: total_arrivals,
+            controller_stats: None,
+            per_pipeline: outcome
+                .pipelines
+                .iter()
+                .map(|p| PipelineSummary {
+                    name: p.name.clone(),
+                    summary: p.result.summary.clone(),
+                })
+                .collect(),
+            multi_stats: Some(MultiStats {
+                arbiter: outcome.arbiter.clone(),
+                rebalances: outcome.rebalances,
+                migrations: outcome.migrations,
+            }),
         }
     }
 }
@@ -334,6 +546,9 @@ pub enum ScenarioKind {
     CapacityTable,
     /// Simulator-throughput measurement feeding `BENCH_sim.json`.
     Throughput,
+    /// Several pipelines on one shared cluster under a resource arbiter
+    /// (Section 7's contended multi-pipeline serving).
+    MultiPipeline(MultiMode),
 }
 
 /// A registered experiment: a named, declarative description of one figure or table
@@ -353,6 +568,33 @@ impl Scenario {
     /// The default configuration of this scenario.
     pub fn config(&self) -> ExperimentConfig {
         (self.defaults)()
+    }
+
+    /// The multi-pipeline spec of a [`ScenarioKind::MultiPipeline`] scenario
+    /// (the `multi_` family all serve the traffic+social mix).
+    pub fn multi_spec(&self) -> Option<MultiSpec> {
+        match self.kind {
+            ScenarioKind::MultiPipeline(mode) => Some(MultiSpec {
+                mode,
+                lanes: traffic_social_lanes(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The canonical [`RunPoint`] of a scenario: Loki-greedy controllers, default
+/// drop policy, and the scenario's multi-pipeline spec when it has one. The
+/// figure executors, sweeps, and `loki report` all start from this.
+pub fn scenario_point(sc: &Scenario, cfg: &ExperimentConfig) -> RunPoint {
+    RunPoint {
+        label: sc.name.to_string(),
+        pipeline: sc.pipeline,
+        trace: sc.trace,
+        controller: ControllerSpec::LokiGreedy,
+        drop_policy: None,
+        multi: sc.multi_spec(),
+        cfg: cfg.clone(),
     }
 }
 
@@ -460,6 +702,23 @@ fn traffic_hetnet_cfg() -> ExperimentConfig {
         drain_s: 10.0,
         runs: 1,
         links: LinkProfile::TwoTier,
+        ..ExperimentConfig::default()
+    }
+}
+
+fn multi_cfg() -> ExperimentConfig {
+    // The skewed-demand shared-cluster mix: the traffic pipeline peaks at
+    // 1600 QPS — far past what half the cluster can serve even at minimum
+    // accuracy (~880 QPS on 10 workers), so a 50/50 split collapses at peak —
+    // while social carries a tenth of the load. The contended Resource
+    // Manager re-weights the partition to roughly 17:3 and serves both.
+    ExperimentConfig {
+        cluster_size: 20,
+        duration_s: 300,
+        peak_qps: 1600.0,
+        base_qps: 200.0,
+        bucket_s: 60,
+        drain_s: 20.0,
         ..ExperimentConfig::default()
     }
 }
@@ -587,6 +846,30 @@ pub const REGISTRY: &[Scenario] = &[
         trace: TraceSpec::Constant,
         defaults: traffic_hetnet_cfg,
     },
+    Scenario {
+        name: "multi_traffic_social",
+        title: "Shared cluster: traffic + social pipelines under the contended Resource Manager",
+        kind: ScenarioKind::MultiPipeline(MultiMode::Contended),
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: multi_cfg,
+    },
+    Scenario {
+        name: "multi_static_split",
+        title: "Shared cluster: traffic + social pipelines on a naive static 50/50 split",
+        kind: ScenarioKind::MultiPipeline(MultiMode::StaticEven),
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: multi_cfg,
+    },
+    Scenario {
+        name: "multi_oracle_split",
+        title: "Shared cluster: traffic + social pipelines on an oracle offered-load split",
+        kind: ScenarioKind::MultiPipeline(MultiMode::OracleSplit),
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: multi_cfg,
+    },
 ];
 
 /// Look a scenario up by name.
@@ -693,6 +976,7 @@ mod tests {
             trace: TraceSpec::Constant,
             controller: ControllerSpec::LokiGreedy,
             drop_policy: None,
+            multi: None,
             cfg: ExperimentConfig {
                 duration_s: 10,
                 peak_qps: 100.0,

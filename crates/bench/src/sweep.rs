@@ -39,14 +39,7 @@ impl Sweep {
             ScenarioKind::SloSweep => vec![200.0, 250.0, 300.0, 350.0, 400.0],
             _ => vec![cfg.slo_ms],
         };
-        let base = RunPoint {
-            label: scenario.name.to_string(),
-            pipeline: scenario.pipeline,
-            trace: scenario.trace,
-            controller: ControllerSpec::LokiGreedy,
-            drop_policy: None,
-            cfg: cfg.clone(),
-        };
+        let base = crate::scenario::scenario_point(scenario, &cfg);
         Self {
             scenario_name: scenario.name.to_string(),
             base,

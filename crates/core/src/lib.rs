@@ -21,6 +21,13 @@
 //!
 //! [`controller::LokiController`] packages both behind the [`loki_sim::Controller`]
 //! interface so the whole system can be driven by the discrete-event simulator.
+//!
+//! Above the per-pipeline controller sits the **cluster-level Resource Manager**
+//! ([`resource_manager`]): when several pipelines share one cluster, it
+//! implements the simulator's [`loki_sim::ResourceArbiter`] interface and
+//! partitions the worker fleet across them (weighted by demand estimates and
+//! SLO tightness, with rebalance epochs and hysteresis), handing each
+//! pipeline's Loki controller a capacity-scoped view of its share.
 
 pub mod allocator;
 pub mod config;
@@ -29,8 +36,10 @@ pub mod greedy;
 pub mod load_balancer;
 pub mod milp_alloc;
 pub mod perf;
+pub mod resource_manager;
 
 pub use allocator::{AllocationOutcome, Allocator, AllocatorKind, ScalingMode};
 pub use config::LokiConfig;
 pub use controller::{ControllerStats, LokiController};
 pub use load_balancer::MostAccurateFirst;
+pub use resource_manager::{ResourceManager, ResourceManagerConfig};

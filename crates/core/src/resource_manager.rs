@@ -1,0 +1,327 @@
+//! The cluster-level Resource Manager: partitions one shared worker fleet
+//! across several serving pipelines.
+//!
+//! The paper's Resource Manager allocates variants *within* one pipeline's
+//! cluster; this module adds the level above it for contended multi-pipeline
+//! serving (Section 7's future work): a [`ResourceManager`] implements the
+//! simulator's [`ResourceArbiter`] interface, weighing each pipeline by its
+//! demand estimate and SLO tightness and apportioning the fleet
+//! proportionally. Each pipeline's own Loki controller then plans inside the
+//! partition it was granted, unchanged.
+//!
+//! Two mechanisms keep the partition from thrashing:
+//!
+//! * **Rebalance epochs** — the partition is only reconsidered every
+//!   [`ResourceManagerConfig::rebalance_interval_s`] seconds (worker moves pay
+//!   a model-unload cooldown, so reacting to every demand wiggle would burn
+//!   capacity on migrations).
+//! * **Hysteresis** — a proposed repartition is dropped unless it moves more
+//!   than [`ResourceManagerConfig::hysteresis`] of the cluster, *except* when
+//!   a pipeline with demand is starved (zero workers), which is always fixed
+//!   immediately.
+
+use loki_sim::{apportion, ArbiterObservation, ResourceArbiter};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the cluster-level [`ResourceManager`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceManagerConfig {
+    /// Seconds between partition reconsiderations (the rebalance epoch).
+    pub rebalance_interval_s: f64,
+    /// Fraction of the cluster that must move for a repartition to be worth
+    /// its migration cooldowns; proposals moving `<= floor(hysteresis *
+    /// cluster_size)` workers are dropped (starvation is exempt).
+    pub hysteresis: f64,
+    /// Reference SLO (ms) for the tightness weighting: a pipeline's demand is
+    /// weighted by `slo_reference_ms / slo_ms`, so a pipeline with half the
+    /// SLO budget gets twice the per-QPS capacity share (tighter deadlines
+    /// leave less room for queueing, which only headroom absorbs).
+    pub slo_reference_ms: f64,
+    /// Demand (QPS) below which a pipeline is treated as idle and granted no
+    /// workers (its share returns to the pool for the others).
+    pub idle_demand_qps: f64,
+    /// Reserve floor: every pipeline with demand is guaranteed
+    /// `max(1, floor(floor_fraction * cluster_size))` workers before the rest
+    /// of the fleet is split by weight. Pipelines differ in capacity-per-QPS,
+    /// so a purely proportional split can hand a low-demand pipeline less
+    /// than its minimum viable footprint; the floor bounds that error.
+    pub floor_fraction: f64,
+}
+
+impl Default for ResourceManagerConfig {
+    fn default() -> Self {
+        Self {
+            rebalance_interval_s: 10.0,
+            hysteresis: 0.05,
+            slo_reference_ms: 250.0,
+            idle_demand_qps: 1e-6,
+            floor_fraction: 0.1,
+        }
+    }
+}
+
+/// The cluster-level Resource Manager (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ResourceManager {
+    config: ResourceManagerConfig,
+    /// Rebalance epochs seen (observations, whether or not they repartition).
+    epochs: u64,
+    /// Proposals dropped by the hysteresis band.
+    held_by_hysteresis: u64,
+}
+
+impl ResourceManager {
+    /// A manager with the default configuration.
+    pub fn new(config: ResourceManagerConfig) -> Self {
+        assert!(config.rebalance_interval_s > 0.0);
+        assert!((0.0..1.0).contains(&config.hysteresis));
+        assert!(config.slo_reference_ms > 0.0);
+        assert!((0.0..=1.0).contains(&config.floor_fraction));
+        Self {
+            config,
+            epochs: 0,
+            held_by_hysteresis: 0,
+        }
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> &ResourceManagerConfig {
+        &self.config
+    }
+
+    /// Rebalance epochs observed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Proposed repartitions suppressed by the hysteresis band.
+    pub fn held_by_hysteresis(&self) -> u64 {
+        self.held_by_hysteresis
+    }
+
+    /// The partition weight of one pipeline: demand scaled by SLO tightness.
+    fn weight(&self, demand_qps: f64, slo_ms: f64) -> f64 {
+        if !demand_qps.is_finite() || demand_qps <= self.config.idle_demand_qps {
+            return 0.0;
+        }
+        let tightness = if slo_ms.is_finite() && slo_ms > 0.0 {
+            self.config.slo_reference_ms / slo_ms
+        } else {
+            1.0
+        };
+        demand_qps * tightness
+    }
+}
+
+impl ResourceArbiter for ResourceManager {
+    fn name(&self) -> &str {
+        "resource-manager"
+    }
+
+    fn rebalance_interval_s(&self) -> f64 {
+        self.config.rebalance_interval_s
+    }
+
+    fn partition(&mut self, observation: &ArbiterObservation<'_>) -> Option<Vec<usize>> {
+        self.epochs += 1;
+        let weights: Vec<f64> = observation
+            .demand_qps
+            .iter()
+            .zip(observation.slo_ms)
+            .map(|(&demand, &slo)| self.weight(demand, slo))
+            .collect();
+        // Reserve floors for every pipeline with demand, then split the rest
+        // of the fleet by weight. A pipeline's floor is at least its task
+        // count — a grant below one-worker-per-task serves nothing at all.
+        // When nothing has demand yet (e.g. no hints at time zero) the floors
+        // vanish and the split falls back to even.
+        let cluster = observation.cluster_size;
+        let fraction_floor = ((self.config.floor_fraction * cluster as f64) as usize).max(1);
+        let floors: Vec<usize> = weights
+            .iter()
+            .zip(observation.num_tasks)
+            .map(|(&w, &tasks)| {
+                if w > 0.0 {
+                    fraction_floor.max(tasks)
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let floor_total: usize = floors.iter().sum();
+        let target: Vec<usize> = if floor_total > 0 && floor_total <= cluster {
+            apportion(&weights, cluster - floor_total)
+                .iter()
+                .zip(&floors)
+                .map(|(&rest, &floor)| rest + floor)
+                .collect()
+        } else {
+            apportion(&weights, cluster)
+        };
+        if target == observation.partition {
+            return None;
+        }
+        let moved: usize = target
+            .iter()
+            .zip(observation.partition)
+            .map(|(&t, &c)| t.saturating_sub(c))
+            .sum();
+        // A pipeline with demand but no workers is starved: fix regardless of
+        // move size. Otherwise small reshuffles stay inside the hysteresis
+        // band (their migration cooldowns cost more than the skew they fix).
+        let starved = weights
+            .iter()
+            .zip(observation.partition)
+            .any(|(&w, &owned)| w > 0.0 && owned == 0);
+        let band = (self.config.hysteresis * observation.cluster_size as f64) as usize;
+        if !starved && moved <= band {
+            self.held_by_hysteresis += 1;
+            return None;
+        }
+        Some(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observe<'a>(
+        partition: &'a [usize],
+        demand: &'a [f64],
+        slo: &'a [f64],
+        queued: &'a [usize],
+        cluster: usize,
+    ) -> ArbiterObservation<'a> {
+        ArbiterObservation {
+            now_s: 0.0,
+            cluster_size: cluster,
+            partition,
+            demand_qps: demand,
+            slo_ms: slo,
+            num_tasks: &[2, 2],
+            queued,
+        }
+    }
+
+    #[test]
+    fn partitions_proportionally_to_demand() {
+        let mut manager = ResourceManager::default();
+        let target = manager
+            .partition(&observe(
+                &[0, 0],
+                &[900.0, 300.0],
+                &[250.0, 250.0],
+                &[0, 0],
+                20,
+            ))
+            .expect("initial grant");
+        // 10% floors (2 + 2), the remaining 16 split 3:1.
+        assert_eq!(target, vec![14, 6]);
+        assert_eq!(manager.epochs(), 1);
+    }
+
+    #[test]
+    fn tighter_slo_earns_a_larger_share() {
+        let mut manager = ResourceManager::default();
+        // Equal demand, but pipeline 0 has half the latency budget: it gets
+        // twice the per-QPS share of the fleet beyond the floors.
+        let target = manager
+            .partition(&observe(
+                &[0, 0],
+                &[300.0, 300.0],
+                &[125.0, 250.0],
+                &[0, 0],
+                18,
+            ))
+            .expect("initial grant");
+        assert_eq!(target, vec![11, 7]);
+    }
+
+    #[test]
+    fn zero_demand_pipeline_gets_no_workers() {
+        let mut manager = ResourceManager::default();
+        let target = manager
+            .partition(&observe(
+                &[0, 0],
+                &[300.0, 0.0],
+                &[250.0, 250.0],
+                &[0, 0],
+                20,
+            ))
+            .expect("initial grant");
+        assert_eq!(target, vec![20, 0]);
+        // Settled at the target: nothing to do on later epochs.
+        assert_eq!(
+            manager.partition(&observe(
+                &[20, 0],
+                &[300.0, 0.0],
+                &[250.0, 250.0],
+                &[0, 0],
+                20,
+            )),
+            None
+        );
+    }
+
+    #[test]
+    fn hysteresis_suppresses_single_worker_jitter() {
+        let mut manager = ResourceManager::new(ResourceManagerConfig {
+            hysteresis: 0.05,
+            ..ResourceManagerConfig::default()
+        });
+        // Target (11, 9) vs current (10, 10): a one-worker move on a
+        // 20-cluster sits inside the 5% band.
+        assert_eq!(
+            manager.partition(&observe(
+                &[10, 10],
+                &[550.0, 450.0],
+                &[250.0, 250.0],
+                &[0, 0],
+                20,
+            )),
+            None
+        );
+        assert_eq!(manager.held_by_hysteresis(), 1);
+        // A 3:1 skew moves 5 workers: well past the band.
+        let target = manager
+            .partition(&observe(
+                &[10, 10],
+                &[750.0, 250.0],
+                &[250.0, 250.0],
+                &[0, 0],
+                20,
+            ))
+            .expect("large skew rebalances");
+        assert_eq!(target, vec![14, 6]);
+    }
+
+    #[test]
+    fn starvation_overrides_hysteresis() {
+        let mut manager = ResourceManager::new(ResourceManagerConfig {
+            hysteresis: 0.25,
+            ..ResourceManagerConfig::default()
+        });
+        // Moving one worker to the starved pipeline is inside the 25% band,
+        // but a demanded pipeline with zero workers must be fixed anyway.
+        let target = manager
+            .partition(&observe(
+                &[20, 0],
+                &[950.0, 50.0],
+                &[250.0, 250.0],
+                &[0, 0],
+                20,
+            ))
+            .expect("starvation forces a rebalance");
+        assert_eq!(target, vec![17, 3]);
+    }
+
+    #[test]
+    fn no_demand_anywhere_splits_evenly() {
+        let mut manager = ResourceManager::default();
+        let target = manager
+            .partition(&observe(&[0, 0], &[0.0, 0.0], &[250.0, 250.0], &[0, 0], 10))
+            .expect("even fallback");
+        assert_eq!(target, vec![5, 5]);
+    }
+}

@@ -43,6 +43,7 @@
 //! a real heap on randomized workloads, including same-time `seq` tie-breaks.
 
 use crate::types::SimTime;
+use serde::{Deserialize, Serialize};
 
 /// One scheduled event: its due time, its global tie-break sequence number, and
 /// the caller's payload.
@@ -103,6 +104,67 @@ pub const DEFAULT_SHIFT: u32 = 10;
 /// `overflow_min` and cost nothing until they come due.
 pub const DEFAULT_BUCKETS: usize = 128;
 
+/// Largest bucket count [`CalendarGeometry::Auto`] will pick: past this the
+/// wheel headers stop being cache-resident and widening the buckets is the
+/// better trade.
+pub const MAX_AUTO_BUCKETS: usize = 8192;
+
+/// The wheel geometry of a [`CalendarQueue`]: bucket width (`2^shift` µs) ×
+/// bucket count. Exposed through `SimConfig::calendar` so scenarios whose hop
+/// delays fall outside the tuned default range (sub-µs NVLink, 100 ms WAN) can
+/// size the wheel, and `Auto` derives a geometry from the link-delay model's
+/// hop range so they usually don't have to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CalendarGeometry {
+    /// Size the wheel from the link-delay model's hop range (see
+    /// [`CalendarGeometry::resolve_for_range`]): the bucket width tracks the
+    /// shortest hop, the horizon covers the longest. For the paper's uniform
+    /// 2 ms testbed this resolves to exactly the tuned
+    /// ([`DEFAULT_SHIFT`], [`DEFAULT_BUCKETS`]) defaults.
+    #[default]
+    Auto,
+    /// An explicit geometry: `num_buckets` (a power of two) buckets of
+    /// `2^shift` microseconds each.
+    Fixed {
+        /// log2 of the bucket width in microseconds.
+        shift: u32,
+        /// Number of buckets (must be a power of two).
+        num_buckets: usize,
+    },
+}
+
+impl CalendarGeometry {
+    /// Resolve to a concrete `(shift, num_buckets)` for hop delays spanning
+    /// `[min_hop_us, max_hop_us]`.
+    ///
+    /// `Auto` picks the bucket width near the *shortest* hop (so short-hop
+    /// deliveries cross into a later slot instead of splicing into the live
+    /// drain buffer) and then grows the bucket count — and, past
+    /// [`MAX_AUTO_BUCKETS`], the width — until the horizon covers the
+    /// *longest* hop, keeping every `now + hop` push on the O(1) bucket path.
+    pub fn resolve_for_range(self, min_hop_us: SimTime, max_hop_us: SimTime) -> (u32, usize) {
+        match self {
+            CalendarGeometry::Fixed { shift, num_buckets } => (shift, num_buckets),
+            CalendarGeometry::Auto => {
+                let min_hop = min_hop_us.max(1);
+                let max_hop = max_hop_us.max(min_hop);
+                // Bucket width: the largest power of two at or below the
+                // shortest hop, capped so the width stays well inside u64.
+                let mut shift = (63 - min_hop.leading_zeros()).min(20);
+                // Bucket count: enough slots (plus slack for rounding) that
+                // the longest hop lands inside the window.
+                let buckets_for =
+                    |shift: u32| ((max_hop >> shift) + 2).next_power_of_two() as usize;
+                while buckets_for(shift) > MAX_AUTO_BUCKETS {
+                    shift += 1;
+                }
+                let num_buckets = buckets_for(shift).clamp(DEFAULT_BUCKETS, MAX_AUTO_BUCKETS);
+                (shift, num_buckets)
+            }
+        }
+    }
+}
+
 impl<T> Default for CalendarQueue<T> {
     fn default() -> Self {
         Self::new(DEFAULT_SHIFT, DEFAULT_BUCKETS)
@@ -134,6 +196,23 @@ impl<T> CalendarQueue<T> {
     /// Number of events currently scheduled.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// log2 of the bucket width in microseconds.
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
+    /// Number of wheel buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Events currently parked past the wheel horizon. A well-sized geometry
+    /// keeps hop-delayed deliveries off this list entirely (only sparse far
+    /// events — periodic ticks, model swaps — should ever land here).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
     }
 
     /// True when no events are scheduled.
@@ -440,6 +519,80 @@ mod tests {
         assert_eq!(q.peek(), Some((20, 2)));
         let order: Vec<u32> = drain(&mut q).into_iter().map(|(_, _, i)| i).collect();
         assert_eq!(order, vec![2, 1]);
+    }
+
+    /// Push one delivery per hop delay from a moving `now` and assert every
+    /// push lands inside the wheel window (never in overflow): the O(1) bucket
+    /// path the auto-sizer must preserve across hop ranges.
+    fn assert_hops_stay_on_wheel(geometry: CalendarGeometry, hops_us: &[SimTime]) {
+        let min = *hops_us.iter().min().unwrap();
+        let max = *hops_us.iter().max().unwrap();
+        let (shift, buckets) = geometry.resolve_for_range(min, max);
+        let mut q = CalendarQueue::<u32>::new(shift, buckets);
+        let mut seq = 0u64;
+        let mut now = 0;
+        for round in 0..200u64 {
+            for &hop in hops_us {
+                seq += 1;
+                q.push(now + hop, seq, round as u32);
+                assert_eq!(
+                    q.overflow_len(),
+                    0,
+                    "hop {hop} µs overflowed a 2^{shift} µs x {buckets} wheel"
+                );
+            }
+            while q.len() > hops_us.len() / 2 {
+                let (t, _, _) = q.pop().expect("queue non-empty");
+                now = t;
+            }
+        }
+    }
+
+    #[test]
+    fn auto_geometry_reproduces_the_tuned_default_for_the_uniform_testbed() {
+        // The paper's homogeneous 2 ms interconnect must resolve to exactly
+        // the constants the wheel was tuned with, so default-config runs keep
+        // their measured throughput profile.
+        let (shift, buckets) = CalendarGeometry::Auto.resolve_for_range(2_000, 2_000);
+        assert_eq!((shift, buckets), (DEFAULT_SHIFT, DEFAULT_BUCKETS));
+        // Fixed passes through untouched.
+        let fixed = CalendarGeometry::Fixed {
+            shift: 4,
+            num_buckets: 32,
+        };
+        assert_eq!(fixed.resolve_for_range(2_000, 2_000), (4, 32));
+    }
+
+    #[test]
+    fn auto_geometry_keeps_sub_ms_hops_on_the_bucket_path() {
+        // NVLink-class 5 µs hops: the default 1 ms buckets would pile every
+        // delivery into the live slot; auto-sizing narrows the buckets.
+        let (shift, _) = CalendarGeometry::Auto.resolve_for_range(5, 5);
+        assert!(shift <= 2, "5 µs hops need sub-8 µs buckets, got 2^{shift}");
+        assert_hops_stay_on_wheel(CalendarGeometry::Auto, &[5, 8, 20]);
+    }
+
+    #[test]
+    fn auto_geometry_keeps_100ms_hops_on_the_bucket_path() {
+        // WAN-class 100 ms hops: the default 131 ms horizon barely covers one
+        // hop; auto-sizing widens the buckets so the horizon clears it.
+        let (shift, buckets) = CalendarGeometry::Auto.resolve_for_range(100_000, 100_000);
+        assert!(
+            (buckets as u64) << shift > 100_000,
+            "horizon must cover a 100 ms hop"
+        );
+        assert_hops_stay_on_wheel(CalendarGeometry::Auto, &[100_000, 80_000, 120_000]);
+    }
+
+    #[test]
+    fn auto_geometry_covers_mixed_microsecond_to_wan_ranges() {
+        // 5 µs NVLink mixed with 100 ms WAN: the bucket-count cap forces a
+        // wider bucket, but the horizon must still cover the longest hop and
+        // the bucket count must stay bounded.
+        let (shift, buckets) = CalendarGeometry::Auto.resolve_for_range(5, 100_000);
+        assert!(buckets <= MAX_AUTO_BUCKETS);
+        assert!((buckets as u64) << shift > 100_000);
+        assert_hops_stay_on_wheel(CalendarGeometry::Auto, &[5, 500, 100_000]);
     }
 
     #[test]

@@ -32,14 +32,19 @@
 pub mod calendar;
 pub mod engine;
 pub mod metrics;
+pub mod multi;
 pub mod routing;
 pub mod slab;
 pub mod types;
 pub mod worker;
 
-pub use calendar::CalendarQueue;
+pub use calendar::{CalendarGeometry, CalendarQueue};
 pub use engine::{EngineError, SimResult, Simulation};
 pub use metrics::{IntervalMetrics, RunSummary};
+pub use multi::{
+    apportion, ArbiterObservation, MultiPipeline, MultiSimResult, MultiSimulation, PipelineResult,
+    ResourceArbiter, StaticPartition,
+};
 pub use routing::AliasTable;
 pub use slab::{Slab, SlotRef};
 pub use types::{

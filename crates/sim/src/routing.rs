@@ -179,21 +179,28 @@ pub(crate) struct CompiledRouting {
 impl CompiledRouting {
     /// Compile `plan` against the current `workers` assignments, reusing this
     /// value's buffers. Entries whose worker does not serve the expected task
-    /// are dropped now so sampling needs no per-draw validity checks while the
-    /// epoch matches.
+    /// *for the owning lane* are dropped now so sampling needs no per-draw
+    /// validity checks while the epoch matches. The ownership filter matters
+    /// in multi-pipeline runs: task indices are per-pipeline, so a worker
+    /// migrated to another pipeline may host that pipeline's task with the
+    /// same index and must not absorb this lane's traffic.
+    #[allow(clippy::too_many_arguments)]
     pub fn recompile(
         &mut self,
         plan: &RoutingPlan,
         workers: &[Worker],
+        owner: &[u32],
+        lane: u32,
         num_tasks: usize,
         root_task: usize,
         epoch: u64,
     ) {
         let serves = |w: WorkerId, task: usize| {
-            matches!(
-                workers.get(w.index()).and_then(|w| w.assignment.as_ref()),
-                Some(a) if a.variant.task == task
-            )
+            owner.get(w.index()) == Some(&lane)
+                && matches!(
+                    workers.get(w.index()).and_then(|w| w.assignment.as_ref()),
+                    Some(a) if a.variant.task == task
+                )
         };
         let nw = workers.len();
         self.epoch = epoch;

@@ -158,6 +158,34 @@ impl LinkDelayModel {
         }
     }
 
+    /// The `(min, max)` single-hop delay range (ms) over every hop this model
+    /// can produce, frontend hops included; `uniform_ms` is what the `Uniform`
+    /// model resolves to. The engine sizes the calendar-queue wheel from this
+    /// range (see [`crate::calendar::CalendarGeometry`]).
+    pub fn hop_range_ms(&self, uniform_ms: f64) -> (f64, f64) {
+        let max = self.max_hop_ms(uniform_ms);
+        let min = match self {
+            LinkDelayModel::Uniform => uniform_ms,
+            LinkDelayModel::PerEdge {
+                frontend_ms,
+                default_ms,
+                edges,
+            } => edges
+                .iter()
+                .map(|(_, ms)| *ms)
+                .fold(frontend_ms.min(*default_ms), f64::min),
+            LinkDelayModel::PerWorkerClass {
+                delay_ms,
+                frontend_ms,
+                ..
+            } => delay_ms
+                .iter()
+                .chain(frontend_ms)
+                .fold(f64::INFINITY, |a, &b| a.min(b)),
+        };
+        (min.min(max), max)
+    }
+
     /// Compile into dense per-hop microsecond tables for the engine's dispatch
     /// path. Panics when [`LinkDelayModel::validate`] fails — the engine calls
     /// this once at construction, where a bad model is a configuration error.
@@ -520,6 +548,12 @@ pub struct SimConfig {
     pub network_delay_ms: f64,
     /// Per-link delay model (uniform by default; see [`LinkDelayModel`]).
     pub link_delays: LinkDelayModel,
+    /// Calendar-queue wheel geometry. `Auto` (the default) sizes the wheel
+    /// from `link_delays`' hop range so sub-millisecond and WAN-scale hops
+    /// both stay on the O(1) bucket path; `Fixed` pins an explicit bucket
+    /// width and count. Geometry never changes event *ordering* (the queue's
+    /// contract is geometry-independent), only its constant factors.
+    pub calendar: crate::calendar::CalendarGeometry,
     /// Time to load a different model variant onto a worker, in milliseconds.
     pub model_swap_ms: f64,
     /// Interval between Resource-Manager invocations, in seconds.
@@ -543,6 +577,7 @@ impl Default for SimConfig {
             cluster_size: 20,
             network_delay_ms: 2.0,
             link_delays: LinkDelayModel::Uniform,
+            calendar: crate::calendar::CalendarGeometry::Auto,
             model_swap_ms: 500.0,
             control_interval_s: 10.0,
             routing_interval_s: 1.0,
@@ -659,6 +694,23 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn hop_range_spans_every_hop_class() {
+        assert_eq!(LinkDelayModel::Uniform.hop_range_ms(2.0), (2.0, 2.0));
+        let per_edge = LinkDelayModel::PerEdge {
+            frontend_ms: 1.0,
+            default_ms: 2.0,
+            edges: vec![((0, 1), 100.0), ((1, 0), 0.005)],
+        };
+        assert_eq!(per_edge.hop_range_ms(2.0), (0.005, 100.0));
+        let per_class = LinkDelayModel::PerWorkerClass {
+            classes: 2,
+            delay_ms: vec![0.2, 5.0, 5.0, 0.2],
+            frontend_ms: vec![1.0, 2.5],
+        };
+        assert_eq!(per_class.hop_range_ms(2.0), (0.2, 5.0));
     }
 
     #[test]
