@@ -32,8 +32,10 @@ USAGE:
   loki help
 
 Config keys: cluster, slo, duration, peak, base, seed, bucket, drain, runs,
-links (uniform, two-tier, edge-split).
-Sweep axes (comma-separated lists): controllers, slo, peak, cluster, links, seed.
+links (uniform, two-tier, edge-split), elastic (fixed, static-peak,
+static-mean, autoscale), classes (uniform, mixed).
+Sweep axes (comma-separated lists): controllers, slo, peak, cluster, links,
+elastic, seed.
 Multi-seed sweeps report cross-seed mean/stddev per axis point; --csv emits one
 flat CSV (stat=point|mean|stddev) ready for plotting.
 See EXPERIMENTS.md for the invocation reproducing each paper figure.";
@@ -140,6 +142,10 @@ fn cmd_list(args: &[String]) {
                     Json::Arr(sweep.links.iter().map(|l| l.name().into()).collect()),
                 )
                 .push(
+                    "elastic",
+                    Json::Arr(sweep.elastic.iter().map(|m| m.name().into()).collect()),
+                )
+                .push(
                     "seed",
                     Json::Arr(sweep.seed.iter().map(|&v| Json::UInt(v)).collect()),
                 );
@@ -208,7 +214,8 @@ fn cmd_sweep(args: &[String]) {
         };
         match key {
             // Axis keys accept comma-separated lists and are applied to the grid.
-            "controllers" | "controller" | "slo" | "peak" | "cluster" | "links" | "seed" => {
+            "controllers" | "controller" | "slo" | "peak" | "cluster" | "links" | "elastic"
+            | "seed" => {
                 axes.push((key.to_string(), value.to_string()));
             }
             // Everything else is a base-config override.
@@ -258,6 +265,9 @@ fn cmd_sweep(args: &[String]) {
                             obj.push("label", point.label.as_str().into())
                                 .push("wall_s", point.wall_s.into())
                                 .push("summary", figures::summary_json(&point.result.summary));
+                            if let Some(cost) = &point.cost {
+                                obj.push("cost", figures::cost_json(cost));
+                            }
                             if !point.per_pipeline.is_empty() {
                                 obj.push(
                                     "pipelines",
@@ -405,6 +415,7 @@ fn cmd_report(args: &[String]) {
         "traffic_1m_arrivals",
         "traffic_hetnet",
         "multi_traffic_social",
+        "elastic_diurnal",
         "stress_diurnal_day",
     ] {
         if skip_large && name != "traffic_300qps_30s" {

@@ -11,16 +11,16 @@ use crate::report::Json;
 use crate::runner::Runner;
 use crate::scenario::{ControllerSpec, PointResult, RunPoint, Scenario, ScenarioKind};
 use crate::sweep::Sweep;
-use crate::ExperimentConfig;
 use crate::{
     bucketize, format_comparison_timeseries, format_headline_ratios, format_summary_table,
 };
+use crate::{ElasticMode, ExperimentConfig};
 use loki_core::allocator::{AllocationContext, Allocator};
 use loki_core::greedy::GreedyAllocator;
 use loki_core::milp_alloc::MilpAllocator;
 use loki_core::perf::{FanoutOverrides, PerfModel};
 use loki_core::{LokiConfig, LokiController, ScalingMode};
-use loki_sim::{DropPolicy, RunSummary, SimResult};
+use loki_sim::{CostSummary, DropPolicy, RunSummary, SimResult};
 use loki_workload::TraceSpec;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -70,6 +70,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> S
         ScenarioKind::CapacityTable => capacity_table(sc, cfg, runner),
         ScenarioKind::Throughput => throughput(sc, cfg, runner),
         ScenarioKind::MultiPipeline(_) => multi_pipeline(sc, cfg, runner),
+        ScenarioKind::Elastic => elastic_family(sc, cfg, runner),
     }
 }
 
@@ -103,7 +104,39 @@ pub fn config_json(cfg: &ExperimentConfig) -> Json {
         .push("bucket_s", cfg.bucket_s.into())
         .push("drain_s", cfg.drain_s.into())
         .push("runs", cfg.runs.into())
-        .push("links", cfg.links.name().into());
+        .push("links", cfg.links.name().into())
+        .push("elastic", cfg.elastic.name().into())
+        .push("classes", cfg.classes.name().into());
+    obj
+}
+
+/// JSON view of an elastic run's fleet-cost accounting.
+pub fn cost_json(cost: &CostSummary) -> Json {
+    let mut obj = Json::object();
+    obj.push("gpu_seconds", cost.total_gpu_seconds.into())
+        .push("gpu_hours", cost.gpu_hours().into())
+        .push("dollars", cost.total_dollars.into())
+        .push("served_queries", cost.served_queries.into())
+        .push("cost_per_1k_queries", cost.cost_per_1k_queries.into())
+        .push("peak_fleet", cost.peak_fleet.into())
+        .push(
+            "per_class",
+            Json::Arr(
+                cost.per_class
+                    .iter()
+                    .map(|c| {
+                        let mut row = Json::object();
+                        row.push("class", c.class.as_str().into())
+                            .push("gpu_seconds", c.gpu_seconds.into())
+                            .push("dollars", c.dollars.into())
+                            .push("peak_warm", c.peak_warm.into())
+                            .push("provisioned", c.provisioned.into())
+                            .push("retired", c.retired.into());
+                        row
+                    })
+                    .collect(),
+            ),
+        );
     obj
 }
 
@@ -457,6 +490,103 @@ fn multi_pipeline(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Sce
     ScenarioReport { text, json }
 }
 
+/// The elastic provisioning family: the scenario's workload under static-peak,
+/// static-mean, and autoscaled fleets, side by side with dollar costs. The
+/// headline is cost at comparable SLO attainment: the autoscaler must approach
+/// static-peak's attainment at a fraction of its cost, while static-mean shows
+/// why "just provision for the average" is not an answer.
+fn elastic_family(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> ScenarioReport {
+    let modes = [
+        ElasticMode::StaticPeak,
+        ElasticMode::StaticMean,
+        ElasticMode::Autoscale,
+    ];
+    let points: Vec<RunPoint> = modes
+        .into_iter()
+        .map(|mode| RunPoint {
+            label: mode.name().to_string(),
+            cfg: ExperimentConfig {
+                elastic: mode,
+                ..cfg.clone()
+            },
+            ..base_point(sc, cfg)
+        })
+        .collect();
+    let results = runner.run(points);
+
+    let mut text = format!(
+        "# {}: provisioning modes on the diurnal trace ({} classes catalog)\n",
+        sc.name.to_uppercase(),
+        cfg.classes.name()
+    );
+    let _ = writeln!(
+        text,
+        "{:<14} {:>10} {:>10} {:>10} {:>9} {:>11} {:>10} {:>10} {:>9}",
+        "mode",
+        "gpu_hours",
+        "cost_usd",
+        "cost/1k",
+        "fleet",
+        "slo_attain",
+        "accuracy",
+        "dropped",
+        "scaled"
+    );
+    let mut rows = Vec::new();
+    for point in &results {
+        let s = &point.result.summary;
+        let cost = point.cost.as_ref().expect("elastic modes report cost");
+        let scaled = cost
+            .per_class
+            .iter()
+            .map(|c| c.provisioned + c.retired)
+            .sum::<u64>();
+        let _ = writeln!(
+            text,
+            "{:<14} {:>10.2} {:>10.2} {:>10.4} {:>9} {:>11.4} {:>10.4} {:>10} {:>9}",
+            point.label,
+            cost.gpu_hours(),
+            cost.total_dollars,
+            cost.cost_per_1k_queries,
+            cost.peak_fleet,
+            slo_attainment(s),
+            s.system_accuracy,
+            s.total_dropped,
+            scaled,
+        );
+        let mut row = Json::object();
+        row.push("mode", point.label.as_str().into())
+            .push("slo_attainment", slo_attainment(s).into())
+            .push("cost", cost_json(cost))
+            .push("summary", summary_json(s));
+        rows.push(row);
+    }
+
+    let mut json = report_header(sc, cfg);
+    json.push("modes", Json::Arr(rows));
+    let peak = &results[0];
+    let auto = &results[2];
+    if let (Some(peak_cost), Some(auto_cost)) = (&peak.cost, &auto.cost) {
+        let saving_pct = if peak_cost.total_dollars > 0.0 {
+            100.0 * (1.0 - auto_cost.total_dollars / peak_cost.total_dollars)
+        } else {
+            0.0
+        };
+        let attain_delta =
+            slo_attainment(&peak.result.summary) - slo_attainment(&auto.result.summary);
+        let _ = writeln!(
+            text,
+            "\nautoscale vs static-peak: {saving_pct:.1}% cheaper at {attain_delta:+.4} SLO-attainment delta"
+        );
+        text.push_str(
+            "(Static-mean is the cautionary baseline: cheapest fleet, but it melts at peak.)\n",
+        );
+        json.push("autoscale_saving_pct", saving_pct.into())
+            .push("attainment_delta_vs_peak", attain_delta.into());
+    }
+    ScenarioReport { text, json }
+}
+
 /// One `BENCH_sim.json` scenario entry (shared between `loki run` and `loki report`).
 pub fn throughput_entry_json(name: &str, runs: usize, point: &PointResult) -> Json {
     let s = &point.result.summary;
@@ -496,6 +626,9 @@ pub fn throughput_entry_json(name: &str, runs: usize, point: &PointResult) -> Js
         .push("late", s.total_late.into())
         .push("dropped", s.total_dropped.into())
         .push("system_accuracy", s.system_accuracy.into());
+    if let Some(cost) = &point.cost {
+        entry.push("cost", cost_json(cost));
+    }
     entry
 }
 

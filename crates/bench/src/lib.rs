@@ -27,9 +27,12 @@ pub mod scenario;
 pub mod sweep;
 
 use loki_baselines::{InferLineController, ProteusController};
-use loki_core::{LokiConfig, LokiController};
+use loki_core::{AutoscalerConfig, LokiConfig, LokiController, ReactiveAutoscaler};
 use loki_pipeline::PipelineGraph;
-use loki_sim::{Controller, IntervalMetrics, LinkDelayModel, SimConfig, SimResult, Simulation};
+use loki_sim::{
+    Controller, ElasticSimConfig, IntervalMetrics, LinkDelayModel, SimConfig, SimResult,
+    Simulation, WorkerClass, WorkerClassCatalog,
+};
 use loki_workload::{generate_arrivals, generators, ArrivalProcess, Trace};
 use std::fmt::Write as _;
 
@@ -95,6 +98,117 @@ impl LinkProfile {
     }
 }
 
+/// How the worker fleet is provisioned for a run: the CLI's `elastic=` key
+/// (and sweep axis). Everything but `fixed` attaches an elastic fleet
+/// ([`loki_sim::ElasticSimConfig`]) and reports cost; `autoscale` additionally
+/// drives it with the reactive Provisioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ElasticMode {
+    /// The historical fixed fleet of `cluster` workers — no billing, no
+    /// scaling; bit-identical to pre-elastic runs.
+    #[default]
+    Fixed,
+    /// A static billed fleet sized for the experiment's peak (`cluster`
+    /// workers): today's provision-for-peak deployment.
+    StaticPeak,
+    /// A static billed fleet sized for the trace's *mean* demand: cheap, but
+    /// it melts at peak — the cautionary baseline.
+    StaticMean,
+    /// A billed fleet starting at the mean size, scaled between the pipeline
+    /// footprint and `cluster` workers by the reactive Provisioner
+    /// ([`loki_core::ReactiveAutoscaler`]).
+    Autoscale,
+}
+
+impl ElasticMode {
+    /// All modes, in registry order.
+    pub const ALL: [ElasticMode; 4] = [
+        ElasticMode::Fixed,
+        ElasticMode::StaticPeak,
+        ElasticMode::StaticMean,
+        ElasticMode::Autoscale,
+    ];
+
+    /// Stable name used by the CLI (`elastic=` key / sweep axis) and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElasticMode::Fixed => "fixed",
+            ElasticMode::StaticPeak => "static-peak",
+            ElasticMode::StaticMean => "static-mean",
+            ElasticMode::Autoscale => "autoscale",
+        }
+    }
+
+    /// Look a mode up by its [`ElasticMode::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+/// Named GPU-class catalogs: the CLI's `classes=` key. Prices are
+/// cloud-list-like reference numbers; what matters for the `elastic_` family
+/// is their ratio, not their absolute value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GpuClassProfile {
+    /// One reference class ("a100"): the paper's homogeneous testbed with a
+    /// price tag ($2.50/h, 20 s boots).
+    #[default]
+    Uniform,
+    /// Two classes: "premium" (reference speed, $3.00/h, 20 s boots) and
+    /// "budget" (1.5x slower, $1.50/h, 40 s boots). Budget wins on effective
+    /// price, so the cost-aware Provisioner prefers it for scale-ups.
+    Mixed,
+}
+
+impl GpuClassProfile {
+    /// All profiles, in registry order.
+    pub const ALL: [GpuClassProfile; 2] = [GpuClassProfile::Uniform, GpuClassProfile::Mixed];
+
+    /// Stable name used by the CLI (`classes=` key) and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuClassProfile::Uniform => "uniform",
+            GpuClassProfile::Mixed => "mixed",
+        }
+    }
+
+    /// Look a profile up by its [`GpuClassProfile::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Expand into the simulator's worker-class catalog.
+    pub fn to_catalog(self) -> WorkerClassCatalog {
+        match self {
+            GpuClassProfile::Uniform => WorkerClassCatalog::single(WorkerClass {
+                name: "a100".to_string(),
+                latency_scale: 1.0,
+                memory_gb: 80.0,
+                price_per_hour: 2.5,
+                boot_delay_s: 20.0,
+            }),
+            GpuClassProfile::Mixed => WorkerClassCatalog {
+                classes: vec![
+                    WorkerClass {
+                        name: "premium".to_string(),
+                        latency_scale: 1.0,
+                        memory_gb: 80.0,
+                        price_per_hour: 3.0,
+                        boot_delay_s: 20.0,
+                    },
+                    WorkerClass {
+                        name: "budget".to_string(),
+                        latency_scale: 1.5,
+                        memory_gb: 24.0,
+                        price_per_hour: 1.5,
+                        boot_delay_s: 40.0,
+                    },
+                ],
+            },
+        }
+    }
+}
+
 /// Common knobs for an end-to-end comparison experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
@@ -118,6 +232,10 @@ pub struct ExperimentConfig {
     pub runs: usize,
     /// Per-link network-delay profile (`links=` key; uniform by default).
     pub links: LinkProfile,
+    /// Fleet-provisioning mode (`elastic=` key; fixed fleet by default).
+    pub elastic: ElasticMode,
+    /// GPU-class catalog for elastic fleets (`classes=` key).
+    pub classes: GpuClassProfile,
 }
 
 impl Default for ExperimentConfig {
@@ -133,6 +251,8 @@ impl Default for ExperimentConfig {
             drain_s: 20.0,
             runs: 1,
             links: LinkProfile::Uniform,
+            elastic: ElasticMode::Fixed,
+            classes: GpuClassProfile::Uniform,
         }
     }
 }
@@ -164,9 +284,25 @@ impl ExperimentConfig {
                     )
                 })?
             }
+            "elastic" => {
+                self.elastic = ElasticMode::from_name(value).ok_or_else(|| {
+                    format!(
+                        "invalid value for elastic: {value:?} (known: {})",
+                        ElasticMode::ALL.map(|m| m.name()).join(", ")
+                    )
+                })?
+            }
+            "classes" => {
+                self.classes = GpuClassProfile::from_name(value).ok_or_else(|| {
+                    format!(
+                        "invalid value for classes: {value:?} (known: {})",
+                        GpuClassProfile::ALL.map(|p| p.name()).join(", ")
+                    )
+                })?
+            }
             _ => {
                 return Err(format!(
-                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, links)"
+                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, links, elastic, classes)"
                 ))
             }
         }
@@ -212,6 +348,93 @@ pub fn social_trace(cfg: &ExperimentConfig) -> Trace {
         cfg.base_qps,
         cfg.peak_qps,
     )
+}
+
+/// Fleet sizes an elastic experiment derives from its knobs: the peak fleet
+/// is the experiment's `cluster` (what the fixed-fleet scenarios provision),
+/// the mean fleet scales it by the trace's mean-to-peak demand ratio, and
+/// both are floored at the pipeline footprint (below which nothing serves).
+/// One derivation shared by the fleet builder and the autoscaler, so the
+/// modes can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticFleetSizes {
+    /// Pipeline footprint: the minimum viable fleet (`num_tasks`, at least 2).
+    pub floor: usize,
+    /// Fleet sized for the trace's mean demand.
+    pub mean: usize,
+    /// Fleet sized for peak demand (the experiment's `cluster`).
+    pub peak: usize,
+}
+
+impl ElasticFleetSizes {
+    /// The reference per-worker serving rate this sizing implies: the rate
+    /// each of the `peak` workers must sustain at `peak_qps` — the
+    /// calibration the demand-target autoscaler plans with.
+    pub fn qps_per_worker(&self, peak_qps: f64) -> f64 {
+        if peak_qps > 0.0 {
+            peak_qps / self.peak as f64
+        } else {
+            AutoscalerConfig::default().qps_per_worker
+        }
+    }
+}
+
+/// Derive [`ElasticFleetSizes`] from an experiment's knobs.
+pub fn elastic_fleet_sizes(
+    cfg: &ExperimentConfig,
+    num_tasks: usize,
+    mean_qps: f64,
+) -> ElasticFleetSizes {
+    let peak = cfg.cluster_size.max(1);
+    let floor = num_tasks.max(2).min(peak);
+    let share = if cfg.peak_qps > 0.0 {
+        (mean_qps / cfg.peak_qps).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    let mean = ((peak as f64 * share).ceil() as usize).clamp(floor, peak);
+    ElasticFleetSizes { floor, mean, peak }
+}
+
+/// The elastic-fleet half of the simulator config for an experiment, or
+/// `None` for [`ElasticMode::Fixed`]. Static modes pin `max_fleet` at their
+/// initial size (they never scale); autoscaled fleets start at the mean size
+/// and may grow to the peak fleet.
+pub fn elastic_sim_config(
+    cfg: &ExperimentConfig,
+    num_tasks: usize,
+    mean_qps: f64,
+) -> Option<ElasticSimConfig> {
+    let sizes = elastic_fleet_sizes(cfg, num_tasks, mean_qps);
+    let (initial, max_fleet) = match cfg.elastic {
+        ElasticMode::Fixed => return None,
+        ElasticMode::StaticPeak => (sizes.peak, sizes.peak),
+        ElasticMode::StaticMean => (sizes.mean, sizes.mean),
+        ElasticMode::Autoscale => (sizes.mean, sizes.peak),
+    };
+    Some(ElasticSimConfig {
+        catalog: cfg.classes.to_catalog(),
+        // The initial fleet is reference-class; the autoscaler's scale-ups
+        // pick the cheapest effective class from the catalog.
+        initial: vec![(0, initial)],
+        max_fleet,
+        decide_interval_s: 10.0,
+    })
+}
+
+/// The reactive Provisioner an autoscaled experiment runs, bounded by the
+/// pipeline footprint below and the experiment's `cluster` above, and
+/// calibrated to the same per-worker rate the peak fleet was sized with
+/// (peak QPS over the peak fleet) — so a re-sized experiment (`peak=`,
+/// `cluster=` overrides) re-calibrates the demand target automatically.
+pub fn autoscaler(cfg: &ExperimentConfig, num_tasks: usize, mean_qps: f64) -> ReactiveAutoscaler {
+    let sizes = elastic_fleet_sizes(cfg, num_tasks, mean_qps);
+    ReactiveAutoscaler::new(AutoscalerConfig {
+        min_fleet: sizes.floor,
+        max_fleet: sizes.peak,
+        qps_per_worker: sizes.qps_per_worker(cfg.peak_qps),
+        ..AutoscalerConfig::default()
+    })
 }
 
 /// The simulator configuration shared by all end-to-end experiments.

@@ -161,8 +161,9 @@ impl From<bool> for Json {
 // ---- sweep aggregation and CSV -------------------------------------------------
 
 /// The metrics a sweep point contributes to cross-seed statistics, in the
-/// column order of [`sweep_csv`].
-pub const SWEEP_METRICS: [&str; 7] = [
+/// column order of [`sweep_csv`]. The cost columns are zero for fixed-fleet
+/// points (no billing) and for per-pipeline rows (cost is cluster-level).
+pub const SWEEP_METRICS: [&str; 10] = [
     "on_time",
     "late",
     "dropped",
@@ -170,11 +171,19 @@ pub const SWEEP_METRICS: [&str; 7] = [
     "system_accuracy",
     "mean_utilization",
     "wall_s",
+    "gpu_hours",
+    "cost_usd",
+    "cost_per_1k",
 ];
 
 /// The [`SWEEP_METRICS`] column values of one summary; `wall_s` is the run's
-/// wall-clock (shared by every pipeline of a multi-pipeline point).
-fn summary_metrics(s: &loki_sim::RunSummary, wall_s: f64) -> [f64; 7] {
+/// wall-clock (shared by every pipeline of a multi-pipeline point), `cost`
+/// the run's fleet billing (elastic runs only).
+fn summary_metrics(
+    s: &loki_sim::RunSummary,
+    wall_s: f64,
+    cost: Option<&loki_sim::CostSummary>,
+) -> [f64; 10] {
     [
         s.total_on_time as f64,
         s.total_late as f64,
@@ -183,11 +192,14 @@ fn summary_metrics(s: &loki_sim::RunSummary, wall_s: f64) -> [f64; 7] {
         s.system_accuracy,
         s.mean_utilization,
         wall_s,
+        cost.map_or(0.0, |c| c.gpu_hours()),
+        cost.map_or(0.0, |c| c.total_dollars),
+        cost.map_or(0.0, |c| c.cost_per_1k_queries),
     ]
 }
 
-fn metric_values(point: &PointResult) -> [f64; 7] {
-    summary_metrics(&point.result.summary, point.wall_s)
+fn metric_values(point: &PointResult) -> [f64; 10] {
+    summary_metrics(&point.result.summary, point.wall_s, point.cost.as_ref())
 }
 
 /// One axis point of a sweep (every knob except the seed), aggregated across
@@ -199,16 +211,16 @@ pub struct AxisAggregate {
     /// Seeds aggregated, in grid order.
     pub seeds: Vec<u64>,
     /// Per-metric means, ordered as [`SWEEP_METRICS`].
-    pub mean: [f64; 7],
+    pub mean: [f64; 10],
     /// Per-metric sample standard deviations (0 for a single seed), ordered as
     /// [`SWEEP_METRICS`].
-    pub stddev: [f64; 7],
+    pub stddev: [f64; 10],
 }
 
 /// The grouping key of an axis point: everything the grid varies except the
 /// seed. Controller and drop policy come from the point, the rest from its
 /// config; floats key by bit pattern (grid values are exact, not computed).
-type AxisKey = (String, u64, u64, usize, &'static str);
+type AxisKey = (String, u64, u64, usize, &'static str, &'static str);
 
 fn axis_key(point: &RunPoint) -> AxisKey {
     (
@@ -217,6 +229,7 @@ fn axis_key(point: &RunPoint) -> AxisKey {
         point.cfg.peak_qps.to_bits(),
         point.cfg.cluster_size,
         point.cfg.links.name(),
+        point.cfg.elastic.name(),
     )
 }
 
@@ -238,7 +251,7 @@ pub fn aggregate_sweep(points: &[RunPoint], results: &[PointResult]) -> Vec<Axis
         key: AxisKey,
         label: String,
         seeds: Vec<u64>,
-        rows: Vec<[f64; 7]>,
+        rows: Vec<[f64; 10]>,
     }
     let mut groups: Vec<Group> = Vec::new();
     for (point, result) in points.iter().zip(results) {
@@ -264,8 +277,8 @@ pub fn aggregate_sweep(points: &[RunPoint], results: &[PointResult]) -> Vec<Axis
                  label, seeds, rows, ..
              }| {
                 let n = rows.len() as f64;
-                let mut mean = [0.0; 7];
-                let mut stddev = [0.0; 7];
+                let mut mean = [0.0; 10];
+                let mut stddev = [0.0; 10];
                 for row in &rows {
                     for (m, v) in mean.iter_mut().zip(row) {
                         *m += v / n;
@@ -337,6 +350,7 @@ pub fn sweep_csv(scenario: &str, points: &[RunPoint], results: &[PointResult]) -
         "base_qps",
         "cluster",
         "links",
+        "elastic",
         "seed",
         "arrivals",
     ]
@@ -355,6 +369,7 @@ pub fn sweep_csv(scenario: &str, points: &[RunPoint], results: &[PointResult]) -
             format!("{}", point.cfg.base_qps),
             format!("{}", point.cfg.cluster_size),
             point.cfg.links.name().to_string(),
+            point.cfg.elastic.name().to_string(),
         ]
     };
 
@@ -381,7 +396,8 @@ pub fn sweep_csv(scenario: &str, points: &[RunPoint], results: &[PointResult]) -
             row.extend(axis_fields(point));
             row.push(format!("{}", point.cfg.seed));
             row.push(format!("{}", s.total_arrivals));
-            row.extend(summary_metrics(s, result.wall_s).map(|v| format!("{v}")));
+            // Cost is cluster-level; per-pipeline rows carry zeros.
+            row.extend(summary_metrics(s, result.wall_s, None).map(|v| format!("{v}")));
             csv_row(&mut out, &row);
         }
     }

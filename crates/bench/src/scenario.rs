@@ -8,14 +8,14 @@
 //! simulator-driven point is a self-contained [`RunPoint`] that the parallel
 //! [`crate::runner::Runner`] can execute on any thread.
 
-use crate::{ExperimentConfig, LinkProfile};
+use crate::{ElasticMode, ExperimentConfig, LinkProfile};
 use loki_baselines::{InferLineController, ProteusController};
 use loki_core::{ControllerStats, LokiConfig, LokiController, ResourceManager};
 use loki_pipeline::{zoo, PipelineGraph};
 use loki_sim::{
-    AllocationPlan, Controller, DropPolicy, LinkDelayModel, MultiPipeline, MultiSimulation,
-    ObservedState, ResourceArbiter, RoutingPlan, RunSummary, SimResult, Simulation,
-    StaticPartition,
+    AllocationPlan, Controller, CostSummary, DropPolicy, LinkDelayModel, MultiPipeline,
+    MultiSimulation, ObservedState, ResourceArbiter, RoutingPlan, RunSummary, SimResult,
+    Simulation, StaticPartition,
 };
 use loki_workload::{generate_arrivals, ArrivalProcess, Trace, TraceSpec};
 use std::time::Instant;
@@ -341,6 +341,9 @@ pub struct RunPoint {
 pub struct PipelineSummary {
     pub name: String,
     pub summary: RunSummary,
+    /// The lane's control-plane statistics, when its controller tracks them
+    /// (threaded out through `MultiSimulation::into_pipelines`).
+    pub controller_stats: Option<ControllerStats>,
 }
 
 /// Cluster-arbitration statistics of a multi-pipeline point.
@@ -366,12 +369,16 @@ pub struct PointResult {
     pub wall_s: f64,
     /// Number of generated root arrivals (all pipelines).
     pub arrivals: usize,
-    /// Control-plane statistics of the best run, when the controller tracks them.
+    /// Control-plane statistics of the best run, when the controller tracks
+    /// them. For multi-pipeline points this is the sum over lanes (per-lane
+    /// stats are on [`PointResult::per_pipeline`]).
     pub controller_stats: Option<ControllerStats>,
     /// Per-pipeline summaries (empty for single-pipeline points).
     pub per_pipeline: Vec<PipelineSummary>,
     /// Cluster-arbitration statistics (multi-pipeline points only).
     pub multi_stats: Option<MultiStats>,
+    /// Fleet cost accounting (elastic points only).
+    pub cost: Option<CostSummary>,
 }
 
 impl RunPoint {
@@ -398,15 +405,24 @@ impl RunPoint {
         let trace = self.build_trace();
         let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, self.cfg.seed);
         let links = self.cfg.links.to_model();
+        let mut config = crate::sim_config(&self.cfg, &trace);
+        config.elastic = crate::elastic_sim_config(&self.cfg, graph.num_tasks(), trace.mean_qps());
         let runs = self.cfg.runs.max(1);
         let mut best_wall_s = f64::INFINITY;
         let mut result = None;
         let mut controller_stats = None;
         for _ in 0..runs {
             let controller = self.controller.build(&graph, self.drop_policy, &links);
-            let mut sim = Simulation::new(&graph, crate::sim_config(&self.cfg, &trace), controller);
+            let mut sim = Simulation::new(&graph, config.clone(), controller);
             let start = Instant::now();
-            let run = sim.run(&arrivals);
+            let run = match self.cfg.elastic {
+                ElasticMode::Autoscale => {
+                    let mut policy =
+                        crate::autoscaler(&self.cfg, graph.num_tasks(), trace.mean_qps());
+                    sim.run_elastic(&arrivals, &mut policy)
+                }
+                _ => sim.run(&arrivals),
+            };
             let wall_s = start.elapsed().as_secs_f64();
             if wall_s < best_wall_s {
                 best_wall_s = wall_s;
@@ -414,9 +430,11 @@ impl RunPoint {
             }
             result = Some(run);
         }
+        let result = result.expect("runs >= 1");
         PointResult {
             label: self.label.clone(),
-            result: result.expect("runs >= 1"),
+            cost: result.cost.clone(),
+            result,
             wall_s: best_wall_s,
             arrivals: arrivals.len(),
             controller_stats,
@@ -470,47 +488,78 @@ impl RunPoint {
             .collect();
         let offered: Vec<f64> = traces.iter().map(Trace::mean_qps).collect();
         let total_arrivals: usize = arrivals.iter().map(Vec::len).sum();
+        // Elastic sizing for the shared cluster: the combined footprint and
+        // offered load across lanes.
+        let total_tasks: usize = graphs.iter().map(|g| g.num_tasks()).sum();
+        let offered_total: f64 = offered.iter().sum();
 
         let runs = cfg.runs.max(1);
         let mut best_wall_s = f64::INFINITY;
         let mut outcome = None;
+        let mut lane_stats: Vec<Option<ControllerStats>> = vec![None; spec.lanes.len()];
         for _ in 0..runs {
             let mut config = crate::sim_config(cfg, &traces[0]);
             config.initial_demand_hint = None;
-            let mut sim = MultiSimulation::new(config);
+            config.elastic = crate::elastic_sim_config(cfg, total_tasks, offered_total);
+            let mut sim: MultiSimulation<'_, AnyController> = MultiSimulation::new(config);
             for (i, lane) in spec.lanes.iter().enumerate() {
                 sim.add_pipeline(MultiPipeline {
                     name: lane.name.to_string(),
                     graph: &graphs[i],
-                    controller: Box::new(self.controller.build(
-                        &graphs[i],
-                        self.drop_policy,
-                        &links,
-                    )),
+                    controller: self.controller.build(&graphs[i], self.drop_policy, &links),
                     arrivals_s: arrivals[i].clone(),
                     initial_demand_hint: Some(traces[i].qps_at(0).max(1.0)),
                 });
             }
             let mut arbiter = spec.mode.arbiter(&offered);
             let start = Instant::now();
-            let run = sim.run(&mut *arbiter);
+            let run = match cfg.elastic {
+                ElasticMode::Autoscale => {
+                    let mut policy = crate::autoscaler(cfg, total_tasks, offered_total);
+                    sim.run_elastic(&mut *arbiter, &mut policy)
+                }
+                _ => sim.run(&mut *arbiter),
+            };
             let wall_s = start.elapsed().as_secs_f64();
-            best_wall_s = best_wall_s.min(wall_s);
+            if wall_s < best_wall_s {
+                best_wall_s = wall_s;
+                // Thread each lane's control-plane statistics out of the run
+                // (Section 6.5 runtime analysis for contended serving).
+                lane_stats = sim
+                    .into_pipelines()
+                    .iter()
+                    .map(|p| p.controller.controller_stats().cloned())
+                    .collect();
+            }
             outcome = Some(run);
         }
         let outcome = outcome.expect("runs >= 1");
+        // The point-level stats aggregate the lanes (the shared run has one
+        // control-plane cost, paid across every lane's controller).
+        let controller_stats = lane_stats.iter().flatten().cloned().reduce(|mut a, b| {
+            a.allocations += b.allocations;
+            a.allocation_time_s += b.allocation_time_s;
+            a.last_allocation_time_s = a.last_allocation_time_s.max(b.last_allocation_time_s);
+            a.routings += b.routings;
+            a.routing_time_s += b.routing_time_s;
+            a.routing_cache_hits += b.routing_cache_hits;
+            a
+        });
         PointResult {
             label: self.label.clone(),
+            cost: outcome.cost.clone(),
             result: outcome.aggregate(cfg.cluster_size),
             wall_s: best_wall_s,
             arrivals: total_arrivals,
-            controller_stats: None,
+            controller_stats,
             per_pipeline: outcome
                 .pipelines
                 .iter()
-                .map(|p| PipelineSummary {
+                .zip(&lane_stats)
+                .map(|(p, stats)| PipelineSummary {
                     name: p.name.clone(),
                     summary: p.result.summary.clone(),
+                    controller_stats: stats.clone(),
                 })
                 .collect(),
             multi_stats: Some(MultiStats {
@@ -549,6 +598,10 @@ pub enum ScenarioKind {
     /// Several pipelines on one shared cluster under a resource arbiter
     /// (Section 7's contended multi-pipeline serving).
     MultiPipeline(MultiMode),
+    /// Elastic provisioning comparison: the same workload under static-peak,
+    /// static-mean, and autoscaled fleets, with cost accounting (the
+    /// cost/SLO/accuracy trade-off the `elastic_` family studies).
+    Elastic,
 }
 
 /// A registered experiment: a named, declarative description of one figure or table
@@ -706,6 +759,21 @@ fn traffic_hetnet_cfg() -> ExperimentConfig {
     }
 }
 
+fn elastic_diurnal_cfg() -> ExperimentConfig {
+    // The fig5 diurnal day compressed to 10 minutes: a deep off-peak valley
+    // (~80 QPS) against a 1500 QPS evening peak. A peak-sized static fleet
+    // (20 workers) idles through most of the run — exactly the gap between
+    // provision-for-peak cost and autoscaled cost the elastic_ family pins.
+    ExperimentConfig {
+        duration_s: 600,
+        peak_qps: 1500.0,
+        base_qps: 80.0,
+        bucket_s: 60,
+        elastic: ElasticMode::Autoscale,
+        ..ExperimentConfig::default()
+    }
+}
+
 fn multi_cfg() -> ExperimentConfig {
     // The skewed-demand shared-cluster mix: the traffic pipeline peaks at
     // 1600 QPS — far past what half the cluster can serve even at minimum
@@ -845,6 +913,14 @@ pub const REGISTRY: &[Scenario] = &[
         pipeline: PipelineSpec::Traffic,
         trace: TraceSpec::Constant,
         defaults: traffic_hetnet_cfg,
+    },
+    Scenario {
+        name: "elastic_diurnal",
+        title: "Elastic fleet: static-peak vs static-mean vs autoscaled provisioning, with cost",
+        kind: ScenarioKind::Elastic,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: elastic_diurnal_cfg,
     },
     Scenario {
         name: "multi_traffic_social",

@@ -7,7 +7,7 @@
 //! preserves input order) reports points exactly where a serial loop would.
 
 use crate::scenario::{ControllerSpec, RunPoint, Scenario, ScenarioKind};
-use crate::{ExperimentConfig, LinkProfile};
+use crate::{ElasticMode, ExperimentConfig, LinkProfile};
 use std::fmt::Write as _;
 
 /// A grid of experiment points over a base configuration.
@@ -20,6 +20,7 @@ pub struct Sweep {
     pub peak_qps: Vec<f64>,
     pub cluster_size: Vec<usize>,
     pub links: Vec<LinkProfile>,
+    pub elastic: Vec<ElasticMode>,
     pub seed: Vec<u64>,
 }
 
@@ -48,6 +49,7 @@ impl Sweep {
             peak_qps: vec![cfg.peak_qps],
             cluster_size: vec![cfg.cluster_size],
             links: vec![cfg.links],
+            elastic: vec![cfg.elastic],
             seed: vec![cfg.seed],
         }
     }
@@ -97,9 +99,24 @@ impl Sweep {
                     }
                 }
             }
+            "elastic" => {
+                let modes: Option<Vec<ElasticMode>> = values
+                    .split(',')
+                    .map(|v| ElasticMode::from_name(v.trim()))
+                    .collect();
+                match modes {
+                    Some(list) if !list.is_empty() => self.elastic = list,
+                    _ => {
+                        return Err(format!(
+                            "invalid elastic list {values:?} (known: {})",
+                            ElasticMode::ALL.map(|m| m.name()).join(", ")
+                        ))
+                    }
+                }
+            }
             _ => {
                 return Err(format!(
-                "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, links, seed)"
+                "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, links, elastic, seed)"
             ))
             }
         }
@@ -113,6 +130,7 @@ impl Sweep {
             * self.peak_qps.len()
             * self.cluster_size.len()
             * self.links.len()
+            * self.elastic.len()
             * self.seed.len()
     }
 
@@ -130,35 +148,41 @@ impl Sweep {
                 for &peak in &self.peak_qps {
                     for &cluster in &self.cluster_size {
                         for &links in &self.links {
-                            for &seed in &self.seed {
-                                let mut cfg = self.base.cfg.clone();
-                                cfg.slo_ms = slo;
-                                cfg.peak_qps = peak;
-                                cfg.cluster_size = cluster;
-                                cfg.links = links;
-                                cfg.seed = seed;
-                                let mut label = controller.name().to_string();
-                                if self.slo_ms.len() > 1 {
-                                    let _ = write!(label, " slo={slo}");
+                            for &elastic in &self.elastic {
+                                for &seed in &self.seed {
+                                    let mut cfg = self.base.cfg.clone();
+                                    cfg.slo_ms = slo;
+                                    cfg.peak_qps = peak;
+                                    cfg.cluster_size = cluster;
+                                    cfg.links = links;
+                                    cfg.elastic = elastic;
+                                    cfg.seed = seed;
+                                    let mut label = controller.name().to_string();
+                                    if self.slo_ms.len() > 1 {
+                                        let _ = write!(label, " slo={slo}");
+                                    }
+                                    if self.peak_qps.len() > 1 {
+                                        let _ = write!(label, " peak={peak}");
+                                    }
+                                    if self.cluster_size.len() > 1 {
+                                        let _ = write!(label, " cluster={cluster}");
+                                    }
+                                    if self.links.len() > 1 {
+                                        let _ = write!(label, " links={}", links.name());
+                                    }
+                                    if self.elastic.len() > 1 {
+                                        let _ = write!(label, " elastic={}", elastic.name());
+                                    }
+                                    if self.seed.len() > 1 {
+                                        let _ = write!(label, " seed={seed}");
+                                    }
+                                    out.push(RunPoint {
+                                        label,
+                                        controller,
+                                        cfg,
+                                        ..self.base.clone()
+                                    });
                                 }
-                                if self.peak_qps.len() > 1 {
-                                    let _ = write!(label, " peak={peak}");
-                                }
-                                if self.cluster_size.len() > 1 {
-                                    let _ = write!(label, " cluster={cluster}");
-                                }
-                                if self.links.len() > 1 {
-                                    let _ = write!(label, " links={}", links.name());
-                                }
-                                if self.seed.len() > 1 {
-                                    let _ = write!(label, " seed={seed}");
-                                }
-                                out.push(RunPoint {
-                                    label,
-                                    controller,
-                                    cfg,
-                                    ..self.base.clone()
-                                });
                             }
                         }
                     }

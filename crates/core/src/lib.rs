@@ -25,9 +25,16 @@
 //! Above the per-pipeline controller sits the **cluster-level Resource Manager**
 //! ([`resource_manager`]): when several pipelines share one cluster, it
 //! implements the simulator's [`loki_sim::ResourceArbiter`] interface and
-//! partitions the worker fleet across them (weighted by demand estimates and
-//! SLO tightness, with rebalance epochs and hysteresis), handing each
-//! pipeline's Loki controller a capacity-scoped view of its share.
+//! partitions the worker fleet across them (weighted by demand estimates,
+//! SLO tightness, and observed backlog pressure, with rebalance epochs and
+//! hysteresis), handing each pipeline's Loki controller a capacity-scoped
+//! view of its share.
+//!
+//! Above even that sits the **cloud Provisioner** ([`provisioner`]): a
+//! reactive autoscaler implementing [`loki_sim::ElasticPolicy`] that scales
+//! the worker fleet itself — provisioning heterogeneous GPU classes under
+//! boot delays and draining idle capacity — so dollars, not just workers,
+//! become a managed resource.
 
 pub mod allocator;
 pub mod config;
@@ -36,10 +43,12 @@ pub mod greedy;
 pub mod load_balancer;
 pub mod milp_alloc;
 pub mod perf;
+pub mod provisioner;
 pub mod resource_manager;
 
 pub use allocator::{AllocationOutcome, Allocator, AllocatorKind, ScalingMode};
 pub use config::LokiConfig;
 pub use controller::{ControllerStats, LokiController};
 pub use load_balancer::MostAccurateFirst;
+pub use provisioner::{AutoscalerConfig, ReactiveAutoscaler};
 pub use resource_manager::{ResourceManager, ResourceManagerConfig};

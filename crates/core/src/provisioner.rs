@@ -1,0 +1,683 @@
+//! The cloud Provisioner: a reactive autoscaler over the simulator's elastic
+//! fleet.
+//!
+//! Sits one level above both the per-pipeline Loki controller and the
+//! cluster-level [`crate::ResourceManager`]: where those decide what to run on
+//! the workers the cluster *has*, the provisioner decides how many workers the
+//! cluster has (and of which catalog class), trading dollars against SLO
+//! attainment — INFaaS-style hardware elasticity next to Loki's accuracy
+//! elasticity.
+//!
+//! [`ReactiveAutoscaler`] implements [`loki_sim::ElasticPolicy`] as a
+//! *demand-target tracker with pressure kicks*. Busy fraction is deliberately
+//! not a trigger: Loki packs work onto few highly-utilized servers, so "the
+//! active servers are busy" is its normal operating point, not a capacity
+//! signal. Instead:
+//!
+//! * The **desired fleet** tracks the observed demand estimate:
+//!   `ceil(demand * (1 + headroom) / qps_per_worker)`, clamped to
+//!   `[min_fleet, max_fleet]`. `qps_per_worker` is the reference serving rate
+//!   the deployment was sized with (e.g. peak QPS over the peak fleet).
+//! * **Scale up** whenever desired exceeds the live fleet — immediately, a
+//!   boot delay is already in the way. Pressure (backlog per warm worker
+//!   above the threshold, or window SLO attainment below the catastrophic
+//!   floor) *kicks* the target a fractional step above the live fleet, so
+//!   the scaler recovers even when the demand estimate lags a burst. Boots
+//!   in flight count toward the live fleet and suppress further kicks, so
+//!   one transient cannot trigger a provisioning spiral.
+//! * **Scale down** only when desired sits below the warm fleet for a
+//!   *sustained* [`AutoscalerConfig::idle_window_s`] with a small backlog;
+//!   drains are fractional steps clamped to the demand target and
+//!   [`AutoscalerConfig::min_fleet`]. Draining toward the target deliberately
+//!   undercuts Loki's hardware-scaling preference (given free capacity it
+//!   activates everything for maximum accuracy): the cost-optimal fleet
+//!   forces accuracy scaling in the shoulders of the day, trading a few
+//!   accuracy points for dollars while the SLO holds. The headroom band plus
+//!   the idle window is the hysteresis that keeps boots (which cost money)
+//!   and drains (which throw warm capacity away) from alternating.
+//!
+//! Provisioning picks the catalog class with the lowest *effective* price
+//! (price x latency scale) unless pinned; drains retire the most expensive
+//! effective class first.
+
+use loki_sim::{ElasticAction, ElasticObservation, ElasticPolicy};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`ReactiveAutoscaler`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoscalerConfig {
+    /// Lower bound on live (provisioning + warm + draining) workers. Keep at
+    /// least the pipeline's task count: a smaller fleet serves nothing.
+    pub min_fleet: usize,
+    /// Upper bound on live workers (the budget cap).
+    pub max_fleet: usize,
+    /// Reference serving rate (QPS) one worker of the catalog's reference
+    /// class sustains — the same number the deployment's peak fleet was sized
+    /// with (peak QPS / peak fleet).
+    pub qps_per_worker: f64,
+    /// Capacity margin kept above the demand estimate (0.2 = 20%): absorbs
+    /// estimator lag on ramps and is half of the anti-thrash hysteresis.
+    pub headroom: f64,
+    /// Window SLO attainment below which the fleet scales up regardless of
+    /// the demand target.
+    pub attainment_floor: f64,
+    /// Queued queries per warm worker above which the fleet scales up
+    /// regardless of the demand target.
+    pub backlog_per_worker: f64,
+    /// Fraction of the live fleet the pressure kick adds per step (at least
+    /// one worker).
+    pub up_step_fraction: f64,
+    /// Fraction of the warm fleet drained per scale-down step (at least one
+    /// worker).
+    pub down_step_fraction: f64,
+    /// Seconds the desired fleet must sit below the warm fleet before a
+    /// scale-down (the other half of the hysteresis).
+    pub idle_window_s: f64,
+    /// Provision this catalog class instead of the cheapest-effective one.
+    pub pin_class: Option<usize>,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        Self {
+            min_fleet: 2,
+            max_fleet: 20,
+            qps_per_worker: 75.0,
+            headroom: 0.2,
+            // Deliberately low: window attainment is noisy (Loki absorbs
+            // bursts by accuracy-scaling and dropping a few percent even on a
+            // peak-sized fleet, so 10 s windows dip into the 0.7s routinely
+            // at *any* fleet size). The floor marks catastrophic degradation;
+            // ordinary capacity shortage shows up as backlog first.
+            attainment_floor: 0.75,
+            backlog_per_worker: 8.0,
+            up_step_fraction: 0.25,
+            down_step_fraction: 0.4,
+            idle_window_s: 10.0,
+            pin_class: None,
+        }
+    }
+}
+
+/// The reactive autoscaler (see module docs).
+#[derive(Debug, Clone)]
+pub struct ReactiveAutoscaler {
+    config: AutoscalerConfig,
+    /// Simulated time at which the current idle streak began (None = the
+    /// fleet is not idle).
+    idle_since_s: Option<f64>,
+    /// Scale-up decisions taken.
+    scale_ups: u64,
+    /// Scale-down decisions taken.
+    scale_downs: u64,
+}
+
+impl Default for ReactiveAutoscaler {
+    fn default() -> Self {
+        Self::new(AutoscalerConfig::default())
+    }
+}
+
+impl ReactiveAutoscaler {
+    /// An autoscaler with the given configuration.
+    pub fn new(config: AutoscalerConfig) -> Self {
+        assert!(config.min_fleet >= 1, "min_fleet must be at least 1");
+        assert!(
+            config.max_fleet >= config.min_fleet,
+            "max_fleet must be >= min_fleet"
+        );
+        assert!((0.0..=1.0).contains(&config.attainment_floor));
+        assert!(
+            config.qps_per_worker.is_finite() && config.qps_per_worker > 0.0,
+            "qps_per_worker must be > 0"
+        );
+        assert!(config.headroom >= 0.0);
+        assert!(config.up_step_fraction > 0.0 && config.down_step_fraction > 0.0);
+        assert!(config.idle_window_s >= 0.0);
+        Self {
+            config,
+            idle_since_s: None,
+            scale_ups: 0,
+            scale_downs: 0,
+        }
+    }
+
+    /// The autoscaler's configuration.
+    pub fn config(&self) -> &AutoscalerConfig {
+        &self.config
+    }
+
+    /// Scale-up decisions taken so far.
+    pub fn scale_ups(&self) -> u64 {
+        self.scale_ups
+    }
+
+    /// Scale-down decisions taken so far.
+    pub fn scale_downs(&self) -> u64 {
+        self.scale_downs
+    }
+
+    /// The class to provision: the pinned one, or the cheapest effective
+    /// (shared ranking with [`loki_sim::WorkerClassCatalog::cheapest_effective`]).
+    fn provision_class(&self, observation: &ElasticObservation<'_>) -> usize {
+        match self.config.pin_class {
+            Some(class) if class < observation.classes.len() => class,
+            _ => loki_sim::cheapest_effective(observation.classes),
+        }
+    }
+
+    /// The class to drain from: the most expensive effective class that still
+    /// has warm workers (`None` when nothing is warm).
+    fn drain_class(&self, observation: &ElasticObservation<'_>) -> Option<usize> {
+        observation
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| observation.warm[*i] > 0)
+            .max_by(|(_, a), (_, b)| {
+                a.effective_price()
+                    .partial_cmp(&b.effective_price())
+                    .expect("validated finite prices")
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+impl ElasticPolicy for ReactiveAutoscaler {
+    fn name(&self) -> &str {
+        "reactive-autoscaler"
+    }
+
+    fn decide(&mut self, observation: &ElasticObservation<'_>) -> Vec<ElasticAction> {
+        let cfg = &self.config;
+        let warm = observation.total_warm();
+        let live = observation.total_live();
+        let queued = observation.total_queued();
+        let cap = cfg.max_fleet.min(observation.max_fleet);
+        let worst_attainment = observation
+            .window_attainment
+            .iter()
+            .copied()
+            .fold(1.0f64, f64::min);
+        // Capacity is measured in *reference-worker equivalents*: a class
+        // with latency_scale s serves 1/s of a reference worker's rate, so a
+        // heterogeneous fleet's capacity is Σ count/scale. On a single
+        // reference-class catalog this reduces exactly to worker counts.
+        let scale_of = |i: usize| observation.classes[i].latency_scale;
+        let eq_of = |counts: &[usize]| -> f64 {
+            counts
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| n as f64 / scale_of(i))
+                .sum()
+        };
+        let warm_eq = eq_of(observation.warm);
+        let live_eq = warm_eq + eq_of(observation.provisioning) + eq_of(observation.draining);
+        let demand: f64 = observation.demand_qps.iter().sum();
+        let desired_eq =
+            (demand * (1.0 + cfg.headroom) / cfg.qps_per_worker).max(cfg.min_fleet as f64);
+        let backlogged = warm > 0 && queued as f64 / warm as f64 > cfg.backlog_per_worker;
+        let pressured = worst_attainment < cfg.attainment_floor || backlogged;
+
+        // Scale up: toward the demand target, plus a fractional kick when the
+        // fleet is visibly hurting (the demand estimate lags bursts). The
+        // kick is suppressed while boots are in flight: help is already on
+        // the way, and re-kicking every tick during one transient compounds
+        // a single dip into a provisioning spiral.
+        let booting: usize = observation.provisioning.iter().sum();
+        let mut target_eq = desired_eq;
+        if pressured && booting == 0 {
+            let mut step = ((live as f64 * cfg.up_step_fraction).ceil() as usize).max(1);
+            // Severe pressure (attainment far under the floor, or a deep
+            // backlog) doubles the kick: waiting another boot delay to
+            // discover the first step was too small costs more than the
+            // extra workers.
+            if worst_attainment < cfg.attainment_floor - 0.05
+                || (warm > 0 && queued as f64 / warm as f64 > 3.0 * cfg.backlog_per_worker)
+            {
+                step *= 2;
+            }
+            target_eq = target_eq.max(live_eq + step as f64);
+        }
+        let missing_eq = target_eq - live_eq;
+        if missing_eq > 1e-9 && live < cap {
+            // The provisioned class's slowdown dilutes each new worker's
+            // contribution, so the worker count scales the equivalent
+            // shortfall back up (a budget class at 1.5x needs 3 workers to
+            // cover 2 reference-equivalents).
+            let slots = cap - live;
+            let mut class = self.provision_class(observation);
+            // Slot-awareness: cheap-but-slow workers occupy slots a peak will
+            // need. Pick the cheap class only while filling *every* remaining
+            // slot with it would still cover the *demand* target with a 50%
+            // margin; otherwise take the fastest class — each remaining slot
+            // must carry maximum capacity, or the peak becomes structurally
+            // unservable behind a wall of slow workers. (The demand target,
+            // not the kicked one: kicks are transient, class choice is
+            // strategic.)
+            if self.config.pin_class.is_none()
+                && live_eq + slots as f64 / scale_of(class) < 1.5 * desired_eq
+            {
+                for (i, c) in observation.classes.iter().enumerate() {
+                    if c.latency_scale < observation.classes[class].latency_scale {
+                        class = i;
+                    }
+                }
+            }
+            let count = ((missing_eq * scale_of(class)).ceil() as usize)
+                .max(1)
+                .min(slots);
+            self.idle_since_s = None;
+            self.scale_ups += 1;
+            return vec![ElasticAction::Provision { class, count }];
+        }
+
+        // Class upgrade: capacity-short with every slot taken, but slower
+        // workers hold slots a faster class could use. Drain the slowest
+        // warm class now; once those slots free up, the provision branch
+        // above refills them with the fastest class (its slot-constrained
+        // rule). One swap step per tick bounds the churn. Never fires on a
+        // single-class catalog.
+        if missing_eq > 1e-9 && live >= cap {
+            let fastest = observation
+                .classes
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.latency_scale
+                        .partial_cmp(&b.latency_scale)
+                        .expect("validated finite scales")
+                })
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            let slowest_warm = observation
+                .classes
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| {
+                    observation.warm[*i] > 0
+                        && c.latency_scale > observation.classes[fastest].latency_scale + 1e-9
+                })
+                .max_by(|(_, a), (_, b)| {
+                    a.latency_scale
+                        .partial_cmp(&b.latency_scale)
+                        .expect("validated finite scales")
+                })
+                .map(|(i, _)| i);
+            if let Some(class) = slowest_warm {
+                let step = ((live as f64 * cfg.up_step_fraction).ceil() as usize).max(1);
+                let count = step.min(observation.warm[class]);
+                self.idle_since_s = None;
+                self.scale_ups += 1;
+                return vec![ElasticAction::Drain { class, count }];
+            }
+        }
+
+        // Scale down: only when the demand target sits below the warm fleet
+        // for a sustained window with a small backlog (one queued query per
+        // warm worker is snapshot noise — under continuous load the
+        // instantaneous backlog is rarely exactly zero).
+        let desired_workers = (desired_eq.ceil() as usize).clamp(cfg.min_fleet, cap);
+        let wants_down = desired_workers < warm && queued <= warm;
+        if !wants_down {
+            self.idle_since_s = None;
+            return Vec::new();
+        }
+        let idle_since = *self.idle_since_s.get_or_insert(observation.now_s);
+        if observation.now_s - idle_since < cfg.idle_window_s || warm <= cfg.min_fleet {
+            return Vec::new();
+        }
+        // No attainment gate here: the headroom band above the demand target
+        // means the workers coming off are ones the controller is not even
+        // using (the engine drains unassigned workers first), and window
+        // attainment is too noisy a signal to hold capacity hostage to.
+        // Drain toward the demand target. This deliberately undercuts the
+        // controller's hardware-scaling preference (given free capacity Loki
+        // activates everything for maximum accuracy): the cost-optimal fleet
+        // forces accuracy scaling in the shoulders of the day, trading a few
+        // accuracy points for dollars while the SLO holds. The engine drains
+        // unassigned workers first, so the disruption is bounded by how far
+        // the target sits below the active set.
+        let Some(class) = self.drain_class(observation) else {
+            return Vec::new();
+        };
+        let step = ((warm as f64 * cfg.down_step_fraction).ceil() as usize).max(1);
+        // Drainable capacity in equivalents, converted to whole workers of
+        // the drained class (floor: never dip below the target).
+        let drainable_eq = warm_eq - desired_eq.max(cfg.min_fleet as f64);
+        let count = step
+            .min((drainable_eq * scale_of(class)).floor().max(0.0) as usize)
+            .min(warm - cfg.min_fleet)
+            .min(observation.warm[class]);
+        if count == 0 {
+            return Vec::new();
+        }
+        // Restart the idle clock: the next drain needs another sustained
+        // window, so a long valley walks the fleet down one step per window.
+        self.idle_since_s = Some(observation.now_s);
+        self.scale_downs += 1;
+        vec![ElasticAction::Drain { class, count }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_sim::{WorkerClass, WorkerClassCatalog};
+
+    fn catalog() -> WorkerClassCatalog {
+        WorkerClassCatalog {
+            classes: vec![
+                WorkerClass {
+                    name: "premium".to_string(),
+                    latency_scale: 1.0,
+                    memory_gb: 80.0,
+                    price_per_hour: 3.0,
+                    boot_delay_s: 20.0,
+                },
+                WorkerClass {
+                    name: "budget".to_string(),
+                    latency_scale: 1.5,
+                    memory_gb: 24.0,
+                    price_per_hour: 1.5,
+                    boot_delay_s: 40.0,
+                },
+            ],
+        }
+    }
+
+    struct Obs {
+        warm: Vec<usize>,
+        active: usize,
+        provisioning: Vec<usize>,
+        draining: Vec<usize>,
+        queued: Vec<usize>,
+        attainment: Vec<f64>,
+        demand: Vec<f64>,
+    }
+
+    fn observe<'a>(
+        catalog: &'a WorkerClassCatalog,
+        state: &'a Obs,
+        now_s: f64,
+        busy: f64,
+    ) -> ElasticObservation<'a> {
+        ElasticObservation {
+            now_s,
+            classes: &catalog.classes,
+            warm: &state.warm,
+            active: state.active,
+            provisioning: &state.provisioning,
+            draining: &state.draining,
+            demand_qps: &state.demand,
+            queued: &state.queued,
+            window_attainment: &state.attainment,
+            busy_fraction: busy,
+            max_fleet: 32,
+        }
+    }
+
+    /// Low demand (desired fleet = min_fleet), clean queues, perfect
+    /// attainment.
+    fn calm(warm: usize) -> Obs {
+        Obs {
+            warm: vec![warm, 0],
+            active: 2,
+            provisioning: vec![0, 0],
+            draining: vec![0, 0],
+            queued: vec![0],
+            attainment: vec![1.0],
+            demand: vec![100.0],
+        }
+    }
+
+    #[test]
+    fn attainment_collapse_scales_up_with_the_cheapest_effective_class() {
+        let catalog = catalog();
+        let mut scaler = ReactiveAutoscaler::default();
+        // 0.60 is under the catastrophic floor (0.75) by more than 0.05: the
+        // 25% kick (2) doubles to 4 reference-equivalents on top of the tiny
+        // demand target. Budget's effective price (1.5 * 1.5 = 2.25) beats
+        // premium (3.0), and budget's 1.5x slowdown means 4 equivalents take
+        // ceil(4 * 1.5) = 6 budget workers.
+        let state = Obs {
+            attainment: vec![0.60],
+            ..calm(8)
+        };
+        let actions = scaler.decide(&observe(&catalog, &state, 10.0, 0.6));
+        assert_eq!(
+            actions,
+            vec![ElasticAction::Provision { class: 1, count: 6 }]
+        );
+        assert_eq!(scaler.scale_ups(), 1);
+        // An ordinary attainment wobble (0.90) is NOT pressure: Loki's 10 s
+        // windows dip there routinely at any fleet size.
+        let wobble = Obs {
+            attainment: vec![0.90],
+            ..calm(8)
+        };
+        assert!(scaler
+            .decide(&observe(&catalog, &wobble, 20.0, 0.6))
+            .is_empty());
+    }
+
+    #[test]
+    fn backlog_pressure_kicks_but_boots_in_flight_suppress_the_spiral() {
+        let catalog = catalog();
+        // 100 queued over 10 warm (12.5/worker) is pressure; the kick is
+        // clamped to the one free slot under the cap. The *demand* target is
+        // tiny, so the slot-bias stays out of it and the cheap class wins
+        // (kicks are transient; class choice follows demand).
+        let mut scaler = ReactiveAutoscaler::new(AutoscalerConfig {
+            max_fleet: 11,
+            ..AutoscalerConfig::default()
+        });
+        let backlogged = Obs {
+            queued: vec![100],
+            ..calm(10)
+        };
+        let actions = scaler.decide(&observe(&catalog, &backlogged, 10.0, 0.9));
+        assert_eq!(
+            actions,
+            vec![ElasticAction::Provision { class: 1, count: 1 }]
+        );
+        // The same pressure with boots already in flight does not re-kick:
+        // help is on the way, compounding would turn one transient into a
+        // provisioning storm.
+        let mut scaler = ReactiveAutoscaler::default();
+        let booting = Obs {
+            provisioning: vec![2, 0],
+            queued: vec![100],
+            ..calm(8)
+        };
+        assert!(scaler
+            .decide(&observe(&catalog, &booting, 10.0, 0.9))
+            .is_empty());
+    }
+
+    #[test]
+    fn demand_target_scales_up_without_any_pressure() {
+        // 1200 QPS of estimated demand at 75 QPS/worker with 20% headroom
+        // wants 19.2 reference-equivalents: the fleet grows toward the target
+        // even while attainment is still perfect (beat the ramp, not chase
+        // it). The 12 free slots cannot cover 1.25x the target on the slow
+        // budget class (8 + 12/1.5 = 16 < 24), so the slot-bias provisions
+        // premium.
+        let catalog = catalog();
+        let mut scaler = ReactiveAutoscaler::default();
+        let state = Obs {
+            demand: vec![1200.0],
+            ..calm(8)
+        };
+        let actions = scaler.decide(&observe(&catalog, &state, 10.0, 0.5));
+        assert_eq!(
+            actions,
+            vec![ElasticAction::Provision {
+                class: 0,
+                count: 12
+            }]
+        );
+    }
+
+    #[test]
+    fn scale_down_requires_a_sustained_idle_window() {
+        let catalog = catalog();
+        let mut scaler = ReactiveAutoscaler::new(AutoscalerConfig {
+            min_fleet: 2,
+            idle_window_s: 25.0,
+            ..AutoscalerConfig::default()
+        });
+        let state = calm(10);
+        // Desired (2) sits far under warm (10) at t=10: the idle streak
+        // starts, nothing drains yet.
+        assert!(scaler
+            .decide(&observe(&catalog, &state, 10.0, 0.1))
+            .is_empty());
+        // Still idle at t=20: window not met.
+        assert!(scaler
+            .decide(&observe(&catalog, &state, 20.0, 0.1))
+            .is_empty());
+        // A demand blip back to the warm size resets the streak...
+        let busy_again = Obs {
+            demand: vec![600.0],
+            ..calm(10)
+        };
+        assert!(scaler
+            .decide(&observe(&catalog, &busy_again, 30.0, 0.7))
+            .is_empty());
+        assert!(scaler
+            .decide(&observe(&catalog, &state, 40.0, 0.1))
+            .is_empty());
+        // ...so t=60 (20 s after the reset) still holds...
+        assert!(scaler
+            .decide(&observe(&catalog, &state, 60.0, 0.1))
+            .is_empty());
+        // ...and t=70 (30 s of sustained idle) finally drains 40% of warm.
+        let actions = scaler.decide(&observe(&catalog, &state, 70.0, 0.1));
+        assert_eq!(actions, vec![ElasticAction::Drain { class: 0, count: 4 }]);
+        assert_eq!(scaler.scale_downs(), 1);
+    }
+
+    #[test]
+    fn scale_down_respects_the_min_fleet_and_drains_expensive_first() {
+        let catalog = catalog();
+        let mut scaler = ReactiveAutoscaler::new(AutoscalerConfig {
+            min_fleet: 3,
+            idle_window_s: 0.0,
+            down_step_fraction: 0.9,
+            ..AutoscalerConfig::default()
+        });
+        // Mixed warm fleet: premium (effective 3.0) drains before budget.
+        // Capacity is 3 + 2/1.5 = 4.33 reference-equivalents against a keep
+        // of 3, so exactly one premium worker (1.0 equivalents) can come off
+        // despite the 90% step asking for more.
+        let state = Obs {
+            warm: vec![3, 2],
+            ..calm(0)
+        };
+        let first = scaler.decide(&observe(&catalog, &state, 10.0, 0.0));
+        assert_eq!(first, vec![ElasticAction::Drain { class: 0, count: 1 }]);
+        // 2 + 2/1.5 = 3.33 equivalents over a keep of 3 leaves no whole
+        // drainable worker: nothing more comes off.
+        let at_floor = Obs {
+            warm: vec![2, 2],
+            ..calm(0)
+        };
+        assert!(scaler
+            .decide(&observe(&catalog, &at_floor, 30.0, 0.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn fleet_at_the_demand_target_holds_steady() {
+        let catalog = catalog();
+        let mut scaler = ReactiveAutoscaler::default();
+        // 600 QPS wants ceil(600 * 1.2 / 75) = 10 workers: exactly the warm
+        // fleet. Neither direction moves, and no idle streak accrues.
+        let state = Obs {
+            demand: vec![600.0],
+            ..calm(10)
+        };
+        assert!(scaler
+            .decide(&observe(&catalog, &state, 10.0, 0.7))
+            .is_empty());
+        assert!(scaler
+            .decide(&observe(&catalog, &state, 50.0, 0.7))
+            .is_empty());
+        assert_eq!(scaler.scale_ups() + scaler.scale_downs(), 0);
+    }
+
+    #[test]
+    fn slot_constrained_fleet_upgrades_slow_workers_to_fast_ones() {
+        let catalog = catalog();
+        let mut scaler = ReactiveAutoscaler::new(AutoscalerConfig {
+            max_fleet: 10,
+            ..AutoscalerConfig::default()
+        });
+        // Fleet at the 10-slot cap, mostly budget workers: 4 + 6/1.5 = 8
+        // reference-equivalents against a demand target of 1200*1.2/75 =
+        // 19.2. No slot is free, so the scaler drains the slowest class to
+        // make room...
+        let state = Obs {
+            warm: vec![4, 6],
+            demand: vec![1200.0],
+            ..calm(0)
+        };
+        let actions = scaler.decide(&observe(&catalog, &state, 10.0, 0.9));
+        assert_eq!(actions, vec![ElasticAction::Drain { class: 1, count: 3 }]);
+        // ...and once the slots free up, refills them with the fastest class
+        // (slot-constrained provisioning: budget cannot cover the target).
+        let after = Obs {
+            warm: vec![4, 3],
+            demand: vec![1200.0],
+            ..calm(0)
+        };
+        let actions = scaler.decide(&observe(&catalog, &after, 20.0, 0.9));
+        assert_eq!(
+            actions,
+            vec![ElasticAction::Provision { class: 0, count: 3 }]
+        );
+        // A single-class catalog can never trigger the upgrade path.
+        let uniform = WorkerClassCatalog::single(WorkerClass {
+            name: "gpu".to_string(),
+            latency_scale: 1.0,
+            memory_gb: 40.0,
+            price_per_hour: 2.5,
+            boot_delay_s: 20.0,
+        });
+        let mut scaler = ReactiveAutoscaler::new(AutoscalerConfig {
+            max_fleet: 10,
+            ..AutoscalerConfig::default()
+        });
+        let full = Obs {
+            warm: vec![10],
+            provisioning: vec![0],
+            draining: vec![0],
+            queued: vec![0],
+            attainment: vec![1.0],
+            demand: vec![1200.0],
+            active: 10,
+        };
+        assert!(scaler
+            .decide(&observe(&uniform, &full, 10.0, 0.9))
+            .is_empty());
+    }
+
+    #[test]
+    fn pinned_class_overrides_the_price_ranking() {
+        let catalog = catalog();
+        let mut scaler = ReactiveAutoscaler::new(AutoscalerConfig {
+            pin_class: Some(0),
+            ..AutoscalerConfig::default()
+        });
+        let state = Obs {
+            queued: vec![1000],
+            ..calm(4)
+        };
+        let actions = scaler.decide(&observe(&catalog, &state, 10.0, 1.0));
+        assert!(matches!(
+            actions.as_slice(),
+            [ElasticAction::Provision { class: 0, .. }]
+        ));
+    }
+}

@@ -5,9 +5,10 @@
 //! cluster; this module adds the level above it for contended multi-pipeline
 //! serving (Section 7's future work): a [`ResourceManager`] implements the
 //! simulator's [`ResourceArbiter`] interface, weighing each pipeline by its
-//! demand estimate and SLO tightness and apportioning the fleet
-//! proportionally. Each pipeline's own Loki controller then plans inside the
-//! partition it was granted, unchanged.
+//! demand estimate (plus observed backlog pressure, which reacts a full epoch
+//! before the demand estimator on bursty traffic) and SLO tightness, and
+//! apportioning the fleet proportionally. Each pipeline's own Loki controller
+//! then plans inside the partition it was granted, unchanged.
 //!
 //! Two mechanisms keep the partition from thrashing:
 //!
@@ -40,6 +41,13 @@ pub struct ResourceManagerConfig {
     /// Demand (QPS) below which a pipeline is treated as idle and granted no
     /// workers (its share returns to the pool for the others).
     pub idle_demand_qps: f64,
+    /// Pressure-aware arbitration: observed backlog is converted into the
+    /// extra QPS needed to drain it within one rebalance epoch
+    /// (`pressure_gain * queued / rebalance_interval_s`) and added to the
+    /// pipeline's demand weight. Backlog is measured *now*, so the arbiter
+    /// reacts a full epoch before the demand estimator catches a burst; 0
+    /// disables the signal.
+    pub pressure_gain: f64,
     /// Reserve floor: every pipeline with demand is guaranteed
     /// `max(1, floor(floor_fraction * cluster_size))` workers before the rest
     /// of the fleet is split by weight. Pipelines differ in capacity-per-QPS,
@@ -55,6 +63,7 @@ impl Default for ResourceManagerConfig {
             hysteresis: 0.05,
             slo_reference_ms: 250.0,
             idle_demand_qps: 1e-6,
+            pressure_gain: 1.0,
             floor_fraction: 0.1,
         }
     }
@@ -76,6 +85,7 @@ impl ResourceManager {
         assert!(config.rebalance_interval_s > 0.0);
         assert!((0.0..1.0).contains(&config.hysteresis));
         assert!(config.slo_reference_ms > 0.0);
+        assert!(config.pressure_gain >= 0.0);
         assert!((0.0..=1.0).contains(&config.floor_fraction));
         Self {
             config,
@@ -99,9 +109,21 @@ impl ResourceManager {
         self.held_by_hysteresis
     }
 
-    /// The partition weight of one pipeline: demand scaled by SLO tightness.
-    fn weight(&self, demand_qps: f64, slo_ms: f64) -> f64 {
-        if !demand_qps.is_finite() || demand_qps <= self.config.idle_demand_qps {
+    /// The partition weight of one pipeline: demand plus backlog pressure,
+    /// scaled by SLO tightness. Backlog converts to the QPS needed to drain
+    /// it within one epoch, so a burst raises a pipeline's share as soon as
+    /// its queues grow — one full epoch before the EWMA demand estimator
+    /// would report the higher rate.
+    fn weight(&self, demand_qps: f64, slo_ms: f64, queued: usize) -> f64 {
+        let demand = if demand_qps.is_finite() {
+            demand_qps.max(0.0)
+        } else {
+            0.0
+        };
+        let pressure_qps =
+            self.config.pressure_gain * queued as f64 / self.config.rebalance_interval_s;
+        let effective = demand + pressure_qps;
+        if effective <= self.config.idle_demand_qps {
             return 0.0;
         }
         let tightness = if slo_ms.is_finite() && slo_ms > 0.0 {
@@ -109,7 +131,7 @@ impl ResourceManager {
         } else {
             1.0
         };
-        demand_qps * tightness
+        effective * tightness
     }
 }
 
@@ -128,7 +150,8 @@ impl ResourceArbiter for ResourceManager {
             .demand_qps
             .iter()
             .zip(observation.slo_ms)
-            .map(|(&demand, &slo)| self.weight(demand, slo))
+            .zip(observation.queued)
+            .map(|((&demand, &slo), &queued)| self.weight(demand, slo, queued))
             .collect();
         // Reserve floors for every pipeline with demand, then split the rest
         // of the fleet by weight. A pipeline's floor is at least its task
@@ -314,6 +337,63 @@ mod tests {
             ))
             .expect("starvation forces a rebalance");
         assert_eq!(target, vec![17, 3]);
+    }
+
+    #[test]
+    fn backlog_pressure_rebalances_before_the_demand_estimator_catches_up() {
+        // Both pipelines report the same *estimated* demand (the EWMA has not
+        // caught the burst yet), but pipeline 1's queues hold 2000 queries.
+        // With pressure_gain 1.0 and 10 s epochs that is +200 effective QPS:
+        // the burst lane must gain workers on this epoch, not the next.
+        let mut manager = ResourceManager::default();
+        let target = manager
+            .partition(&observe(
+                &[10, 10],
+                &[300.0, 300.0],
+                &[250.0, 250.0],
+                &[0, 2000],
+                20,
+            ))
+            .expect("backlog pressure must trigger a rebalance");
+        assert!(
+            target[1] > target[0],
+            "the backlogged pipeline must gain the larger share, got {target:?}"
+        );
+        assert!(target[1] > 10, "burst lane must gain workers: {target:?}");
+
+        // The same observation with the pressure signal disabled stays put —
+        // the demand estimates alone see a symmetric cluster.
+        let mut blind = ResourceManager::new(ResourceManagerConfig {
+            pressure_gain: 0.0,
+            ..ResourceManagerConfig::default()
+        });
+        assert_eq!(
+            blind.partition(&observe(
+                &[10, 10],
+                &[300.0, 300.0],
+                &[250.0, 250.0],
+                &[0, 2000],
+                20,
+            )),
+            None
+        );
+    }
+
+    #[test]
+    fn backlog_alone_wakes_an_idle_pipeline() {
+        // Zero demand estimate but queued work (e.g. a burst inside the very
+        // first epoch): pressure alone must earn the pipeline a share.
+        let mut manager = ResourceManager::default();
+        let target = manager
+            .partition(&observe(
+                &[20, 0],
+                &[300.0, 0.0],
+                &[250.0, 250.0],
+                &[0, 500],
+                20,
+            ))
+            .expect("queued work must earn a share");
+        assert!(target[1] > 0, "{target:?}");
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! The elastic cluster subsystem: heterogeneous GPU classes, a cloud-style
+//! provisioning lifecycle, and cost accounting.
+//!
+//! The paper's "hardware scaling" (Section 4) reassigns a *fixed* fleet —
+//! `SimConfig::cluster_size` is pinned for the whole run. Real serving systems
+//! scale the hardware itself: INFaaS provisions heterogeneous instance types
+//! under cost/SLO constraints, and cost-efficiency is the third axis next to
+//! accuracy and latency. This module makes the worker fleet a dynamic,
+//! heterogeneous, *billed* resource:
+//!
+//! * a [`WorkerClass`] catalog describes the GPU classes a deployment can rent
+//!   (per-class latency-profile scaling factor, memory capacity, $/hour price,
+//!   and boot delay);
+//! * [`ElasticSimConfig`] (attached as [`crate::SimConfig::elastic`]) declares
+//!   the initial fleet and the fleet bound — when present, every warm
+//!   GPU-second is billed at its class price, whether or not a scaling policy
+//!   runs;
+//! * an [`ElasticPolicy`] decides, at a fixed cadence, whether to *provision*
+//!   new workers (they boot asynchronously: `Provisioning → Warm`, and are
+//!   never billed before boot completes) or *drain* warm ones (`Draining →
+//!   Retired`: a draining worker finishes its in-flight batch but accepts no
+//!   new dispatches, and billing stops at retirement);
+//! * [`StaticFleet`] is the no-op baseline policy — the fleet stays at its
+//!   initial size, which models today's statically-provisioned deployments
+//!   (size for peak and pay for it all night).
+//!
+//! The reactive autoscaler that implements the interesting policy lives above
+//! this crate (`loki_core::provisioner::ReactiveAutoscaler`), exactly like the
+//! cluster-level `ResourceManager` implements [`crate::ResourceArbiter`].
+
+use serde::{Deserialize, Serialize};
+
+/// One rentable GPU class (instance type) in the deployment's catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerClass {
+    /// Stable name used in reports ("a100", "budget", …).
+    pub name: String,
+    /// Multiplier applied to every variant's latency profile on workers of
+    /// this class (1.0 = the profiled reference GPU; 1.5 = 50% slower).
+    pub latency_scale: f64,
+    /// Device memory capacity in GB. Recorded in the catalog (and validated
+    /// positive) so policies can reason about it; the model zoo's variants
+    /// currently all fit a single device, so it does not yet gate placement.
+    pub memory_gb: f64,
+    /// Rental price in dollars per hour of *warm* time.
+    pub price_per_hour: f64,
+    /// Seconds between a provisioning request and the worker turning warm.
+    pub boot_delay_s: f64,
+}
+
+impl WorkerClass {
+    /// The effective price of one unit of reference-GPU work on this class:
+    /// a class that is twice as slow must run twice as long for the same
+    /// work, so its effective price is `price_per_hour * latency_scale`.
+    pub fn effective_price(&self) -> f64 {
+        self.price_per_hour * self.latency_scale
+    }
+}
+
+/// The catalog of worker classes available to a run. Class indices are stable
+/// for the whole run and are what [`ElasticAction`]s and per-class cost rows
+/// refer to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct WorkerClassCatalog {
+    /// The classes, indexed by position.
+    pub classes: Vec<WorkerClass>,
+}
+
+impl WorkerClassCatalog {
+    /// A single-class catalog (the homogeneous testbed, now with a price tag).
+    pub fn single(class: WorkerClass) -> Self {
+        Self {
+            classes: vec![class],
+        }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// True when the catalog has no classes (invalid for elastic runs).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Check internal consistency (non-empty, finite positive scales/prices,
+    /// non-negative boot delays, unique names).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.classes.is_empty() {
+            return Err("worker-class catalog must list at least one class".into());
+        }
+        for c in &self.classes {
+            if !(c.latency_scale.is_finite() && c.latency_scale > 0.0) {
+                return Err(format!("class {:?}: latency_scale must be > 0", c.name));
+            }
+            if !(c.memory_gb.is_finite() && c.memory_gb > 0.0) {
+                return Err(format!("class {:?}: memory_gb must be > 0", c.name));
+            }
+            if !(c.price_per_hour.is_finite() && c.price_per_hour >= 0.0) {
+                return Err(format!("class {:?}: price_per_hour must be >= 0", c.name));
+            }
+            if !(c.boot_delay_s.is_finite() && c.boot_delay_s >= 0.0) {
+                return Err(format!("class {:?}: boot_delay_s must be >= 0", c.name));
+            }
+        }
+        let mut names: Vec<&str> = self.classes.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != self.classes.len() {
+            return Err("worker-class names must be unique".into());
+        }
+        Ok(())
+    }
+
+    /// The class with the lowest [`WorkerClass::effective_price`] (ties to the
+    /// lower index) — the default class a cost-aware policy provisions.
+    pub fn cheapest_effective(&self) -> usize {
+        cheapest_effective(&self.classes)
+    }
+}
+
+/// The index of the class with the lowest [`WorkerClass::effective_price`]
+/// (ties to the lower index) in a class slice — shared by the catalog and by
+/// policies ranking classes from an [`ElasticObservation`], so the two can
+/// never diverge.
+pub fn cheapest_effective(classes: &[WorkerClass]) -> usize {
+    let mut best = 0;
+    for (i, c) in classes.iter().enumerate() {
+        if c.effective_price() < classes[best].effective_price() {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The elastic-fleet half of a [`crate::SimConfig`]. When present, the engine
+/// builds the initial fleet from `initial` (ignoring
+/// [`crate::SimConfig::cluster_size`]), bills every warm GPU-second at the
+/// catalog price, and accepts provisioning/drain actions from an
+/// [`ElasticPolicy`] at `decide_interval_s` cadence. When absent, the fleet is
+/// the historical fixed `cluster_size` and runs are bit-identical to the
+/// pre-elastic engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticSimConfig {
+    /// The rentable GPU classes.
+    pub catalog: WorkerClassCatalog,
+    /// Initial fleet as `(class index, count)` pairs. These workers start warm
+    /// at time zero (pre-warmed bootstrap, matching the fixed-fleet engine's
+    /// assumption) and are billed from time zero.
+    pub initial: Vec<(usize, usize)>,
+    /// Upper bound on live (provisioning + warm + draining) workers; the
+    /// engine clamps provisioning requests to it.
+    pub max_fleet: usize,
+    /// Seconds between [`ElasticPolicy::decide`] invocations.
+    pub decide_interval_s: f64,
+}
+
+impl ElasticSimConfig {
+    /// Total initial worker count.
+    pub fn initial_fleet(&self) -> usize {
+        self.initial.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Check internal consistency (valid catalog, in-range class indices,
+    /// non-empty initial fleet within the fleet bound, positive cadence).
+    pub fn validate(&self) -> Result<(), String> {
+        self.catalog.validate()?;
+        for &(class, _) in &self.initial {
+            if class >= self.catalog.len() {
+                return Err(format!(
+                    "initial fleet references class {class} outside the {}-class catalog",
+                    self.catalog.len()
+                ));
+            }
+        }
+        let total = self.initial_fleet();
+        if total == 0 {
+            return Err("initial fleet must have at least one worker".into());
+        }
+        if total > self.max_fleet {
+            return Err(format!(
+                "initial fleet ({total}) exceeds max_fleet ({})",
+                self.max_fleet
+            ));
+        }
+        if !(self.decide_interval_s.is_finite() && self.decide_interval_s > 0.0) {
+            return Err("decide_interval_s must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// What an [`ElasticPolicy`] observes at each decide tick. Per-class slices
+/// are indexed by catalog class; per-pipeline slices by registration order.
+#[derive(Debug, Clone)]
+pub struct ElasticObservation<'a> {
+    /// Current simulated time in seconds.
+    pub now_s: f64,
+    /// The run's worker-class catalog.
+    pub classes: &'a [WorkerClass],
+    /// Warm (dispatchable) workers per class.
+    pub warm: &'a [usize],
+    /// Warm workers currently hosting a model across all classes — the
+    /// capacity the controllers are actually using. Warm minus active is
+    /// powered-down headroom a policy can harvest without disrupting anyone.
+    pub active: usize,
+    /// Workers still booting per class.
+    pub provisioning: &'a [usize],
+    /// Workers draining (finishing in-flight work) per class.
+    pub draining: &'a [usize],
+    /// Per-pipeline demand estimates (QPS) — the same provisioning estimates
+    /// the pipelines' own controllers compute.
+    pub demand_qps: &'a [f64],
+    /// Per-pipeline total queued queries (backlog pressure).
+    pub queued: &'a [usize],
+    /// Per-pipeline SLO attainment (on-time / finished) over the window since
+    /// the previous decide tick; 1.0 when nothing finished.
+    pub window_attainment: &'a [f64],
+    /// Fraction of warm capacity that was busy over the window (clamped to
+    /// [0, 1]; batch time is credited at batch start, so a saturated window
+    /// can momentarily read slightly high before clamping).
+    pub busy_fraction: f64,
+    /// The run's live-fleet bound.
+    pub max_fleet: usize,
+}
+
+impl ElasticObservation<'_> {
+    /// Total warm workers across classes.
+    pub fn total_warm(&self) -> usize {
+        self.warm.iter().sum()
+    }
+
+    /// Total live (warm + provisioning + draining) workers across classes.
+    pub fn total_live(&self) -> usize {
+        self.total_warm()
+            + self.provisioning.iter().sum::<usize>()
+            + self.draining.iter().sum::<usize>()
+    }
+
+    /// Total queued queries across pipelines.
+    pub fn total_queued(&self) -> usize {
+        self.queued.iter().sum()
+    }
+}
+
+/// One fleet-scaling action. Counts are clamped by the engine (to the fleet
+/// bound for provisioning, to the class's warm workers for draining), so
+/// policies may over-ask without tracking the exact fleet state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticAction {
+    /// Start `count` new workers of `class`; each turns warm (and starts
+    /// billing) after the class's boot delay.
+    Provision {
+        /// Catalog class index.
+        class: usize,
+        /// Workers to start.
+        count: usize,
+    },
+    /// Drain `count` warm workers of `class`: the engine picks the idlest
+    /// (unassigned first, then shortest queue), re-homes their queued queries,
+    /// lets in-flight batches finish, and retires them.
+    Drain {
+        /// Catalog class index.
+        class: usize,
+        /// Workers to drain.
+        count: usize,
+    },
+}
+
+/// A fleet-scaling policy: the cloud-provisioner control loop plugged into the
+/// simulator. Invoked every [`ElasticSimConfig::decide_interval_s`] seconds.
+pub trait ElasticPolicy {
+    /// Name used in reports.
+    fn name(&self) -> &str;
+
+    /// Decide fleet actions from the current observation. Returning an empty
+    /// vector keeps the fleet as is.
+    fn decide(&mut self, observation: &ElasticObservation<'_>) -> Vec<ElasticAction>;
+}
+
+/// The static baseline: never scales. With an [`ElasticSimConfig`] attached,
+/// a run under `StaticFleet` keeps its initial fleet for the whole run and
+/// pays for every second of it — the "provision for peak" deployment the
+/// autoscaler is measured against. (Running with no policy at all is
+/// equivalent; this type exists so baselines are explicit in reports.)
+#[derive(Debug, Clone, Default)]
+pub struct StaticFleet;
+
+impl ElasticPolicy for StaticFleet {
+    fn name(&self) -> &str {
+        "static-fleet"
+    }
+
+    fn decide(&mut self, _observation: &ElasticObservation<'_>) -> Vec<ElasticAction> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(name: &str, scale: f64, price: f64) -> WorkerClass {
+        WorkerClass {
+            name: name.to_string(),
+            latency_scale: scale,
+            memory_gb: 40.0,
+            price_per_hour: price,
+            boot_delay_s: 20.0,
+        }
+    }
+
+    #[test]
+    fn catalog_validates_and_ranks_effective_price() {
+        let catalog = WorkerClassCatalog {
+            classes: vec![class("premium", 1.0, 3.0), class("budget", 1.5, 1.5)],
+        };
+        assert!(catalog.validate().is_ok());
+        // budget: 1.5 * 1.5 = 2.25 effective < premium 3.0.
+        assert_eq!(catalog.cheapest_effective(), 1);
+        assert!((catalog.classes[1].effective_price() - 2.25).abs() < 1e-12);
+
+        assert!(WorkerClassCatalog::default().validate().is_err());
+        let dup = WorkerClassCatalog {
+            classes: vec![class("a", 1.0, 1.0), class("a", 2.0, 2.0)],
+        };
+        assert!(dup.validate().is_err());
+        let bad = WorkerClassCatalog::single(class("x", 0.0, 1.0));
+        assert!(bad.validate().is_err());
+        let bad_mem = WorkerClassCatalog::single(WorkerClass {
+            memory_gb: 0.0,
+            ..class("x", 1.0, 1.0)
+        });
+        assert!(bad_mem.validate().is_err());
+    }
+
+    #[test]
+    fn elastic_config_validates_fleet_shape() {
+        let catalog = WorkerClassCatalog::single(class("gpu", 1.0, 2.5));
+        let ok = ElasticSimConfig {
+            catalog: catalog.clone(),
+            initial: vec![(0, 4)],
+            max_fleet: 10,
+            decide_interval_s: 10.0,
+        };
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.initial_fleet(), 4);
+
+        let out_of_range = ElasticSimConfig {
+            initial: vec![(3, 2)],
+            ..ok.clone()
+        };
+        assert!(out_of_range.validate().is_err());
+        let empty = ElasticSimConfig {
+            initial: vec![],
+            ..ok.clone()
+        };
+        assert!(empty.validate().is_err());
+        let over = ElasticSimConfig {
+            initial: vec![(0, 11)],
+            ..ok.clone()
+        };
+        assert!(over.validate().is_err());
+        let bad_interval = ElasticSimConfig {
+            decide_interval_s: 0.0,
+            ..ok
+        };
+        assert!(bad_interval.validate().is_err());
+    }
+
+    #[test]
+    fn static_fleet_never_acts() {
+        let catalog = WorkerClassCatalog::single(class("gpu", 1.0, 2.5));
+        let warm = [4usize];
+        let provisioning = [0usize];
+        let draining = [0usize];
+        let observation = ElasticObservation {
+            now_s: 100.0,
+            classes: &catalog.classes,
+            warm: &warm,
+            active: 3,
+            provisioning: &provisioning,
+            draining: &draining,
+            demand_qps: &[900.0],
+            queued: &[1000],
+            window_attainment: &[0.1],
+            busy_fraction: 1.0,
+            max_fleet: 32,
+        };
+        let mut policy = StaticFleet;
+        assert_eq!(policy.name(), "static-fleet");
+        assert!(policy.decide(&observation).is_empty());
+        assert_eq!(observation.total_warm(), 4);
+        assert_eq!(observation.total_live(), 4);
+        assert_eq!(observation.total_queued(), 1000);
+    }
+}

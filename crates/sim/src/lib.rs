@@ -30,6 +30,7 @@
 //! figure-regeneration harness in `loki-bench` reproducible.
 
 pub mod calendar;
+pub mod elastic;
 pub mod engine;
 pub mod metrics;
 pub mod multi;
@@ -39,8 +40,12 @@ pub mod types;
 pub mod worker;
 
 pub use calendar::{CalendarGeometry, CalendarQueue};
+pub use elastic::{
+    cheapest_effective, ElasticAction, ElasticObservation, ElasticPolicy, ElasticSimConfig,
+    StaticFleet, WorkerClass, WorkerClassCatalog,
+};
 pub use engine::{EngineError, SimResult, Simulation};
-pub use metrics::{IntervalMetrics, RunSummary};
+pub use metrics::{ClassCost, CostSummary, IntervalMetrics, RunSummary};
 pub use multi::{
     apportion, ArbiterObservation, MultiPipeline, MultiSimResult, MultiSimulation, PipelineResult,
     ResourceArbiter, StaticPartition,

@@ -154,6 +154,49 @@ impl RunSummary {
     }
 }
 
+/// Cost accounting of one GPU class over a run (elastic fleets only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ClassCost {
+    /// Class name from the run's [`crate::elastic::WorkerClassCatalog`].
+    pub class: String,
+    /// Billed warm GPU-seconds (boot completion → retirement or run end).
+    pub gpu_seconds: f64,
+    /// Dollar cost: `gpu_seconds / 3600 * price_per_hour`.
+    pub dollars: f64,
+    /// Peak concurrent warm workers of this class.
+    pub peak_warm: usize,
+    /// Workers provisioned over the run (initial fleet excluded).
+    pub provisioned: u64,
+    /// Workers drained and retired over the run.
+    pub retired: u64,
+}
+
+/// Whole-run cost summary of an elastic fleet. Cluster-level: one per engine
+/// run, shared by every pipeline lane served on the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CostSummary {
+    /// Per-class breakdown, in catalog order.
+    pub per_class: Vec<ClassCost>,
+    /// Total billed GPU-seconds across classes.
+    pub total_gpu_seconds: f64,
+    /// Total dollar cost across classes.
+    pub total_dollars: f64,
+    /// Root queries served (completed on time or late) across all pipelines —
+    /// the denominator of `cost_per_1k_queries`.
+    pub served_queries: u64,
+    /// Dollars per thousand served queries (0 when nothing was served).
+    pub cost_per_1k_queries: f64,
+    /// Peak concurrent warm workers across the whole fleet.
+    pub peak_fleet: usize,
+}
+
+impl CostSummary {
+    /// Total billed GPU-hours.
+    pub fn gpu_hours(&self) -> f64 {
+        self.total_gpu_seconds / 3600.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

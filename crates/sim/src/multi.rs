@@ -16,8 +16,9 @@
 //! [`StaticPartition`] provides the fixed-share baselines (even split, oracle
 //! split) the contended manager is evaluated against.
 
+use crate::elastic::ElasticPolicy;
 use crate::engine::{Engine, EngineError, LaneInput, SimResult};
-use crate::metrics::{IntervalMetrics, RunSummary};
+use crate::metrics::{CostSummary, IntervalMetrics, RunSummary};
 use crate::types::{Controller, SimConfig};
 use loki_pipeline::PipelineGraph;
 
@@ -151,14 +152,19 @@ impl ResourceArbiter for StaticPartition {
 /// One pipeline registered with a [`MultiSimulation`]: its graph, controller,
 /// arrival trace, and initial demand hint (the multi-pipeline analogue of
 /// [`SimConfig::initial_demand_hint`]).
-pub struct MultiPipeline<'a> {
+///
+/// Generic over the controller type so callers that need the controller back
+/// after the run (e.g. to read its runtime statistics through
+/// [`MultiSimulation::into_pipelines`]) can register a concrete type; the
+/// default `Box<dyn Controller>` keeps heterogeneous registrations working.
+pub struct MultiPipeline<'a, C: Controller + 'a = Box<dyn Controller + 'a>> {
     /// Label used in per-pipeline results and reports.
     pub name: String,
     /// The pipeline to serve.
     pub graph: &'a PipelineGraph,
     /// The pipeline's serving controller (it only ever sees the pipeline's
     /// partition of the cluster).
-    pub controller: Box<dyn Controller + 'a>,
+    pub controller: C,
     /// Root-query arrival times in seconds, ascending.
     pub arrivals_s: Vec<f64>,
     /// Demand hint handed to the controller at its first control tick and to
@@ -191,13 +197,22 @@ pub struct MultiSimResult {
     pub rebalances: u64,
     /// Workers moved across pipelines over the whole run.
     pub migrations: u64,
+    /// Cluster-level fleet cost (elastic runs only; the fleet is shared, so
+    /// cost lives here and on the [`MultiSimResult::aggregate`] result, not
+    /// on the per-pipeline ones).
+    pub cost: Option<CostSummary>,
 }
 
 impl MultiSimResult {
     /// Cluster-level aggregate of the per-pipeline results: totals summed,
-    /// accuracy weighted by served queries, utilization re-derived against the
-    /// full cluster, intervals summed element-wise. The aggregate's
-    /// `events_processed` includes cluster-level events.
+    /// accuracy weighted by served queries, intervals summed element-wise.
+    /// Each aggregate interval's `cluster_size` is the sum of the lanes'
+    /// granted warm capacity at that interval — for a fixed fleet that equals
+    /// the physical cluster, and for an elastic fleet it tracks the billed
+    /// fleet over time, so utilization stays measured against what was
+    /// actually rented. `cluster_size` is only the fallback for intervals no
+    /// lane reported. The aggregate's `events_processed` includes
+    /// cluster-level events.
     pub fn aggregate(&self, cluster_size: usize) -> SimResult {
         let rows = self
             .pipelines
@@ -207,10 +222,8 @@ impl MultiSimResult {
             .unwrap_or(0);
         let mut intervals: Vec<IntervalMetrics> = Vec::with_capacity(rows);
         for row in 0..rows {
-            let mut agg = IntervalMetrics {
-                cluster_size,
-                ..Default::default()
-            };
+            let mut agg = IntervalMetrics::default();
+            let mut granted = 0usize;
             for p in &self.pipelines {
                 let Some(m) = p.result.intervals.get(row) else {
                     continue;
@@ -224,13 +237,19 @@ impl MultiSimResult {
                 agg.accuracy_count += m.accuracy_count;
                 agg.rerouted += m.rerouted;
                 agg.active_workers += m.active_workers;
+                granted += m.cluster_size;
             }
+            agg.cluster_size = if granted > 0 { granted } else { cluster_size };
             intervals.push(agg);
         }
         let name = format!("multi({})", self.arbiter);
         let mut summary = RunSummary::from_intervals(&name, &intervals);
         summary.events_processed = self.total_events;
-        SimResult { intervals, summary }
+        SimResult {
+            intervals,
+            summary,
+            cost: self.cost.clone(),
+        }
     }
 }
 
@@ -239,12 +258,12 @@ impl MultiSimResult {
 /// single-pipeline [`crate::Simulation`] uses; a two-pipeline run where one
 /// pipeline has zero demand (and thus a zero-worker partition) is bit-identical
 /// to the single-pipeline run of the other.
-pub struct MultiSimulation<'a> {
+pub struct MultiSimulation<'a, C: Controller + 'a = Box<dyn Controller + 'a>> {
     config: SimConfig,
-    pipelines: Vec<MultiPipeline<'a>>,
+    pipelines: Vec<MultiPipeline<'a, C>>,
 }
 
-impl<'a> MultiSimulation<'a> {
+impl<'a, C: Controller + 'a> MultiSimulation<'a, C> {
     /// Create an empty multi-pipeline simulation. `config.initial_demand_hint`
     /// is ignored — each registered pipeline carries its own hint.
     pub fn new(config: SimConfig) -> Self {
@@ -256,7 +275,7 @@ impl<'a> MultiSimulation<'a> {
 
     /// Register a pipeline. Registration order is the index order every
     /// arbiter observation and result vector uses.
-    pub fn add_pipeline(&mut self, pipeline: MultiPipeline<'a>) -> &mut Self {
+    pub fn add_pipeline(&mut self, pipeline: MultiPipeline<'a, C>) -> &mut Self {
         pipeline
             .graph
             .validate()
@@ -284,6 +303,41 @@ impl<'a> MultiSimulation<'a> {
         &mut self,
         arbiter: &mut dyn ResourceArbiter,
     ) -> Result<MultiSimResult, EngineError> {
+        self.try_run_inner(arbiter, None)
+    }
+
+    /// Run with an [`ElasticPolicy`] scaling the shared fleet under the
+    /// arbiter (requires [`SimConfig::elastic`]): boots land in the free pool
+    /// and the next rebalance apportions them, so the partition size changes
+    /// between arbiter epochs. Panics on an engine invariant violation.
+    pub fn run_elastic(
+        &mut self,
+        arbiter: &mut dyn ResourceArbiter,
+        policy: &mut dyn ElasticPolicy,
+    ) -> MultiSimResult {
+        self.try_run_elastic(arbiter, policy)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Like [`MultiSimulation::run_elastic`], but surfaces engine invariant
+    /// violations as a structured [`EngineError`].
+    pub fn try_run_elastic(
+        &mut self,
+        arbiter: &mut dyn ResourceArbiter,
+        policy: &mut dyn ElasticPolicy,
+    ) -> Result<MultiSimResult, EngineError> {
+        assert!(
+            self.config.elastic.is_some(),
+            "an elastic policy needs SimConfig::elastic"
+        );
+        self.try_run_inner(arbiter, Some(policy))
+    }
+
+    fn try_run_inner(
+        &mut self,
+        arbiter: &mut dyn ResourceArbiter,
+        policy: Option<&mut dyn ElasticPolicy>,
+    ) -> Result<MultiSimResult, EngineError> {
         assert!(
             !self.pipelines.is_empty(),
             "register at least one pipeline before running"
@@ -297,11 +351,11 @@ impl<'a> MultiSimulation<'a> {
                 arrivals_s: &pipeline.arrivals_s,
                 initial_demand_hint: pipeline.initial_demand_hint,
             });
-            controllers.push(&mut *pipeline.controller);
+            controllers.push(&mut pipeline.controller);
             names.push(pipeline.name.clone());
         }
         let mut engine = Engine::new(&self.config, inputs);
-        let results = engine.run(&mut controllers, Some(arbiter))?;
+        let results = engine.run(&mut controllers, Some(arbiter), policy)?;
         Ok(MultiSimResult {
             pipelines: names
                 .into_iter()
@@ -312,12 +366,14 @@ impl<'a> MultiSimulation<'a> {
             total_events: engine.global_events(),
             rebalances: engine.rebalances(),
             migrations: engine.migrations(),
+            cost: engine.take_cost(),
         })
     }
 
     /// Consume the simulation and return the registered pipelines (useful to
-    /// inspect controller internals after a run).
-    pub fn into_pipelines(self) -> Vec<MultiPipeline<'a>> {
+    /// inspect controller internals — e.g. per-lane `ControllerStats` — after
+    /// a run).
+    pub fn into_pipelines(self) -> Vec<MultiPipeline<'a, C>> {
         self.pipelines
     }
 }

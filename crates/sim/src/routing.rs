@@ -197,6 +197,9 @@ impl CompiledRouting {
     ) {
         let serves = |w: WorkerId, task: usize| {
             owner.get(w.index()) == Some(&lane)
+                && workers
+                    .get(w.index())
+                    .is_some_and(|worker| worker.accepts_dispatches())
                 && matches!(
                     workers.get(w.index()).and_then(|w| w.assignment.as_ref()),
                     Some(a) if a.variant.task == task
@@ -293,7 +296,12 @@ impl CompiledRouting {
     /// is resolved at compile time, so this is one load.
     #[inline]
     pub fn downstream_table(&self, upstream: WorkerId, child_task: usize) -> Option<&AliasTable> {
-        let idx = self.downstream[upstream.index() * self.num_tasks + child_task];
+        // `get`, not indexing: an elastic fleet can grow between compilations,
+        // and a worker provisioned after this compile has no row yet (it also
+        // has no plan entries, so "no table → queue-length fallback" is right).
+        let idx = *self
+            .downstream
+            .get(upstream.index() * self.num_tasks + child_task)?;
         if idx == NO_TABLE {
             None
         } else {

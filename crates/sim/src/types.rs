@@ -270,6 +270,18 @@ pub enum CompiledLinkDelays {
 }
 
 impl CompiledLinkDelays {
+    /// Interconnect class of a worker under the per-class model. The dense
+    /// `class_of` table covers the fleet size at compile time; workers
+    /// provisioned past it (elastic fleets grow, and retired slots are never
+    /// reused) fall back to the striping rule the table caches.
+    #[inline]
+    fn striped_class(class_of: &[u32], classes: usize, w: WorkerId) -> usize {
+        class_of
+            .get(w.index())
+            .map(|&c| c as usize)
+            .unwrap_or(w.index() % classes)
+    }
+
     /// Delay of a frontend → `dst` hop, in µs.
     #[inline]
     pub fn frontend_us(&self, dst: WorkerId) -> SimTime {
@@ -277,10 +289,11 @@ impl CompiledLinkDelays {
             CompiledLinkDelays::Uniform { hop_us } => *hop_us,
             CompiledLinkDelays::PerEdge { frontend_us, .. } => *frontend_us,
             CompiledLinkDelays::PerClass {
+                classes,
                 class_of,
                 frontend_us,
                 ..
-            } => frontend_us[class_of[dst.index()] as usize],
+            } => frontend_us[Self::striped_class(class_of, *classes, dst)],
         }
     }
 
@@ -309,7 +322,8 @@ impl CompiledLinkDelays {
                 ..
             } => {
                 let _ = (src_task, dst_task);
-                hop_us[class_of[src.index()] as usize * classes + class_of[dst.index()] as usize]
+                hop_us[Self::striped_class(class_of, *classes, src) * classes
+                    + Self::striped_class(class_of, *classes, dst)]
             }
         }
     }
@@ -569,6 +583,12 @@ pub struct SimConfig {
     /// How long the simulation keeps running after the last arrival to let in-flight
     /// queries drain, in seconds. Queries still unfinished afterwards count as dropped.
     pub drain_s: f64,
+    /// Elastic-fleet configuration (see [`crate::elastic::ElasticSimConfig`]).
+    /// `None` (the default) keeps the historical fixed fleet of `cluster_size`
+    /// workers, bit-identical to the pre-elastic engine; `Some` makes the
+    /// fleet a dynamic, heterogeneous, billed resource built from the catalog
+    /// (and `cluster_size` is ignored in favour of the initial fleet).
+    pub elastic: Option<crate::elastic::ElasticSimConfig>,
 }
 
 impl Default for SimConfig {
@@ -585,7 +605,33 @@ impl Default for SimConfig {
             seed: 42,
             initial_demand_hint: None,
             drain_s: 30.0,
+            elastic: None,
         }
+    }
+}
+
+/// Boxed controllers forward to their contents, so generic simulations (e.g.
+/// [`crate::MultiSimulation`]) accept both concrete controller types and
+/// `Box<dyn Controller>` trait objects.
+impl<C: Controller + ?Sized> Controller for Box<C> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn control_interval_s(&self) -> f64 {
+        (**self).control_interval_s()
+    }
+
+    fn routing_interval_s(&self) -> f64 {
+        (**self).routing_interval_s()
+    }
+
+    fn plan(&mut self, observed: &ObservedState<'_>) -> Option<AllocationPlan> {
+        (**self).plan(observed)
+    }
+
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+        (**self).routing(observed)
     }
 }
 

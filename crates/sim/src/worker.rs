@@ -19,6 +19,24 @@ pub struct Assignment {
     pub latency: LatencyProfile,
 }
 
+/// Lifecycle state of a worker in an elastic fleet. Fixed-fleet workers are
+/// `Warm` for the whole run, which reproduces the historical engine exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Lifecycle {
+    /// Requested from the provider, still booting: owns no lane, hosts no
+    /// model, is not billed.
+    Provisioning,
+    /// Fully operational (the only state that accepts new dispatches).
+    #[default]
+    Warm,
+    /// Scheduled for removal: finishes its in-flight batch but accepts no new
+    /// dispatches (its queue was re-homed when draining began).
+    Draining,
+    /// Removed from the fleet; its slot is kept so `WorkerId`s stay stable,
+    /// but the worker never serves (or bills) again.
+    Retired,
+}
+
 /// A single worker (GPU) in the simulated cluster.
 #[derive(Debug, Clone)]
 pub struct Worker {
@@ -41,6 +59,15 @@ pub struct Worker {
     pub busy_time_us: u64,
     /// Number of queries this worker has processed.
     pub processed: u64,
+    /// Elastic lifecycle state (`Warm` for fixed-fleet workers).
+    pub lifecycle: Lifecycle,
+    /// Catalog class index (0 for fixed-fleet workers).
+    pub class: u32,
+    /// Multiplier on hosted variants' latency profiles (the worker's
+    /// class-relative speed; 1.0 = the profiled reference GPU).
+    pub perf_scale: f64,
+    /// When billing started (boot completion; 0 for the initial warm fleet).
+    pub billed_from_us: SimTime,
 }
 
 impl Worker {
@@ -56,7 +83,44 @@ impl Worker {
             swap_until: 0,
             busy_time_us: 0,
             processed: 0,
+            lifecycle: Lifecycle::Warm,
+            class: 0,
+            perf_scale: 1.0,
+            billed_from_us: 0,
         }
+    }
+
+    /// Create a still-booting worker of a catalog class.
+    pub fn provisioning(id: WorkerId, class: u32, perf_scale: f64) -> Self {
+        Self {
+            lifecycle: Lifecycle::Provisioning,
+            class,
+            perf_scale,
+            ..Self::new(id)
+        }
+    }
+
+    /// True when the worker may receive new dispatches (warm — not booting,
+    /// draining, or retired). Every routing path in the engine filters on
+    /// this, which is what guarantees a draining worker never receives a new
+    /// dispatch.
+    #[inline]
+    pub fn accepts_dispatches(&self) -> bool {
+        self.lifecycle == Lifecycle::Warm
+    }
+
+    /// Begin draining: the worker accepts no new dispatches from now on. The
+    /// caller is responsible for re-homing the queue (via
+    /// [`Worker::drain_queue`]) and for retiring the worker once its in-flight
+    /// batch completes (immediately when [`Worker::has_in_flight`] is false).
+    pub fn begin_drain(&mut self) {
+        debug_assert_eq!(self.lifecycle, Lifecycle::Warm, "only warm workers drain");
+        self.lifecycle = Lifecycle::Draining;
+    }
+
+    /// True while a batch is executing on the worker.
+    pub fn has_in_flight(&self) -> bool {
+        !self.in_flight.is_empty()
     }
 
     /// True if the worker hosts a variant.
@@ -90,6 +154,11 @@ impl Worker {
     /// round trip through the waiting queue.
     #[inline]
     pub fn deliver_and_try_start(&mut self, q: Query, now: SimTime) -> Option<(SimTime, usize)> {
+        debug_assert!(
+            self.accepts_dispatches(),
+            "dispatch to a non-warm worker {}",
+            self.id
+        );
         if self.in_flight.is_empty() && self.queue.is_empty() && !self.is_swapping(now) {
             if let Some(assignment) = self.assignment.as_ref() {
                 let variant = assignment.variant;
@@ -128,10 +197,21 @@ impl Worker {
             Some(a) => a.variant != variant,
             None => true,
         };
+        // Cache the latency profile scaled by the worker's class speed, so the
+        // hot batching path pays the heterogeneity exactly once, here.
+        let reference = graph.variant(variant).latency;
+        let latency = if self.perf_scale == 1.0 {
+            reference
+        } else {
+            loki_pipeline::LatencyProfile::new(
+                reference.alpha_ms * self.perf_scale,
+                reference.beta_ms * self.perf_scale,
+            )
+        };
         self.assignment = Some(Assignment {
             variant,
             max_batch,
-            latency: graph.variant(variant).latency,
+            latency,
         });
         changed
     }
@@ -152,7 +232,11 @@ impl Worker {
     /// expected to schedule a batch-completion event at `finish_time`. Returns `None`
     /// if the worker is unassigned, busy, swapping, or has an empty queue.
     pub fn try_start_batch(&mut self, now: SimTime) -> Option<(SimTime, usize)> {
-        if !self.in_flight.is_empty() || self.queue.is_empty() || self.is_swapping(now) {
+        if !self.in_flight.is_empty()
+            || self.queue.is_empty()
+            || self.is_swapping(now)
+            || !self.accepts_dispatches()
+        {
             return None;
         }
         let assignment = self.assignment.as_ref()?;
@@ -292,6 +376,43 @@ mod tests {
         assert!(w.profiled_exec_ms().is_some());
         w.unassign();
         assert!(!w.is_active());
+    }
+
+    #[test]
+    fn draining_worker_finishes_in_flight_but_starts_nothing_new() {
+        let g = zoo::tiny_pipeline(100.0);
+        let mut w = Worker::new(WorkerId(5));
+        w.assign(VariantId::new(0, 0), 4, &g);
+        w.enqueue(query(1, 0));
+        let (finish, _) = w.try_start_batch(0).unwrap();
+        // Draining mid-batch: the in-flight batch still completes...
+        w.begin_drain();
+        assert!(!w.accepts_dispatches());
+        assert!(w.has_in_flight());
+        let mut done = Vec::new();
+        assert_eq!(w.finish_batch_into(&mut done), Some(VariantId::new(0, 0)));
+        assert_eq!(done.len(), 1);
+        // ...but nothing new ever starts, even with queued work.
+        w.enqueue(query(2, 0));
+        assert!(w.try_start_batch(finish).is_none());
+        w.lifecycle = Lifecycle::Retired;
+        assert!(w.try_start_batch(finish).is_none());
+    }
+
+    #[test]
+    fn perf_scale_stretches_the_cached_latency_profile() {
+        let g = zoo::tiny_pipeline(100.0);
+        let mut reference = Worker::new(WorkerId(6));
+        reference.assign(VariantId::new(0, 0), 4, &g);
+        let mut slow = Worker::provisioning(WorkerId(7), 1, 1.5);
+        assert_eq!(slow.lifecycle, Lifecycle::Provisioning);
+        slow.lifecycle = Lifecycle::Warm;
+        slow.assign(VariantId::new(0, 0), 4, &g);
+        let base = reference.profiled_exec_ms().unwrap();
+        let scaled = slow.profiled_exec_ms().unwrap();
+        assert!((scaled - base * 1.5).abs() < 1e-9, "{scaled} vs {base}");
+        // Throughput drops by the same factor.
+        assert!((slow.capacity_qps() - reference.capacity_qps() / 1.5).abs() < 1e-9);
     }
 
     #[test]
