@@ -18,7 +18,7 @@
 use loki_bench::figures::{self, ScenarioReport};
 use loki_bench::report::{self, Json};
 use loki_bench::runner::Runner;
-use loki_bench::scenario::{self, Scenario};
+use loki_bench::scenario::{self, Scenario, ScenarioKind};
 use loki_bench::sweep::Sweep;
 use std::fmt::Write as _;
 
@@ -28,14 +28,15 @@ USAGE:
   loki list   [--json]                                 list registered scenarios
   loki run    <scenario> [key=value ...] [--json] [--jobs N]
   loki sweep  <scenario> [axis=v1,v2,...] [key=value ...] [--json] [--csv] [--jobs N] [--serial]
-  loki report [out=PATH] [skip_large=1] [skip_stress=1] [--jobs N]
+  loki report [out=PATH] [runs=N] [skip_large=1] [skip_stress=1] [--jobs N]
   loki help
 
 Config keys: cluster, slo, duration, peak, base, seed, bucket, drain, runs,
+jobs (engine lane threads for multi-pipeline scenarios; bit-identical),
 links (uniform, two-tier, edge-split), elastic (fixed, static-peak,
 static-mean, autoscale), classes (uniform, mixed).
 Sweep axes (comma-separated lists): controllers, slo, peak, cluster, links,
-elastic, seed.
+elastic, jobs, seed.
 Multi-seed sweeps report cross-seed mean/stddev per axis point; --csv emits one
 flat CSV (stat=point|mean|stddev) ready for plotting.
 See EXPERIMENTS.md for the invocation reproducing each paper figure.";
@@ -146,6 +147,10 @@ fn cmd_list(args: &[String]) {
                     Json::Arr(sweep.elastic.iter().map(|m| m.name().into()).collect()),
                 )
                 .push(
+                    "jobs",
+                    Json::Arr(sweep.jobs.iter().map(|&v| v.into()).collect()),
+                )
+                .push(
                     "seed",
                     Json::Arr(sweep.seed.iter().map(|&v| Json::UInt(v)).collect()),
                 );
@@ -215,7 +220,7 @@ fn cmd_sweep(args: &[String]) {
         match key {
             // Axis keys accept comma-separated lists and are applied to the grid.
             "controllers" | "controller" | "slo" | "peak" | "cluster" | "links" | "elastic"
-            | "seed" => {
+            | "jobs" | "seed" => {
                 axes.push((key.to_string(), value.to_string()));
             }
             // Everything else is a base-config override.
@@ -390,6 +395,7 @@ fn cmd_report(args: &[String]) {
     let mut out_path = "BENCH_sim.json".to_string();
     let mut skip_large = false;
     let mut skip_stress = false;
+    let mut min_runs = 1usize;
     for arg in &flags.kv {
         let Some((key, value)) = arg.split_once('=') else {
             fail(&format!("expected key=value, got {arg:?}"));
@@ -398,8 +404,14 @@ fn cmd_report(args: &[String]) {
             "out" => out_path = value.to_string(),
             "skip_large" => skip_large = value == "1" || value == "true",
             "skip_stress" => skip_stress = value == "1" || value == "true",
+            // Fairness floor: every scenario runs at least this many times and
+            // reports its best wall, so fast and slow configs get equal treatment.
+            "runs" => match value.parse::<usize>() {
+                Ok(n) if n >= 1 => min_runs = n,
+                _ => fail(&format!("invalid runs value {value:?} (want a count >= 1)")),
+            },
             _ => fail(&format!(
-                "unknown report key {key:?} (known: out, skip_large, skip_stress)"
+                "unknown report key {key:?} (known: out, runs, skip_large, skip_stress)"
             )),
         }
     }
@@ -409,12 +421,15 @@ fn cmd_report(args: &[String]) {
     } else {
         Runner::serial()
     };
+    // Engine lane threads used for the parallel leg of multi-pipeline entries.
+    const PARALLEL_JOBS: usize = 4;
     let mut entries = Vec::new();
     for name in [
         "traffic_300qps_30s",
         "traffic_1m_arrivals",
         "traffic_hetnet",
         "multi_traffic_social",
+        "multi_zipf_16",
         "elastic_diurnal",
         "stress_diurnal_day",
     ] {
@@ -425,14 +440,40 @@ fn cmd_report(args: &[String]) {
             continue;
         }
         let sc = lookup_scenario(name);
-        let cfg = sc.config();
-        eprintln!("running {name} ({} run(s))...", cfg.runs.max(1));
-        let results = runner.run(vec![scenario::scenario_point(sc, &cfg)]);
-        entries.push(figures::throughput_entry_json(
-            name,
-            cfg.runs.max(1),
-            &results[0],
-        ));
+        let mut cfg = sc.config();
+        cfg.runs = cfg.runs.max(min_runs);
+        let runs = cfg.runs.max(1);
+        if matches!(sc.kind, ScenarioKind::MultiPipeline(..)) {
+            // Multi-pipeline scenarios exercise the sharded engine: time the same
+            // point with one lane thread and with PARALLEL_JOBS. Summaries are
+            // bit-identical across the two legs; only wall-clock differs.
+            let mut serial_cfg = cfg.clone();
+            serial_cfg.jobs = 1;
+            let mut parallel_cfg = cfg.clone();
+            parallel_cfg.jobs = PARALLEL_JOBS;
+            eprintln!("running {name} ({runs} run(s), jobs=1)...");
+            let serial = runner.run(vec![scenario::scenario_point(sc, &serial_cfg)]);
+            eprintln!("running {name} ({runs} run(s), jobs={PARALLEL_JOBS})...");
+            let parallel = runner.run(vec![scenario::scenario_point(sc, &parallel_cfg)]);
+            let host_cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let mut entry = figures::throughput_entry_json(name, runs, &serial[0]);
+            entry
+                .push("serial_wall_s", serial[0].wall_s.into())
+                .push("parallel_wall_s", parallel[0].wall_s.into())
+                .push("jobs", PARALLEL_JOBS.into())
+                .push(
+                    "parallel_speedup",
+                    (serial[0].wall_s / parallel[0].wall_s).into(),
+                )
+                .push("host_cores", host_cores.into());
+            entries.push(entry);
+        } else {
+            eprintln!("running {name} ({runs} run(s))...");
+            let results = runner.run(vec![scenario::scenario_point(sc, &cfg)]);
+            entries.push(figures::throughput_entry_json(name, runs, &results[0]));
+        }
     }
     let mut json = Json::object();
     json.push("benchmark", "simulator_throughput".into())

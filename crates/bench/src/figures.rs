@@ -69,7 +69,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> S
         ScenarioKind::MilpProbe => milp_probe(sc, cfg),
         ScenarioKind::CapacityTable => capacity_table(sc, cfg, runner),
         ScenarioKind::Throughput => throughput(sc, cfg, runner),
-        ScenarioKind::MultiPipeline(_) => multi_pipeline(sc, cfg, runner),
+        ScenarioKind::MultiPipeline(..) => multi_pipeline(sc, cfg, runner),
         ScenarioKind::Elastic => elastic_family(sc, cfg, runner),
     }
 }
@@ -104,6 +104,7 @@ pub fn config_json(cfg: &ExperimentConfig) -> Json {
         .push("bucket_s", cfg.bucket_s.into())
         .push("drain_s", cfg.drain_s.into())
         .push("runs", cfg.runs.into())
+        .push("jobs", cfg.jobs.into())
         .push("links", cfg.links.name().into())
         .push("elastic", cfg.elastic.name().into())
         .push("classes", cfg.classes.name().into());
@@ -434,31 +435,47 @@ fn multi_pipeline(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Sce
     );
     let _ = writeln!(
         text,
-        "arbiter {}  rebalances {}  migrations {}  events {}",
-        stats.arbiter, stats.rebalances, stats.migrations, point.result.summary.events_processed
+        "arbiter {}  rebalances {}  migrations {}  events {}  jobs {}",
+        stats.arbiter,
+        stats.rebalances,
+        stats.migrations,
+        point.result.summary.events_processed,
+        cfg.jobs.max(1)
     );
     let _ = writeln!(
         text,
-        "\n{:<12} {:>10} {:>10} {:>8} {:>9} {:>11} {:>10}",
-        "pipeline", "arrivals", "on_time", "late", "dropped", "slo_attain", "accuracy"
+        "\n{:<12} {:>10} {:>10} {:>8} {:>9} {:>11} {:>10} {:>11} {:>10}",
+        "pipeline",
+        "arrivals",
+        "on_time",
+        "late",
+        "dropped",
+        "slo_attain",
+        "accuracy",
+        "lane_wall_s",
+        "barrier_s"
     );
     let mut rows = Vec::new();
     for lane in &point.per_pipeline {
         let s = &lane.summary;
         let _ = writeln!(
             text,
-            "{:<12} {:>10} {:>10} {:>8} {:>9} {:>11.4} {:>10.4}",
+            "{:<12} {:>10} {:>10} {:>8} {:>9} {:>11.4} {:>10.4} {:>11.4} {:>10.4}",
             lane.name,
             s.total_arrivals,
             s.total_on_time,
             s.total_late,
             s.total_dropped,
             slo_attainment(s),
-            s.system_accuracy
+            s.system_accuracy,
+            lane.lane_wall_s,
+            lane.barrier_wait_s
         );
         let mut row = Json::object();
         row.push("pipeline", lane.name.as_str().into())
             .push("slo_attainment", slo_attainment(s).into())
+            .push("lane_wall_s", lane.lane_wall_s.into())
+            .push("barrier_wait_s", lane.barrier_wait_s.into())
             .push("summary", summary_json(s));
         rows.push(row);
     }

@@ -230,6 +230,11 @@ pub struct ExperimentConfig {
     pub drain_s: f64,
     /// Repetitions per run point, keeping the best wall-clock (throughput scenarios).
     pub runs: usize,
+    /// Engine worker threads for multi-pipeline points (`jobs=` key): each
+    /// pipeline lane runs on its own core between rebalance epochs. Results
+    /// are bit-identical for every value; only wall-clock changes. Ignored by
+    /// single-pipeline points.
+    pub jobs: usize,
     /// Per-link network-delay profile (`links=` key; uniform by default).
     pub links: LinkProfile,
     /// Fleet-provisioning mode (`elastic=` key; fixed fleet by default).
@@ -250,6 +255,7 @@ impl Default for ExperimentConfig {
             bucket_s: 60,
             drain_s: 20.0,
             runs: 1,
+            jobs: 1,
             links: LinkProfile::Uniform,
             elastic: ElasticMode::Fixed,
             classes: GpuClassProfile::Uniform,
@@ -276,6 +282,7 @@ impl ExperimentConfig {
             "bucket" => self.bucket_s = parse(key, value)?,
             "drain" => self.drain_s = parse(key, value)?,
             "runs" => self.runs = parse(key, value)?,
+            "jobs" => self.jobs = parse::<usize>(key, value)?.max(1),
             "links" => {
                 self.links = LinkProfile::from_name(value).ok_or_else(|| {
                     format!(
@@ -302,7 +309,7 @@ impl ExperimentConfig {
             }
             _ => {
                 return Err(format!(
-                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, links, elastic, classes)"
+                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, jobs, links, elastic, classes)"
                 ))
             }
         }

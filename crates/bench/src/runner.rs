@@ -1,49 +1,15 @@
 //! Parallel execution of independent simulation runs.
 //!
-//! crates.io (and thus rayon) is unavailable in the build container, so this is a
-//! hand-rolled bounded pool on `std::thread::scope`: a shared work queue drained by
-//! `jobs` scoped workers, with results written back by index so the output order is
-//! the input order regardless of scheduling. Each [`crate::scenario::RunPoint`] is
-//! fully self-contained (it builds its own graph, trace, and controller), which is
-//! what makes parallel summaries bit-identical to serial ones.
+//! The bounded scoped-thread pool itself lives in `loki_sim::par` (the engine's
+//! sharded lane execution uses the same one); this module re-exports it and adds
+//! the [`Runner`] that drives batches of bench points through it. Each
+//! [`crate::scenario::RunPoint`] is fully self-contained (it builds its own
+//! graph, trace, and controller), which is what makes parallel summaries
+//! bit-identical to serial ones.
 
 use crate::scenario::{PointResult, RunPoint};
-use std::collections::VecDeque;
-use std::sync::Mutex;
 
-/// Map `f` over `items` using up to `jobs` scoped worker threads, preserving input
-/// order in the output. `jobs <= 1` runs inline on the calling thread (the exact
-/// serial path, with no pool involved).
-pub fn par_map<T, R, F>(items: Vec<T>, jobs: usize, f: F) -> Vec<R>
-where
-    T: Send,
-    R: Send,
-    F: Fn(T) -> R + Sync,
-{
-    let n = items.len();
-    if jobs <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                // Pop under the lock, compute outside it.
-                let next = queue.lock().expect("queue lock").pop_front();
-                let Some((index, item)) = next else { break };
-                let out = f(item);
-                results.lock().expect("results lock")[index] = Some(out);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("results lock")
-        .into_iter()
-        .map(|r| r.expect("every queued item completes"))
-        .collect()
-}
+pub use loki_sim::par::par_map;
 
 /// Executes batches of [`RunPoint`]s, serially or across a bounded thread pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

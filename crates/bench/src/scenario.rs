@@ -14,8 +14,8 @@ use loki_core::{ControllerStats, LokiConfig, LokiController, ResourceManager};
 use loki_pipeline::{zoo, PipelineGraph};
 use loki_sim::{
     AllocationPlan, Controller, CostSummary, DropPolicy, LinkDelayModel, MultiPipeline,
-    MultiSimulation, ObservedState, ResourceArbiter, RoutingPlan, RunSummary, SimResult,
-    Simulation, StaticPartition,
+    MultiSimConfig, MultiSimulation, ObservedState, ResourceArbiter, RoutingPlan, RunSummary,
+    SimResult, Simulation, StaticPartition,
 };
 use loki_workload::{generate_arrivals, ArrivalProcess, Trace, TraceSpec};
 use std::time::Instant;
@@ -274,10 +274,10 @@ impl MultiMode {
 
 /// One pipeline of a multi-pipeline scenario, parameterized against the
 /// experiment's shared knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiLane {
-    /// Lane label in reports ("traffic", "social").
-    pub name: &'static str,
+    /// Lane label in reports ("traffic", "social", "zipf03").
+    pub name: String,
     pub pipeline: PipelineSpec,
     pub trace: TraceSpec,
     /// Fraction of the experiment's `peak_qps`/`base_qps` this lane carries.
@@ -302,20 +302,52 @@ pub struct MultiSpec {
 pub fn traffic_social_lanes() -> Vec<MultiLane> {
     vec![
         MultiLane {
-            name: "traffic",
+            name: "traffic".to_string(),
             pipeline: PipelineSpec::Traffic,
             trace: TraceSpec::AzureDiurnal,
             demand_share: 1.0,
             slo_scale: 1.0,
         },
         MultiLane {
-            name: "social",
+            name: "social".to_string(),
             pipeline: PipelineSpec::Social,
             trace: TraceSpec::TwitterBursty,
             demand_share: 0.1,
             slo_scale: 1.2,
         },
     ]
+}
+
+/// A 16-tenant mix with Zipf-distributed popularity: lane `i` carries a
+/// `1/(i+1)` share of the demand (normalized by the 16th harmonic number, so
+/// the shares sum to 1), alternating traffic-analysis lanes on the diurnal
+/// trace with social-media lanes on the bursty trace, the latter with a 20%
+/// looser SLO. The long-tail skew — lane 0 alone carries ~30% of the load —
+/// is what exercises both the contended arbiter and the sharded engine's
+/// barrier-wait accounting (the head lanes dominate each epoch's wall time).
+pub fn zipf_lanes() -> Vec<MultiLane> {
+    const LANES: usize = 16;
+    let harmonic: f64 = (1..=LANES).map(|k| 1.0 / k as f64).sum();
+    (0..LANES)
+        .map(|i| {
+            let social = i % 2 == 1;
+            MultiLane {
+                name: format!("zipf{i:02}"),
+                pipeline: if social {
+                    PipelineSpec::Social
+                } else {
+                    PipelineSpec::Traffic
+                },
+                trace: if social {
+                    TraceSpec::TwitterBursty
+                } else {
+                    TraceSpec::AzureDiurnal
+                },
+                demand_share: 1.0 / ((i + 1) as f64 * harmonic),
+                slo_scale: if social { 1.2 } else { 1.0 },
+            }
+        })
+        .collect()
 }
 
 /// One self-contained simulator run: everything needed to build the pipeline(s), the
@@ -341,6 +373,12 @@ pub struct RunPoint {
 pub struct PipelineSummary {
     pub name: String,
     pub summary: RunSummary,
+    /// Wall-clock seconds the lane's execution shard spent processing events
+    /// (host time; from the best run when `runs > 1`).
+    pub lane_wall_s: f64,
+    /// Estimated wall-clock seconds the lane's shard spent waiting on slower
+    /// shards at epoch barriers — the sharded engine's load-imbalance signal.
+    pub barrier_wait_s: f64,
     /// The lane's control-plane statistics, when its controller tracks them
     /// (threaded out through `MultiSimulation::into_pipelines`).
     pub controller_stats: Option<ControllerStats>,
@@ -497,14 +535,19 @@ impl RunPoint {
         let mut best_wall_s = f64::INFINITY;
         let mut outcome = None;
         let mut lane_stats: Vec<Option<ControllerStats>> = vec![None; spec.lanes.len()];
+        let mut lane_walls: Vec<(f64, f64)> = vec![(0.0, 0.0); spec.lanes.len()];
         for _ in 0..runs {
             let mut config = crate::sim_config(cfg, &traces[0]);
             config.initial_demand_hint = None;
             config.elastic = crate::elastic_sim_config(cfg, total_tasks, offered_total);
-            let mut sim: MultiSimulation<'_, AnyController> = MultiSimulation::new(config);
+            let mut sim: MultiSimulation<'_, AnyController> =
+                MultiSimulation::new(MultiSimConfig {
+                    sim: config,
+                    jobs: cfg.jobs.max(1),
+                });
             for (i, lane) in spec.lanes.iter().enumerate() {
                 sim.add_pipeline(MultiPipeline {
-                    name: lane.name.to_string(),
+                    name: lane.name.clone(),
                     graph: &graphs[i],
                     controller: self.controller.build(&graphs[i], self.drop_policy, &links),
                     arrivals_s: arrivals[i].clone(),
@@ -523,8 +566,14 @@ impl RunPoint {
             let wall_s = start.elapsed().as_secs_f64();
             if wall_s < best_wall_s {
                 best_wall_s = wall_s;
-                // Thread each lane's control-plane statistics out of the run
-                // (Section 6.5 runtime analysis for contended serving).
+                // Thread each lane's control-plane statistics and shard
+                // timings out of the best run (Section 6.5 runtime analysis
+                // for contended serving).
+                lane_walls = run
+                    .pipelines
+                    .iter()
+                    .map(|p| (p.lane_wall_s, p.barrier_wait_s))
+                    .collect();
                 lane_stats = sim
                     .into_pipelines()
                     .iter()
@@ -556,17 +605,42 @@ impl RunPoint {
                 .pipelines
                 .iter()
                 .zip(&lane_stats)
-                .map(|(p, stats)| PipelineSummary {
-                    name: p.name.clone(),
-                    summary: p.result.summary.clone(),
-                    controller_stats: stats.clone(),
-                })
+                .zip(&lane_walls)
+                .map(
+                    |((p, stats), &(lane_wall_s, barrier_wait_s))| PipelineSummary {
+                        name: p.name.clone(),
+                        summary: p.result.summary.clone(),
+                        lane_wall_s,
+                        barrier_wait_s,
+                        controller_stats: stats.clone(),
+                    },
+                )
                 .collect(),
             multi_stats: Some(MultiStats {
                 arbiter: outcome.arbiter.clone(),
                 rebalances: outcome.rebalances,
                 migrations: outcome.migrations,
             }),
+        }
+    }
+}
+
+/// The pipeline mixes a multi-pipeline scenario can serve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneSet {
+    /// The skewed two-lane traffic+social mix ([`traffic_social_lanes`]).
+    TrafficSocial,
+    /// Sixteen tenants with Zipf-distributed popularity ([`zipf_lanes`]) —
+    /// the lane count that gives the sharded parallel engine real fan-out.
+    Zipf16,
+}
+
+impl LaneSet {
+    /// Build the lanes of this mix.
+    pub fn lanes(self) -> Vec<MultiLane> {
+        match self {
+            LaneSet::TrafficSocial => traffic_social_lanes(),
+            LaneSet::Zipf16 => zipf_lanes(),
         }
     }
 }
@@ -596,8 +670,8 @@ pub enum ScenarioKind {
     /// Simulator-throughput measurement feeding `BENCH_sim.json`.
     Throughput,
     /// Several pipelines on one shared cluster under a resource arbiter
-    /// (Section 7's contended multi-pipeline serving).
-    MultiPipeline(MultiMode),
+    /// (Section 7's contended multi-pipeline serving), over a named lane mix.
+    MultiPipeline(MultiMode, LaneSet),
     /// Elastic provisioning comparison: the same workload under static-peak,
     /// static-mean, and autoscaled fleets, with cost accounting (the
     /// cost/SLO/accuracy trade-off the `elastic_` family studies).
@@ -623,13 +697,13 @@ impl Scenario {
         (self.defaults)()
     }
 
-    /// The multi-pipeline spec of a [`ScenarioKind::MultiPipeline`] scenario
-    /// (the `multi_` family all serve the traffic+social mix).
+    /// The multi-pipeline spec of a [`ScenarioKind::MultiPipeline`] scenario:
+    /// its arbitration mode over its registered lane mix.
     pub fn multi_spec(&self) -> Option<MultiSpec> {
         match self.kind {
-            ScenarioKind::MultiPipeline(mode) => Some(MultiSpec {
+            ScenarioKind::MultiPipeline(mode, lane_set) => Some(MultiSpec {
                 mode,
-                lanes: traffic_social_lanes(),
+                lanes: lane_set.lanes(),
             }),
             _ => None,
         }
@@ -791,6 +865,23 @@ fn multi_cfg() -> ExperimentConfig {
     }
 }
 
+fn multi_zipf_cfg() -> ExperimentConfig {
+    // Sixteen Zipf-popularity tenants on a 64-worker cluster: enough lanes
+    // that the sharded engine has real fan-out (the tentpole throughput
+    // scenario recorded with both serial and parallel wall-clock in
+    // BENCH_sim.json), and enough demand skew that the contended arbiter's
+    // partition tracks the 1/rank popularity curve.
+    ExperimentConfig {
+        cluster_size: 64,
+        duration_s: 600,
+        peak_qps: 1600.0,
+        base_qps: 400.0,
+        bucket_s: 60,
+        drain_s: 10.0,
+        ..ExperimentConfig::default()
+    }
+}
+
 /// The scenario registry: every former figure/ablation/capacity binary, plus the
 /// throughput scenarios tracked in `BENCH_sim.json`. `loki list` prints this table.
 pub const REGISTRY: &[Scenario] = &[
@@ -925,7 +1016,7 @@ pub const REGISTRY: &[Scenario] = &[
     Scenario {
         name: "multi_traffic_social",
         title: "Shared cluster: traffic + social pipelines under the contended Resource Manager",
-        kind: ScenarioKind::MultiPipeline(MultiMode::Contended),
+        kind: ScenarioKind::MultiPipeline(MultiMode::Contended, LaneSet::TrafficSocial),
         pipeline: PipelineSpec::Traffic,
         trace: TraceSpec::AzureDiurnal,
         defaults: multi_cfg,
@@ -933,7 +1024,7 @@ pub const REGISTRY: &[Scenario] = &[
     Scenario {
         name: "multi_static_split",
         title: "Shared cluster: traffic + social pipelines on a naive static 50/50 split",
-        kind: ScenarioKind::MultiPipeline(MultiMode::StaticEven),
+        kind: ScenarioKind::MultiPipeline(MultiMode::StaticEven, LaneSet::TrafficSocial),
         pipeline: PipelineSpec::Traffic,
         trace: TraceSpec::AzureDiurnal,
         defaults: multi_cfg,
@@ -941,10 +1032,18 @@ pub const REGISTRY: &[Scenario] = &[
     Scenario {
         name: "multi_oracle_split",
         title: "Shared cluster: traffic + social pipelines on an oracle offered-load split",
-        kind: ScenarioKind::MultiPipeline(MultiMode::OracleSplit),
+        kind: ScenarioKind::MultiPipeline(MultiMode::OracleSplit, LaneSet::TrafficSocial),
         pipeline: PipelineSpec::Traffic,
         trace: TraceSpec::AzureDiurnal,
         defaults: multi_cfg,
+    },
+    Scenario {
+        name: "multi_zipf_16",
+        title: "Shared cluster: 16 Zipf-popularity tenants; sharded-engine throughput scenario",
+        kind: ScenarioKind::MultiPipeline(MultiMode::Contended, LaneSet::Zipf16),
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::AzureDiurnal,
+        defaults: multi_zipf_cfg,
     },
 ];
 

@@ -21,6 +21,7 @@ pub struct Sweep {
     pub cluster_size: Vec<usize>,
     pub links: Vec<LinkProfile>,
     pub elastic: Vec<ElasticMode>,
+    pub jobs: Vec<usize>,
     pub seed: Vec<u64>,
 }
 
@@ -50,6 +51,7 @@ impl Sweep {
             cluster_size: vec![cfg.cluster_size],
             links: vec![cfg.links],
             elastic: vec![cfg.elastic],
+            jobs: vec![cfg.jobs.max(1)],
             seed: vec![cfg.seed],
         }
     }
@@ -68,6 +70,12 @@ impl Sweep {
             "slo" => self.slo_ms = parse_list(axis, values)?,
             "peak" => self.peak_qps = parse_list(axis, values)?,
             "cluster" => self.cluster_size = parse_list(axis, values)?,
+            "jobs" => {
+                self.jobs = parse_list::<usize>(axis, values)?
+                    .into_iter()
+                    .map(|j: usize| j.max(1))
+                    .collect()
+            }
             "seed" => self.seed = parse_list(axis, values)?,
             "controllers" | "controller" => {
                 let specs: Option<Vec<ControllerSpec>> = values
@@ -116,7 +124,7 @@ impl Sweep {
             }
             _ => {
                 return Err(format!(
-                "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, links, elastic, seed)"
+                "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, links, elastic, jobs, seed)"
             ))
             }
         }
@@ -131,6 +139,7 @@ impl Sweep {
             * self.cluster_size.len()
             * self.links.len()
             * self.elastic.len()
+            * self.jobs.len()
             * self.seed.len()
     }
 
@@ -149,39 +158,45 @@ impl Sweep {
                     for &cluster in &self.cluster_size {
                         for &links in &self.links {
                             for &elastic in &self.elastic {
-                                for &seed in &self.seed {
-                                    let mut cfg = self.base.cfg.clone();
-                                    cfg.slo_ms = slo;
-                                    cfg.peak_qps = peak;
-                                    cfg.cluster_size = cluster;
-                                    cfg.links = links;
-                                    cfg.elastic = elastic;
-                                    cfg.seed = seed;
-                                    let mut label = controller.name().to_string();
-                                    if self.slo_ms.len() > 1 {
-                                        let _ = write!(label, " slo={slo}");
+                                for &jobs in &self.jobs {
+                                    for &seed in &self.seed {
+                                        let mut cfg = self.base.cfg.clone();
+                                        cfg.slo_ms = slo;
+                                        cfg.peak_qps = peak;
+                                        cfg.cluster_size = cluster;
+                                        cfg.links = links;
+                                        cfg.elastic = elastic;
+                                        cfg.jobs = jobs;
+                                        cfg.seed = seed;
+                                        let mut label = controller.name().to_string();
+                                        if self.slo_ms.len() > 1 {
+                                            let _ = write!(label, " slo={slo}");
+                                        }
+                                        if self.peak_qps.len() > 1 {
+                                            let _ = write!(label, " peak={peak}");
+                                        }
+                                        if self.cluster_size.len() > 1 {
+                                            let _ = write!(label, " cluster={cluster}");
+                                        }
+                                        if self.links.len() > 1 {
+                                            let _ = write!(label, " links={}", links.name());
+                                        }
+                                        if self.elastic.len() > 1 {
+                                            let _ = write!(label, " elastic={}", elastic.name());
+                                        }
+                                        if self.jobs.len() > 1 {
+                                            let _ = write!(label, " jobs={jobs}");
+                                        }
+                                        if self.seed.len() > 1 {
+                                            let _ = write!(label, " seed={seed}");
+                                        }
+                                        out.push(RunPoint {
+                                            label,
+                                            controller,
+                                            cfg,
+                                            ..self.base.clone()
+                                        });
                                     }
-                                    if self.peak_qps.len() > 1 {
-                                        let _ = write!(label, " peak={peak}");
-                                    }
-                                    if self.cluster_size.len() > 1 {
-                                        let _ = write!(label, " cluster={cluster}");
-                                    }
-                                    if self.links.len() > 1 {
-                                        let _ = write!(label, " links={}", links.name());
-                                    }
-                                    if self.elastic.len() > 1 {
-                                        let _ = write!(label, " elastic={}", elastic.name());
-                                    }
-                                    if self.seed.len() > 1 {
-                                        let _ = write!(label, " seed={seed}");
-                                    }
-                                    out.push(RunPoint {
-                                        label,
-                                        controller,
-                                        cfg,
-                                        ..self.base.clone()
-                                    });
                                 }
                             }
                         }

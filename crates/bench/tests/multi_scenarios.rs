@@ -11,7 +11,7 @@
 //!   report path.
 
 use loki_bench::report::sweep_csv;
-use loki_bench::scenario::{self, scenario_point, MultiMode, ScenarioKind};
+use loki_bench::scenario::{self, scenario_point, LaneSet, MultiMode, ScenarioKind};
 use loki_bench::ExperimentConfig;
 
 /// The registry-default skewed-demand config. The full 300 s matters: the
@@ -38,7 +38,10 @@ fn multi_family_is_registered_with_modes() {
         ("multi_oracle_split", MultiMode::OracleSplit),
     ] {
         let sc = scenario::find(name).unwrap_or_else(|| panic!("{name} missing from registry"));
-        assert_eq!(sc.kind, ScenarioKind::MultiPipeline(mode));
+        assert_eq!(
+            sc.kind,
+            ScenarioKind::MultiPipeline(mode, LaneSet::TrafficSocial)
+        );
         let spec = sc.multi_spec().expect("multi scenarios carry a spec");
         assert_eq!(spec.mode, mode);
         assert_eq!(spec.lanes.len(), 2);
@@ -50,6 +53,32 @@ fn multi_family_is_registered_with_modes() {
         .unwrap()
         .multi_spec()
         .is_none());
+}
+
+#[test]
+fn zipf_scenario_registers_sixteen_lanes_with_zipf_demand() {
+    let sc = scenario::find("multi_zipf_16").expect("multi_zipf_16 registered");
+    assert_eq!(
+        sc.kind,
+        ScenarioKind::MultiPipeline(MultiMode::Contended, LaneSet::Zipf16)
+    );
+    let spec = sc.multi_spec().expect("zipf scenario carries a spec");
+    assert_eq!(spec.lanes.len(), 16);
+    // Zipf demand shares: strictly decreasing by rank, normalised to 1.
+    let shares: Vec<f64> = spec.lanes.iter().map(|l| l.demand_share).collect();
+    for pair in shares.windows(2) {
+        assert!(
+            pair[0] > pair[1],
+            "shares must decrease by rank: {shares:?}"
+        );
+    }
+    let total: f64 = shares.iter().sum();
+    assert!((total - 1.0).abs() < 1e-9, "shares sum to 1, got {total}");
+    // Lane names are unique (they key per-pipeline report rows).
+    let mut names: Vec<&str> = spec.lanes.iter().map(|l| l.name.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), 16);
 }
 
 #[test]

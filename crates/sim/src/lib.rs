@@ -34,7 +34,9 @@ pub mod elastic;
 pub mod engine;
 pub mod metrics;
 pub mod multi;
+pub mod par;
 pub mod routing;
+mod shard;
 pub mod slab;
 pub mod types;
 pub mod worker;
@@ -47,9 +49,10 @@ pub use elastic::{
 pub use engine::{EngineError, SimResult, Simulation};
 pub use metrics::{ClassCost, CostSummary, IntervalMetrics, RunSummary};
 pub use multi::{
-    apportion, ArbiterObservation, MultiPipeline, MultiSimResult, MultiSimulation, PipelineResult,
-    ResourceArbiter, StaticPartition,
+    apportion, ArbiterObservation, MultiPipeline, MultiSimConfig, MultiSimResult, MultiSimulation,
+    PipelineResult, ResourceArbiter, StaticPartition,
 };
+pub use par::par_map;
 pub use routing::AliasTable;
 pub use slab::{Slab, SlotRef};
 pub use types::{

@@ -181,6 +181,14 @@ pub struct PipelineResult {
     /// `cluster_size` is the pipeline's partition size at the interval end, so
     /// utilization is measured against granted capacity.
     pub result: SimResult,
+    /// Wall-clock seconds this pipeline's execution shard spent processing
+    /// events (host time, not simulated time — excluded from determinism
+    /// comparisons).
+    pub lane_wall_s: f64,
+    /// Estimated wall-clock seconds this shard spent waiting on slower shards
+    /// at epoch barriers (zero when the shard was the epoch's slowest; a load
+    /// imbalance signal for the sharded parallel engine).
+    pub barrier_wait_s: f64,
 }
 
 /// The outcome of a multi-pipeline run.
@@ -253,22 +261,45 @@ impl MultiSimResult {
     }
 }
 
+/// Configuration of a multi-pipeline run: the shared-cluster [`SimConfig`]
+/// plus the execution-parallelism knob. `From<SimConfig>` gives the serial
+/// default (`jobs = 1`), so existing `MultiSimulation::new(sim_config)` call
+/// sites keep working unchanged.
+#[derive(Debug, Clone)]
+pub struct MultiSimConfig {
+    /// The shared-cluster simulation configuration.
+    pub sim: SimConfig,
+    /// Worker threads for lane execution between rebalance epochs. `1` runs
+    /// every lane inline on the calling thread; `> 1` runs lanes on a bounded
+    /// scoped pool ([`crate::par::par_map`]). The simulated results are
+    /// bit-identical for every value (pinned by the parallel-identity tests);
+    /// only wall-clock time changes.
+    pub jobs: usize,
+}
+
+impl From<SimConfig> for MultiSimConfig {
+    fn from(sim: SimConfig) -> Self {
+        Self { sim, jobs: 1 }
+    }
+}
+
 /// A simulation of several pipelines sharing one cluster under a
 /// [`ResourceArbiter`]. The engine's scheduling core is the same one the
 /// single-pipeline [`crate::Simulation`] uses; a two-pipeline run where one
 /// pipeline has zero demand (and thus a zero-worker partition) is bit-identical
 /// to the single-pipeline run of the other.
 pub struct MultiSimulation<'a, C: Controller + 'a = Box<dyn Controller + 'a>> {
-    config: SimConfig,
+    config: MultiSimConfig,
     pipelines: Vec<MultiPipeline<'a, C>>,
 }
 
 impl<'a, C: Controller + 'a> MultiSimulation<'a, C> {
-    /// Create an empty multi-pipeline simulation. `config.initial_demand_hint`
-    /// is ignored — each registered pipeline carries its own hint.
-    pub fn new(config: SimConfig) -> Self {
+    /// Create an empty multi-pipeline simulation from a [`MultiSimConfig`] (or
+    /// a bare [`SimConfig`], which runs serial). `initial_demand_hint` is
+    /// ignored — each registered pipeline carries its own hint.
+    pub fn new(config: impl Into<MultiSimConfig>) -> Self {
         Self {
-            config,
+            config: config.into(),
             pipelines: Vec::new(),
         }
     }
@@ -327,7 +358,7 @@ impl<'a, C: Controller + 'a> MultiSimulation<'a, C> {
         policy: &mut dyn ElasticPolicy,
     ) -> Result<MultiSimResult, EngineError> {
         assert!(
-            self.config.elastic.is_some(),
+            self.config.sim.elastic.is_some(),
             "an elastic policy needs SimConfig::elastic"
         );
         self.try_run_inner(arbiter, Some(policy))
@@ -354,13 +385,22 @@ impl<'a, C: Controller + 'a> MultiSimulation<'a, C> {
             controllers.push(&mut pipeline.controller);
             names.push(pipeline.name.clone());
         }
-        let mut engine = Engine::new(&self.config, inputs);
-        let results = engine.run(&mut controllers, Some(arbiter), policy)?;
+        let mut engine = Engine::new(&self.config.sim, inputs);
+        let results = engine.run(&mut controllers, Some(arbiter), policy, self.config.jobs)?;
+        let timings = engine.lane_timings();
         Ok(MultiSimResult {
             pipelines: names
                 .into_iter()
                 .zip(results)
-                .map(|(name, result)| PipelineResult { name, result })
+                .zip(timings)
+                .map(
+                    |((name, result), (lane_wall_s, barrier_wait_s))| PipelineResult {
+                        name,
+                        result,
+                        lane_wall_s,
+                        barrier_wait_s,
+                    },
+                )
                 .collect(),
             arbiter: arbiter.name().to_string(),
             total_events: engine.global_events(),

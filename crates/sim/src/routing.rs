@@ -11,9 +11,10 @@
 //! change; the engine tracks that with an assignment epoch and falls back to
 //! scanning the raw plan in the (rare) window where the compiled form is stale.
 
+use crate::shard::Fleet;
 use crate::types::{BackupWorker, RoutingPlan, WorkerId};
-use crate::worker::Worker;
 use rand::Rng;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A Vose alias table: samples an index from a discrete weighted distribution
 /// with a single uniform draw and two array reads, independent of table size.
@@ -185,27 +186,32 @@ impl CompiledRouting {
     /// migrated to another pipeline may host that pipeline's task with the
     /// same index and must not absorb this lane's traffic.
     #[allow(clippy::too_many_arguments)]
-    pub fn recompile(
+    pub(crate) fn recompile(
         &mut self,
         plan: &RoutingPlan,
-        workers: &[Worker],
-        owner: &[u32],
+        fleet: &Fleet,
+        owner: &[AtomicU32],
         lane: u32,
         num_tasks: usize,
         root_task: usize,
         epoch: u64,
     ) {
+        // Owner check first (short-circuit): a worker owned by another lane is
+        // rejected before its data is read, which keeps compiling against the
+        // shared fleet sound while other shards run (see `crate::shard`).
         let serves = |w: WorkerId, task: usize| {
-            owner.get(w.index()) == Some(&lane)
-                && workers
-                    .get(w.index())
+            owner
+                .get(w.index())
+                .is_some_and(|o| o.load(Ordering::Relaxed) == lane)
+                && fleet
+                    .try_get(w.index())
                     .is_some_and(|worker| worker.accepts_dispatches())
                 && matches!(
-                    workers.get(w.index()).and_then(|w| w.assignment.as_ref()),
+                    fleet.try_get(w.index()).and_then(|w| w.assignment.as_ref()),
                     Some(a) if a.variant.task == task
                 )
         };
-        let nw = workers.len();
+        let nw = fleet.len();
         self.epoch = epoch;
         self.num_tasks = num_tasks;
         self.used_tables = 0;

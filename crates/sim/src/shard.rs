@@ -1,0 +1,1421 @@
+//! Per-lane execution shards: the engine's data plane, one shard per pipeline.
+//!
+//! A [`Shard`] owns everything one lane needs to advance independently between
+//! two rebalance epochs: the lane's state ([`LaneState`]), its own calendar
+//! queue of timed lane events, its own batch-completion heap, and its own event
+//! sequence counter. Because a warm worker is owned by exactly one lane at a
+//! time and ownership only changes at epoch boundaries (where the driver runs
+//! single-threaded), per-epoch shard execution is data-independent: shards may
+//! run on separate threads, and the merged run is bit-identical to the serial
+//! one (per-lane seq streams preserve each lane's internal event order, and
+//! cross-lane interleavings never touch shared mutable state mid-epoch).
+//!
+//! # The fleet aliasing contract
+//!
+//! Workers live in a shared [`Fleet`] (a `Vec<UnsafeCell<Worker>>`), with the
+//! owning lane of each worker in a shared `AtomicU32` owner map. The safety
+//! contract, relied on by every `Fleet::get`/`Fleet::get_mut` call:
+//!
+//! * **Between barriers** a worker is touched only by the thread running its
+//!   owner lane's shard. Every routing path checks `owner[w] == lane` *before*
+//!   dereferencing the worker (short-circuit `&&`), so a stale table entry for
+//!   a worker owned elsewhere is skipped without ever reading its data.
+//! * **At barriers** only the driver thread runs (the scoped pool has joined),
+//!   so migrations, drains, boots, and re-homes may touch any worker.
+//! * Owner reads/writes are `Relaxed`: the only mid-epoch owner write is a
+//!   lane freeing its *own* worker at retirement, and a concurrent reader from
+//!   another lane rejects both the old value (a foreign lane id) and the new
+//!   one (`FREE`) identically, so the race is benign *and* deterministic.
+
+use crate::calendar::CalendarQueue;
+use crate::engine::EngineError;
+use crate::routing::CompiledRouting;
+use crate::slab::{Slab, SlotRef};
+use crate::types::{
+    ms_to_us, secs_to_us, us_to_ms, AllocationPlan, BackupWorker, CompiledLinkDelays, Controller,
+    DropPolicy, ObservedState, Query, RoutingPlan, SimConfig, SimTime, WorkerId, WorkerView,
+};
+use crate::worker::{Lifecycle, Worker};
+use loki_pipeline::{PipelineGraph, TaskId, VariantId};
+use loki_workload::{DemandHistory, EwmaEstimator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Owner tag of a worker no lane currently holds (released by a rebalance and
+/// not yet re-granted).
+pub(crate) const FREE: u32 = u32::MAX;
+
+/// The shared worker fleet. Interior mutability with *external* synchronization:
+/// see the module docs for the aliasing contract that makes the unsafe `Sync`
+/// impl and the `&self` mutators sound.
+pub(crate) struct Fleet {
+    workers: Vec<UnsafeCell<Worker>>,
+}
+
+// SAFETY: `Worker` is plain owned data (no interior references); cross-thread
+// access is serialized by the ownership discipline in the module docs.
+unsafe impl Sync for Fleet {}
+
+impl Fleet {
+    pub(crate) fn new(workers: Vec<Worker>) -> Self {
+        Self {
+            workers: workers.into_iter().map(UnsafeCell::new).collect(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    pub(crate) fn push(&mut self, worker: Worker) {
+        self.workers.push(UnsafeCell::new(worker));
+    }
+
+    /// Shared view of a worker. See the module docs for when this is sound.
+    #[inline]
+    pub(crate) fn get(&self, index: usize) -> &Worker {
+        // SAFETY: ownership discipline (module docs) — no thread holds a
+        // conflicting `&mut` to this worker while the reference is live.
+        unsafe { &*self.workers[index].get() }
+    }
+
+    /// Like [`Fleet::get`] but `None` past the fleet (stale plans can mention
+    /// workers an elastic fleet has not provisioned in this run).
+    #[inline]
+    pub(crate) fn try_get(&self, index: usize) -> Option<&Worker> {
+        // SAFETY: as `Fleet::get`.
+        self.workers.get(index).map(|c| unsafe { &*c.get() })
+    }
+
+    /// Exclusive view of a worker. See the module docs for when this is sound;
+    /// callers keep the borrow short (one statement / one scope) and never
+    /// overlap two `get_mut` calls for the same index.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) fn get_mut(&self, index: usize) -> &mut Worker {
+        // SAFETY: ownership discipline (module docs) — only the owner lane's
+        // thread (or the barrier-time driver) touches this worker.
+        unsafe { &mut *self.workers[index].get() }
+    }
+
+    /// Iterate the fleet (driver thread only — barriers and run setup/teardown).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &Worker> + '_ {
+        // SAFETY: as `Fleet::get`.
+        self.workers.iter().map(|c| unsafe { &*c.get() })
+    }
+}
+
+/// The shared, read-only context a shard executes against between barriers.
+pub(crate) struct LaneCtx<'e> {
+    pub(crate) config: &'e SimConfig,
+    pub(crate) fleet: &'e Fleet,
+    pub(crate) owner: &'e [AtomicU32],
+    pub(crate) end_time_us: SimTime,
+}
+
+/// A scheduled lane event's payload. Deliveries carry the in-flight query
+/// inline — its lifetime is exactly the queue entry's, so the delivery path
+/// needs no lookup structure at all. (Cluster-level events — rebalance and
+/// elastic ticks, boot completions — live on the driver's queue instead.)
+#[derive(Debug, Clone)]
+pub(crate) enum LaneEvent {
+    ControlTick,
+    RoutingTick,
+    MetricsTick,
+    SwapDone(WorkerId),
+    Delivery { worker: WorkerId, query: Query },
+}
+
+/// Tracking state of a root (client) request while any of its sub-queries are in
+/// flight.
+#[derive(Debug, Clone)]
+pub(crate) struct RootState {
+    deadline_us: SimTime,
+    outstanding: usize,
+    accuracy_sum: f64,
+    accuracy_count: usize,
+    any_dropped: bool,
+}
+
+/// One pipeline to serve: its graph, arrival trace, and initial demand hint.
+pub(crate) struct LaneInput<'a> {
+    pub graph: &'a PipelineGraph,
+    pub arrivals_s: &'a [f64],
+    pub initial_demand_hint: Option<f64>,
+}
+
+/// Per-pipeline engine state: everything that was per-run in the single-pipeline
+/// engine and is per-lane now that one run serves several pipelines.
+pub(crate) struct LaneState<'a> {
+    pub(crate) graph: &'a PipelineGraph,
+    pub(crate) arrivals_us: Vec<SimTime>,
+    /// The next trace arrival of this lane: `(time, seq, index)`.
+    pub(crate) next_arrival: Option<(SimTime, u64, usize)>,
+
+    /// Raw routing plan from the lane's controller, kept for the stale-epoch
+    /// slow path.
+    routing: RoutingPlan,
+    /// Alias-table compilation of `routing`.
+    compiled: CompiledRouting,
+    /// Bumped whenever this lane's worker set or assignments change.
+    pub(crate) assignments_epoch: u64,
+    drop_policy: DropPolicy,
+
+    // Dense graph lookups and pre-converted constants.
+    pub(crate) num_tasks: usize,
+    root_task: usize,
+    /// Compiled per-hop link delays (µs), one array index per dispatch.
+    link: CompiledLinkDelays,
+    slo_us: SimTime,
+    variant_offset: Vec<usize>,
+    variant_ids: Vec<VariantId>,
+    task_is_sink: Vec<bool>,
+    /// Per dense variant: latency budget from the active plan (NaN = unset).
+    latency_budgets_ms: Vec<f64>,
+    /// Per task: owned workers currently assigned to it, ascending by index.
+    pub(crate) workers_by_task: Vec<Vec<WorkerId>>,
+    /// The lane's partition: owned workers, ascending by index.
+    pub(crate) owned: Vec<WorkerId>,
+
+    pub(crate) roots: Slab<RootState>,
+
+    // Observability for the lane's controller.
+    demand: DemandHistory,
+    pub(crate) initial_demand_hint: Option<f64>,
+    arrivals_this_interval: u64,
+    fanout_sums: Vec<(f64, u64)>,
+    fanout_avg: HashMap<(VariantId, usize), f64>,
+    per_task_counts: Vec<u64>,
+    per_task_seen: Vec<bool>,
+    per_task_ewma: Vec<EwmaEstimator>,
+    per_task_qps: HashMap<usize, f64>,
+    first_control_tick: bool,
+
+    // SLO attainment over the window since the last elastic tick (pressure
+    // signal for fleet-scaling policies; unused when elastic is off).
+    pub(crate) window_on_time: u64,
+    pub(crate) window_finished: u64,
+
+    // Metrics.
+    pub(crate) current: crate::metrics::IntervalMetrics,
+    pub(crate) intervals: Vec<crate::metrics::IntervalMetrics>,
+    /// Events attributed to this lane (its ticks, arrivals, deliveries, batch
+    /// completions, swap completions of its workers). Cluster-level rebalance
+    /// ticks belong to no lane.
+    pub(crate) events_processed: u64,
+
+    rng: StdRng,
+}
+
+impl<'a> LaneState<'a> {
+    pub(crate) fn new(
+        input: &LaneInput<'a>,
+        config: &SimConfig,
+        lane_idx: usize,
+        fleet_cap: usize,
+    ) -> Self {
+        let graph = input.graph;
+        graph.validate().expect("pipeline graph must be valid");
+        let arrivals_us: Vec<SimTime> = input.arrivals_s.iter().map(|&s| secs_to_us(s)).collect();
+        let num_tasks = graph.num_tasks();
+        let mut variant_offset = Vec::with_capacity(num_tasks);
+        let mut variant_ids = Vec::new();
+        let mut task_is_sink = Vec::with_capacity(num_tasks);
+        for (id, task) in graph.tasks() {
+            variant_offset.push(variant_ids.len());
+            for k in 0..task.variants.len() {
+                variant_ids.push(VariantId::new(id.index(), k));
+            }
+            task_is_sink.push(task.is_sink());
+        }
+        let total_variants = variant_ids.len();
+        Self {
+            graph,
+            arrivals_us,
+            next_arrival: None,
+            routing: RoutingPlan::default(),
+            compiled: CompiledRouting::default(),
+            assignments_epoch: 1,
+            drop_policy: DropPolicy::default(),
+            num_tasks,
+            root_task: graph.root().index(),
+            link: config
+                .link_delays
+                .compile(config.network_delay_ms, fleet_cap, num_tasks),
+            slo_us: ms_to_us(graph.slo_ms()),
+            variant_offset,
+            variant_ids,
+            task_is_sink,
+            latency_budgets_ms: vec![f64::NAN; total_variants],
+            workers_by_task: vec![Vec::new(); num_tasks],
+            owned: Vec::new(),
+            roots: Slab::with_capacity(1024),
+            demand: DemandHistory::new(60, 0.3, 1.1),
+            initial_demand_hint: input.initial_demand_hint,
+            arrivals_this_interval: 0,
+            fanout_sums: vec![(0.0, 0); total_variants * num_tasks],
+            fanout_avg: HashMap::new(),
+            per_task_counts: vec![0; num_tasks],
+            per_task_seen: vec![false; num_tasks],
+            per_task_ewma: vec![EwmaEstimator::new(0.3); num_tasks],
+            per_task_qps: HashMap::new(),
+            first_control_tick: true,
+            window_on_time: 0,
+            window_finished: 0,
+            current: crate::metrics::IntervalMetrics::default(),
+            intervals: Vec::new(),
+            events_processed: 0,
+            // Lane 0 draws from `SimConfig::seed` exactly (single-pipeline
+            // parity); later lanes get decorrelated streams.
+            rng: StdRng::seed_from_u64(
+                config
+                    .seed
+                    .wrapping_add((lane_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ),
+        }
+    }
+
+    /// The demand estimate the arbiter provisions this lane for — the same
+    /// number the lane's Loki controller would compute from its observations.
+    /// The initial hint only stands in while nothing has been observed
+    /// (mirroring the controller, which consumes the hint at its first
+    /// control tick only); flooring at the hint forever would pin a lane's
+    /// share at its time-zero demand even after it decays.
+    pub(crate) fn demand_estimate(&self) -> f64 {
+        if self.demand.is_empty() {
+            self.initial_demand_hint.unwrap_or(0.0)
+        } else {
+            self.demand.provisioning_estimate()
+        }
+    }
+
+    /// The lane's SLO, in ms (arbiter observation input).
+    pub(crate) fn slo_ms(&self) -> f64 {
+        self.graph.slo_ms()
+    }
+}
+
+/// One lane's execution shard: the lane state plus the lane-local event
+/// sources (calendar queue, arrival cursor, batch-completion heap) and seq
+/// counter that let it advance independently between rebalance epochs.
+pub(crate) struct Shard<'a> {
+    pub(crate) li: u32,
+    pub(crate) lane: LaneState<'a>,
+
+    /// Calendar-queue scheduler for this lane's ticks, swap completions, and
+    /// network deliveries.
+    events: CalendarQueue<LaneEvent>,
+    /// Pending batch completions of this lane's workers: each worker has at
+    /// most one batch in flight, so this min-heap never exceeds the partition
+    /// size and stays cache-resident.
+    batch_completions: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, WorkerId)>>,
+    /// Lane-local event sequence counter: ties at equal timestamps resolve in
+    /// schedule order *within* the lane, exactly as the former global counter
+    /// did (cross-lane ties are immaterial — lanes share no mid-epoch state).
+    seq: u64,
+    pub(crate) now: SimTime,
+    /// Swap completions that fired while the worker was no longer owned by
+    /// this lane (counted globally, attributed to no lane — mirrors the
+    /// former engine's handling of free workers' swap completions).
+    pub(crate) unowned_events: u64,
+
+    /// Mid-epoch retirements to merge into the cluster's elastic accounting at
+    /// the next barrier: `(class, billed gpu-µs)` per retired worker.
+    pub(crate) retirements: Vec<(u32, u64)>,
+
+    // Scratch buffers, reused across events/ticks.
+    views_scratch: Vec<WorkerView>,
+    batch_scratch: Vec<Query>,
+    reroute_scratch: Vec<WorkerId>,
+
+    /// Wall-clock seconds this shard spent executing events (across all epochs).
+    pub(crate) wall_s: f64,
+    /// Wall-clock seconds of the most recent `run_until` segment.
+    pub(crate) epoch_wall_s: f64,
+    /// Wall-clock seconds spent waiting on slower shards at barriers
+    /// (estimated as the gap to the slowest shard of each epoch; with fewer
+    /// worker threads than lanes this overstates waiting, since queued shards
+    /// also accrue the gap).
+    pub(crate) barrier_wait_s: f64,
+}
+
+impl<'a> Shard<'a> {
+    /// Build a shard and seed its periodic events and first arrival. The
+    /// per-lane relative order (control tick, routing tick, metrics tick,
+    /// first arrival) matches the former global seeding exactly.
+    pub(crate) fn new(
+        lane: LaneState<'a>,
+        li: u32,
+        config: &SimConfig,
+        shift: u32,
+        num_buckets: usize,
+    ) -> Self {
+        let mut shard = Self {
+            li,
+            lane,
+            events: CalendarQueue::new(shift, num_buckets),
+            batch_completions: std::collections::BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            unowned_events: 0,
+            retirements: Vec::new(),
+            views_scratch: Vec::new(),
+            batch_scratch: Vec::new(),
+            reroute_scratch: Vec::new(),
+            wall_s: 0.0,
+            epoch_wall_s: 0.0,
+            barrier_wait_s: 0.0,
+        };
+        shard.push(0, LaneEvent::ControlTick);
+        shard.push(0, LaneEvent::RoutingTick);
+        shard.push(
+            secs_to_us(config.metrics_interval_s),
+            LaneEvent::MetricsTick,
+        );
+        if !shard.lane.arrivals_us.is_empty() {
+            shard.seq += 1;
+            shard.lane.next_arrival = Some((shard.lane.arrivals_us[0], shard.seq, 0));
+        }
+        shard
+    }
+
+    pub(crate) fn push(&mut self, time: SimTime, payload: LaneEvent) {
+        self.seq += 1;
+        self.events.push(time, self.seq, payload);
+    }
+
+    /// Record that `worker`'s current batch finishes at `time`.
+    #[inline]
+    pub(crate) fn schedule_batch_completion(&mut self, time: SimTime, worker: WorkerId) {
+        self.seq += 1;
+        self.batch_completions
+            .push(std::cmp::Reverse((time, self.seq, worker)));
+    }
+
+    fn push_delivery(&mut self, time: SimTime, query: Query, worker: WorkerId) {
+        self.push(time, LaneEvent::Delivery { worker, query });
+    }
+
+    /// Advance this lane until its next event would be at `bound` or later
+    /// (events exactly at `bound` wait for the barrier: cluster events at a
+    /// boundary run before same-time lane events, matching the former global
+    /// schedule order). Dispatches across the three lane-local sources —
+    /// calendar queue, arrival cursor, batch completions — lowest `(time,
+    /// seq)` first, exactly the order a single heap would produce.
+    pub(crate) fn run_until(
+        &mut self,
+        bound: SimTime,
+        ctx: &LaneCtx<'_>,
+        controller: &mut dyn Controller,
+    ) -> Result<(), EngineError> {
+        let started = std::time::Instant::now();
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum Source {
+            Scheduler,
+            Arrival,
+            Batch,
+        }
+        loop {
+            let mut best: Option<(SimTime, u64, Source)> =
+                self.events.peek().map(|(t, s)| (t, s, Source::Scheduler));
+            if let Some((t, s, _)) = self.lane.next_arrival {
+                if best.is_none_or(|(bt, bs, _)| (t, s) < (bt, bs)) {
+                    best = Some((t, s, Source::Arrival));
+                }
+            }
+            if let Some(&std::cmp::Reverse((t, s, _))) = self.batch_completions.peek() {
+                if best.is_none_or(|(bt, bs, _)| (t, s) < (bt, bs)) {
+                    best = Some((t, s, Source::Batch));
+                }
+            }
+            let Some((time, _, source)) = best else {
+                break;
+            };
+            if time >= bound || time > ctx.end_time_us {
+                break;
+            }
+            self.now = time;
+            match source {
+                Source::Arrival => {
+                    self.lane.events_processed += 1;
+                    let (_, _, idx) =
+                        self.lane
+                            .next_arrival
+                            .take()
+                            .ok_or(EngineError::EmptyEventSource {
+                                source: "arrival",
+                                now_us: time,
+                                events_processed: self.lane.events_processed,
+                            })?;
+                    self.on_arrival(ctx, idx)?;
+                }
+                Source::Batch => {
+                    let worker = match self.batch_completions.pop() {
+                        Some(std::cmp::Reverse((_, _, worker))) => worker,
+                        None => {
+                            return Err(EngineError::EmptyEventSource {
+                                source: "batch",
+                                now_us: time,
+                                events_processed: self.lane.events_processed,
+                            })
+                        }
+                    };
+                    self.lane.events_processed += 1;
+                    self.on_batch_done(ctx, worker)?;
+                }
+                Source::Scheduler => {
+                    let (_, _, payload) =
+                        self.events.pop().ok_or(EngineError::EmptyEventSource {
+                            source: "scheduler",
+                            now_us: time,
+                            events_processed: self.lane.events_processed,
+                        })?;
+                    match payload {
+                        LaneEvent::SwapDone(worker) => {
+                            // The worker may have left the lane since the swap
+                            // was scheduled (migrated or retired): only the
+                            // current owner may batch on it.
+                            let owner = ctx.owner[worker.index()].load(Ordering::Relaxed);
+                            if owner == FREE {
+                                self.unowned_events += 1;
+                            } else {
+                                self.lane.events_processed += 1;
+                                if owner == self.li {
+                                    self.kick(ctx, worker);
+                                }
+                            }
+                        }
+                        LaneEvent::ControlTick => {
+                            self.lane.events_processed += 1;
+                            self.on_control_tick(ctx, controller)?;
+                        }
+                        LaneEvent::RoutingTick => {
+                            self.lane.events_processed += 1;
+                            self.on_routing_tick(ctx, controller);
+                        }
+                        LaneEvent::MetricsTick => {
+                            self.lane.events_processed += 1;
+                            self.on_metrics_tick(ctx);
+                        }
+                        LaneEvent::Delivery { worker, query } => {
+                            self.lane.events_processed += 1;
+                            self.on_delivered(ctx, query, worker)?;
+                        }
+                    }
+                }
+            }
+        }
+        self.epoch_wall_s = started.elapsed().as_secs_f64();
+        self.wall_s += self.epoch_wall_s;
+        Ok(())
+    }
+
+    // ---- event handlers ----------------------------------------------------------
+
+    fn on_arrival(&mut self, ctx: &LaneCtx<'_>, idx: usize) -> Result<(), EngineError> {
+        let lane = &mut self.lane;
+        let arrival_time = lane.arrivals_us[idx];
+        // Schedule the lane's next arrival first.
+        if idx + 1 < lane.arrivals_us.len() {
+            self.seq += 1;
+            lane.next_arrival = Some((lane.arrivals_us[idx + 1], self.seq, idx + 1));
+        }
+        lane.current.arrivals += 1;
+        lane.arrivals_this_interval += 1;
+
+        let deadline = arrival_time + lane.slo_us;
+        let root_ref = lane.roots.insert(RootState {
+            deadline_us: deadline,
+            outstanding: 1,
+            accuracy_sum: 0.0,
+            accuracy_count: 0,
+            any_dropped: false,
+        });
+        let query = Query {
+            root: root_ref.pack(),
+            task: lane.root_task,
+            path_accuracy: 1.0,
+            deadline_us: deadline,
+            enqueued_us: arrival_time,
+        };
+        match self.pick_frontend_worker(ctx) {
+            Some(worker) => {
+                let deliver_at = self.now + self.lane.link.frontend_us(worker);
+                self.push_delivery(deliver_at, query, worker);
+                Ok(())
+            }
+            None => self.drop_query(&query),
+        }
+    }
+
+    fn on_delivered(
+        &mut self,
+        ctx: &LaneCtx<'_>,
+        mut q: Query,
+        worker_id: WorkerId,
+    ) -> Result<(), EngineError> {
+        let lane = &mut self.lane;
+        lane.per_task_counts[q.task] += 1;
+        lane.per_task_seen[q.task] = true;
+
+        // The designated worker may have been re-assigned (or migrated to a
+        // different lane) since routing; fall back to any worker of this lane
+        // currently serving the task.
+        let target = {
+            let ok = ctx.owner[worker_id.index()].load(Ordering::Relaxed) == self.li
+                && ctx.fleet.get(worker_id.index()).accepts_dispatches()
+                && matches!(
+                    &ctx.fleet.get(worker_id.index()).assignment,
+                    Some(a) if a.variant.task == q.task
+                );
+            if ok {
+                Some(worker_id)
+            } else {
+                fallback_worker_for_task(lane, ctx.fleet, q.task)
+            }
+        };
+        let Some(target) = target else {
+            return self.drop_query(&q);
+        };
+
+        // Last-task dropping: when the query reaches the final task and its leftover
+        // budget cannot cover even the expected processing time, drop it.
+        if lane.drop_policy == DropPolicy::LastTask && lane.task_is_sink[q.task] {
+            let expected_ms = ctx
+                .fleet
+                .get(target.index())
+                .profiled_exec_ms()
+                .unwrap_or(0.0);
+            let remaining_ms = if q.deadline_us > self.now {
+                us_to_ms(q.deadline_us - self.now)
+            } else {
+                0.0
+            };
+            if remaining_ms < expected_ms {
+                return self.drop_query(&q);
+            }
+        }
+
+        q.enqueued_us = self.now;
+        if let Some((finish, _)) = ctx
+            .fleet
+            .get_mut(target.index())
+            .deliver_and_try_start(q, self.now)
+        {
+            self.schedule_batch_completion(finish, target);
+        }
+        Ok(())
+    }
+
+    fn on_batch_done(&mut self, ctx: &LaneCtx<'_>, worker_id: WorkerId) -> Result<(), EngineError> {
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        let variant_id = ctx
+            .fleet
+            .get_mut(worker_id.index())
+            .finish_batch_into(&mut batch);
+        let Some(variant_id) = variant_id else {
+            // Shouldn't happen, but don't lose the queries if it does.
+            for q in batch.drain(..) {
+                self.drop_query(&q)?;
+            }
+            self.batch_scratch = batch;
+            if ctx.fleet.get(worker_id.index()).lifecycle == Lifecycle::Draining {
+                self.retire_worker(ctx, worker_id);
+            }
+            return Ok(());
+        };
+        // Borrow model data straight from the graph (lifetime 'a, independent of
+        // `self`), so the loop below can call `&mut self` methods without clones.
+        let graph = self.lane.graph;
+        let variant = graph.variant(variant_id);
+        let children = &graph.task(TaskId(variant_id.task)).children;
+        let vdense = self.lane.variant_offset[variant_id.task] + variant_id.variant;
+        let budget_ms = {
+            let b = self.lane.latency_budgets_ms[vdense];
+            if b.is_nan() {
+                variant.batch_latency_ms(8)
+            } else {
+                b
+            }
+        };
+        let num_tasks = self.lane.num_tasks;
+        let drop_policy = self.lane.drop_policy;
+
+        for q in batch.drain(..) {
+            let path_accuracy = q.path_accuracy * variant.accuracy;
+
+            // Sink queries need no budget bookkeeping — they complete here.
+            if children.is_empty() {
+                self.complete_leaf(q.root, path_accuracy)?;
+                continue;
+            }
+
+            let time_at_task_ms = us_to_ms(self.now - q.enqueued_us);
+            let overrun_ms = time_at_task_ms - budget_ms;
+
+            // Per-task dropping: the query exceeded this task's budget, drop it now.
+            if drop_policy == DropPolicy::PerTask && overrun_ms > 0.0 {
+                self.drop_query(&q)?;
+                continue;
+            }
+
+            // Fan out into intermediate queries for each child edge. Children go
+            // onto the scheduler as they are routed, each with the delay of its
+            // own link — nothing reads the root's bookkeeping until this handler
+            // returns, so `outstanding` can be settled after the loop from the
+            // spawn count.
+            let mut spawned = 0usize;
+            let mut any_child_dropped = false;
+            for edge in children {
+                let mean = variant.mult_factor * edge.branch_ratio;
+                let count = stochastic_round(&mut self.lane.rng, mean);
+                let child_task = edge.child.index();
+                let cell = &mut self.lane.fanout_sums[vdense * num_tasks + child_task];
+                cell.0 += count as f64;
+                cell.1 += 1;
+                for _ in 0..count {
+                    let outcome = self.route_downstream(ctx, worker_id, child_task, overrun_ms);
+                    match outcome {
+                        RouteOutcome::To(target) | RouteOutcome::Rerouted(target) => {
+                            if matches!(outcome, RouteOutcome::Rerouted(_)) {
+                                self.lane.current.rerouted += 1;
+                            }
+                            let deliver_at = self.now
+                                + self.lane.link.hop_us(
+                                    worker_id,
+                                    variant_id.task,
+                                    target,
+                                    child_task,
+                                );
+                            self.push_delivery(
+                                deliver_at,
+                                Query {
+                                    root: q.root,
+                                    task: child_task,
+                                    path_accuracy,
+                                    deadline_us: q.deadline_us,
+                                    enqueued_us: self.now,
+                                },
+                                target,
+                            );
+                            spawned += 1;
+                        }
+                        RouteOutcome::Drop => {
+                            any_child_dropped = true;
+                        }
+                    }
+                }
+            }
+
+            if spawned == 0 {
+                if any_child_dropped {
+                    // All children were dropped: the request cannot be fully served.
+                    self.drop_query(&q)?;
+                } else {
+                    // The model legitimately produced no downstream work (e.g. no
+                    // objects detected): the query completes here.
+                    self.complete_leaf(q.root, path_accuracy)?;
+                }
+                continue;
+            }
+
+            // Replace this query's contribution to `outstanding` with its children.
+            if let Some(root) = self.lane.roots.get_mut(SlotRef::unpack(q.root)) {
+                root.outstanding += spawned - 1;
+                if any_child_dropped {
+                    root.any_dropped = true;
+                }
+            }
+        }
+        self.batch_scratch = batch;
+        // A draining worker retires the moment its last batch completes; warm
+        // workers pull the next batch from their queue as before.
+        if ctx.fleet.get(worker_id.index()).lifecycle == Lifecycle::Draining {
+            self.retire_worker(ctx, worker_id);
+        } else {
+            self.kick(ctx, worker_id);
+        }
+        Ok(())
+    }
+
+    fn on_control_tick(
+        &mut self,
+        ctx: &LaneCtx<'_>,
+        controller: &mut dyn Controller,
+    ) -> Result<(), EngineError> {
+        let hint = if self.lane.first_control_tick {
+            self.lane.initial_demand_hint
+        } else {
+            None
+        };
+        self.lane.first_control_tick = false;
+
+        self.refresh_views(ctx.fleet);
+        let plan = {
+            let observed = self.observed_state(hint);
+            controller.plan(&observed)
+        };
+        if let Some(plan) = plan {
+            self.apply_allocation(ctx, &plan)?;
+        }
+        // Refresh routing right after a (possible) re-allocation so it reflects the new
+        // worker assignments.
+        self.refresh_views(ctx.fleet);
+        let routing = {
+            let observed = self.observed_state(hint);
+            controller.routing(&observed)
+        };
+        if let Some(routing) = routing {
+            self.set_routing(ctx, routing);
+        }
+
+        let next = self.now + secs_to_us(ctx.config.control_interval_s);
+        if next <= ctx.end_time_us {
+            self.push(next, LaneEvent::ControlTick);
+        }
+        Ok(())
+    }
+
+    fn on_routing_tick(&mut self, ctx: &LaneCtx<'_>, controller: &mut dyn Controller) {
+        self.refresh_views(ctx.fleet);
+        let routing = {
+            let observed = self.observed_state(None);
+            controller.routing(&observed)
+        };
+        if let Some(routing) = routing {
+            self.set_routing(ctx, routing);
+        }
+        let next = self.now + secs_to_us(ctx.config.routing_interval_s);
+        if next <= ctx.end_time_us {
+            self.push(next, LaneEvent::RoutingTick);
+        }
+    }
+
+    fn on_metrics_tick(&mut self, ctx: &LaneCtx<'_>) {
+        let interval = ctx.config.metrics_interval_s;
+        let lane = &mut self.lane;
+        // Demand observation for the lane's controller.
+        lane.demand
+            .observe(lane.arrivals_this_interval as f64 / interval);
+        lane.arrivals_this_interval = 0;
+        // Per-task arrival rates (EWMA-smoothed). Dense state; the HashMap view
+        // controllers consume is refreshed here, at tick cadence.
+        for task in 0..lane.num_tasks {
+            if !lane.per_task_seen[task] {
+                continue;
+            }
+            let qps = lane.per_task_counts[task] as f64 / interval;
+            lane.per_task_ewma[task].observe(qps);
+            lane.per_task_qps
+                .insert(task, lane.per_task_ewma[task].estimate());
+            lane.per_task_counts[task] = 0;
+        }
+        // Fan-out averages for the controller (heartbeat aggregation).
+        for (vdense, &variant_id) in lane.variant_ids.iter().enumerate() {
+            for child in 0..lane.num_tasks {
+                let (sum, count) = lane.fanout_sums[vdense * lane.num_tasks + child];
+                if count > 0 {
+                    lane.fanout_avg
+                        .insert((variant_id, child), sum / count as f64);
+                }
+            }
+        }
+
+        self.flush_interval(ctx.fleet, interval, self.now);
+
+        let next = self.now + secs_to_us(interval);
+        if next <= ctx.end_time_us {
+            self.push(next, LaneEvent::MetricsTick);
+        }
+    }
+
+    /// Close the current metrics interval at `now`. Called at metrics-tick
+    /// cadence mid-run and once more by the driver at the end of the run
+    /// (with the run-global last event time, as the serial engine did).
+    pub(crate) fn flush_interval(&mut self, fleet: &Fleet, metrics_interval_s: f64, now: SimTime) {
+        let lane = &mut self.lane;
+        let mut finished = std::mem::take(&mut lane.current);
+        finished.start_s = crate::types::us_to_secs(now) - metrics_interval_s;
+        if finished.start_s < 0.0 {
+            finished.start_s = 0.0;
+        }
+        finished.active_workers = lane
+            .owned
+            .iter()
+            .filter(|w| {
+                let worker = fleet.get(w.index());
+                worker.is_active() && worker.accepts_dispatches()
+            })
+            .count();
+        // The lane's capacity is its partition's warm workers, so per-pipeline
+        // utilization is active-vs-granted, not active-vs-whole-cluster (and
+        // draining workers count toward neither side).
+        let warm = lane
+            .owned
+            .iter()
+            .filter(|w| fleet.get(w.index()).accepts_dispatches())
+            .count();
+        finished.cluster_size = warm;
+        lane.intervals.push(finished);
+        lane.current.cluster_size = warm;
+    }
+
+    // ---- controller observation ---------------------------------------------------
+
+    fn refresh_views(&mut self, fleet: &Fleet) {
+        let now = self.now;
+        let views = &mut self.views_scratch;
+        views.clear();
+        // Draining workers are excluded: they are finishing borrowed time, not
+        // capacity the controller may plan instances onto.
+        views.extend(
+            self.lane
+                .owned
+                .iter()
+                .filter(|id| fleet.get(id.index()).accepts_dispatches())
+                .map(|id| {
+                    let w = fleet.get(id.index());
+                    WorkerView {
+                        id: w.id,
+                        variant: w.assignment.map(|a| a.variant),
+                        max_batch: w.assignment.map(|a| a.max_batch).unwrap_or(1),
+                        queue_len: w.queue_len(),
+                        swapping: w.is_swapping(now),
+                    }
+                }),
+        );
+    }
+
+    /// The capacity-scoped view the lane's controller observes: only the
+    /// lane's partition (its warm workers), with `cluster_size` equal to the
+    /// partition size. Callers must [`Shard::refresh_views`] first.
+    fn observed_state(&self, hint: Option<f64>) -> ObservedState<'_> {
+        let lane = &self.lane;
+        ObservedState {
+            now_s: crate::types::us_to_secs(self.now),
+            cluster_size: self.views_scratch.len(),
+            workers: &self.views_scratch,
+            demand: &lane.demand,
+            initial_demand_hint: hint,
+            observed_fanout: &lane.fanout_avg,
+            per_task_arrival_qps: &lane.per_task_qps,
+        }
+    }
+
+    // ---- routing and dropping -----------------------------------------------------
+
+    fn set_routing(&mut self, ctx: &LaneCtx<'_>, plan: RoutingPlan) {
+        let lane = &mut self.lane;
+        lane.compiled.recompile(
+            &plan,
+            ctx.fleet,
+            ctx.owner,
+            self.li,
+            lane.num_tasks,
+            lane.root_task,
+            lane.assignments_epoch,
+        );
+        lane.routing = plan;
+    }
+
+    fn pick_frontend_worker(&mut self, ctx: &LaneCtx<'_>) -> Option<WorkerId> {
+        let lane = &mut self.lane;
+        let choice = if lane.compiled.epoch == lane.assignments_epoch {
+            lane.compiled.frontend.sample(&mut lane.rng)
+        } else {
+            sample_table_scan(
+                &lane.routing.frontend,
+                ctx.fleet,
+                ctx.owner,
+                self.li,
+                lane.root_task,
+                &mut lane.rng,
+            )
+        };
+        choice.or_else(|| fallback_worker_for_task(lane, ctx.fleet, lane.root_task))
+    }
+
+    fn route_downstream(
+        &mut self,
+        ctx: &LaneCtx<'_>,
+        upstream: WorkerId,
+        child_task: usize,
+        overrun_ms: f64,
+    ) -> RouteOutcome {
+        let mut ties = std::mem::take(&mut self.reroute_scratch);
+        let lane = &mut self.lane;
+        let fresh = lane.compiled.epoch == lane.assignments_epoch;
+        // Default choice: the upstream worker's own routing table, then the per-task
+        // default table, then any owned worker serving the task.
+        let sampled = if fresh {
+            lane.compiled
+                .downstream_table(upstream, child_task)
+                .and_then(|t| t.sample(&mut lane.rng))
+        } else {
+            let table = lane
+                .routing
+                .downstream
+                .get(&(upstream, child_task))
+                .or_else(|| lane.routing.downstream_default.get(&child_task));
+            table.and_then(|t| {
+                sample_table_scan(t, ctx.fleet, ctx.owner, self.li, child_task, &mut lane.rng)
+            })
+        };
+        let default_choice =
+            sampled.or_else(|| fallback_worker_for_task(lane, ctx.fleet, child_task));
+
+        let Some(default_choice) = default_choice else {
+            self.reroute_scratch = ties;
+            return RouteOutcome::Drop;
+        };
+
+        // Opportunistic rerouting: if the query is running late, look for a strictly
+        // faster backup worker that can make up the deficit.
+        if lane.drop_policy == DropPolicy::OpportunisticRerouting && overrun_ms > 0.0 {
+            let default_exec_ms = ctx
+                .fleet
+                .get(default_choice.index())
+                .profiled_exec_ms()
+                .unwrap_or(f64::INFINITY);
+            let needed_ms = default_exec_ms - overrun_ms;
+            ties.clear();
+            if fresh {
+                // Compiled backups are pre-filtered for assignment and sorted by
+                // accuracy (desc), so the first match has the best accuracy and
+                // ties are collected until accuracy falls below it.
+                let mut best_acc = f64::NEG_INFINITY;
+                for b in &lane.compiled.backup[child_task] {
+                    if !ties.is_empty() && b.accuracy < best_acc - 1e-9 {
+                        break;
+                    }
+                    if b.exec_time_ms <= needed_ms {
+                        if ties.is_empty() {
+                            best_acc = b.accuracy;
+                        }
+                        ties.push(b.worker);
+                    }
+                }
+            } else {
+                stale_backup_ties(
+                    lane.routing.backup.get(&child_task).map_or(&[][..], |v| v),
+                    ctx.fleet,
+                    ctx.owner,
+                    self.li,
+                    child_task,
+                    needed_ms,
+                    &mut ties,
+                );
+            }
+            if ties.is_empty() {
+                self.reroute_scratch = ties;
+                return RouteOutcome::Drop;
+            }
+            let pick = ties[lane.rng.gen_range(0..ties.len())];
+            self.reroute_scratch = ties;
+            return RouteOutcome::Rerouted(pick);
+        }
+
+        self.reroute_scratch = ties;
+        RouteOutcome::To(default_choice)
+    }
+
+    fn drop_query(&mut self, q: &Query) -> Result<(), EngineError> {
+        self.drop_root_child(q.root)
+    }
+
+    pub(crate) fn drop_root_child(&mut self, root_packed: u64) -> Result<(), EngineError> {
+        let lane = &mut self.lane;
+        let root_ref = SlotRef::unpack(root_packed);
+        if let Some(root) = lane.roots.get_mut(root_ref) {
+            root.any_dropped = true;
+            root.outstanding = root.outstanding.saturating_sub(1);
+            if root.outstanding == 0 {
+                let state = lane
+                    .roots
+                    .remove(root_ref)
+                    .ok_or(EngineError::MissingRoot {
+                        context: "drop",
+                        now_us: self.now,
+                    })?;
+                finalize_root(lane, self.now, state);
+            }
+        }
+        Ok(())
+    }
+
+    fn complete_leaf(&mut self, root_packed: u64, accuracy: f64) -> Result<(), EngineError> {
+        let lane = &mut self.lane;
+        let root_ref = SlotRef::unpack(root_packed);
+        if let Some(root) = lane.roots.get_mut(root_ref) {
+            root.accuracy_sum += accuracy;
+            root.accuracy_count += 1;
+            root.outstanding = root.outstanding.saturating_sub(1);
+            if root.outstanding == 0 {
+                let state = lane
+                    .roots
+                    .remove(root_ref)
+                    .ok_or(EngineError::MissingRoot {
+                        context: "complete",
+                        now_us: self.now,
+                    })?;
+                finalize_root(lane, self.now, state);
+            }
+        }
+        Ok(())
+    }
+
+    // ---- allocation --------------------------------------------------------------
+
+    fn apply_allocation(
+        &mut self,
+        ctx: &LaneCtx<'_>,
+        plan: &AllocationPlan,
+    ) -> Result<(), EngineError> {
+        {
+            let lane = &mut self.lane;
+            lane.latency_budgets_ms.fill(f64::NAN);
+            for (&variant, &budget) in &plan.latency_budgets_ms {
+                let idx = lane.variant_offset[variant.task] + variant.variant;
+                lane.latency_budgets_ms[idx] = budget;
+            }
+            lane.drop_policy = plan.drop_policy;
+        }
+        let graph = self.lane.graph;
+        // The lane only ever places instances on its own partition — and only
+        // on its warm workers (draining ones are leaving, booting ones are
+        // not capacity yet).
+        let owned: Vec<WorkerId> = self
+            .lane
+            .owned
+            .iter()
+            .copied()
+            .filter(|w| ctx.fleet.get(w.index()).accepts_dispatches())
+            .collect();
+
+        // Desired replica counts per (variant, batch).
+        let mut desired: Vec<(VariantId, u32, usize)> = plan
+            .instances
+            .iter()
+            .filter(|s| s.count > 0)
+            .map(|s| (s.variant, s.max_batch, s.count))
+            .collect();
+        // Never exceed the lane's partition.
+        let mut total: usize = desired.iter().map(|d| d.2).sum();
+        while total > owned.len() {
+            // Trim the largest group first (the plan should never do this, but the
+            // engine enforces the physical limit regardless).
+            if let Some(max) = desired.iter_mut().max_by_key(|d| d.2) {
+                max.2 -= 1;
+                total -= 1;
+            } else {
+                break;
+            }
+        }
+
+        // Step 1: keep workers that already host a desired variant.
+        let mut remaining: Vec<(VariantId, u32, usize)> = desired.clone();
+        let mut keep: Vec<Option<(VariantId, u32)>> = vec![None; ctx.fleet.len()];
+        for &w in &owned {
+            let wi = w.index();
+            if let Some(a) = ctx.fleet.get(wi).assignment {
+                if let Some(slot) = remaining
+                    .iter_mut()
+                    .find(|(v, _, c)| *v == a.variant && *c > 0)
+                {
+                    keep[wi] = Some((slot.0, slot.1));
+                    slot.2 -= 1;
+                }
+            }
+        }
+
+        // Step 2: place still-needed instances on unassigned workers first, then on
+        // workers whose current variant is no longer needed.
+        let mut to_place: Vec<(VariantId, u32)> = Vec::new();
+        for (v, b, c) in &remaining {
+            for _ in 0..*c {
+                to_place.push((*v, *b));
+            }
+        }
+        if !to_place.is_empty() {
+            // unassigned workers
+            for &w in &owned {
+                if to_place.is_empty() {
+                    break;
+                }
+                let wi = w.index();
+                if ctx.fleet.get(wi).assignment.is_none() && keep[wi].is_none() {
+                    let (v, b) = to_place.remove(0);
+                    keep[wi] = Some((v, b));
+                }
+            }
+            // repurposed workers
+            for &w in &owned {
+                if to_place.is_empty() {
+                    break;
+                }
+                let wi = w.index();
+                if ctx.fleet.get(wi).assignment.is_some() && keep[wi].is_none() {
+                    let (v, b) = to_place.remove(0);
+                    keep[wi] = Some((v, b));
+                }
+            }
+        }
+
+        // Step 3: apply the assignment to every owned worker.
+        let mut orphaned: Vec<Query> = Vec::new();
+        for &w in &owned {
+            let wi = w.index();
+            match keep[wi] {
+                Some((variant, batch)) => {
+                    let previous_task = ctx.fleet.get(wi).assignment.map(|a| a.variant.task);
+                    let changed = ctx.fleet.get_mut(wi).assign(variant, batch, graph);
+                    if changed {
+                        // Queries queued for a different task must be re-routed.
+                        if previous_task.is_some() && previous_task != Some(variant.task) {
+                            orphaned.extend(ctx.fleet.get_mut(wi).drain_queue());
+                        }
+                        // Loading a *different* model onto a previously active worker
+                        // stalls it for the swap duration. Powered-down workers are
+                        // assumed to be pre-warmed by the cluster bootstrap.
+                        if ctx.config.model_swap_ms > 0.0 && previous_task.is_some() {
+                            let until = self.now + ms_to_us(ctx.config.model_swap_ms);
+                            ctx.fleet.get_mut(wi).begin_swap(until);
+                            self.push(until, LaneEvent::SwapDone(WorkerId(wi)));
+                        }
+                    }
+                }
+                None => {
+                    if ctx.fleet.get(wi).is_active() {
+                        orphaned.extend(ctx.fleet.get_mut(wi).drain_queue());
+                        ctx.fleet.get_mut(wi).unassign();
+                    }
+                }
+            }
+        }
+
+        // Assignments (possibly) changed: invalidate the compiled routing until the
+        // controller hands down a plan built against the new assignments, and rebuild
+        // the per-task worker lists the fallback path uses.
+        self.lane.assignments_epoch += 1;
+        self.rebuild_workers_by_task(ctx.fleet);
+
+        // Step 4: re-home queries that were queued on reconfigured workers.
+        for q in orphaned {
+            match fallback_worker_for_task(&self.lane, ctx.fleet, q.task) {
+                Some(target) => {
+                    let mut q = q;
+                    q.enqueued_us = self.now;
+                    ctx.fleet.get_mut(target.index()).enqueue(q);
+                    self.kick(ctx, target);
+                }
+                None => self.drop_query(&q)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuild the lane's per-task worker lists from its owned partition. Only
+    /// warm workers are listed: these lists are the dispatch fallback, and a
+    /// draining worker must never receive a new dispatch.
+    pub(crate) fn rebuild_workers_by_task(&mut self, fleet: &Fleet) {
+        let lane = &mut self.lane;
+        for list in lane.workers_by_task.iter_mut() {
+            list.clear();
+        }
+        for &w in &lane.owned {
+            let worker = fleet.get(w.index());
+            if !worker.accepts_dispatches() {
+                continue;
+            }
+            if let Some(a) = worker.assignment {
+                if a.variant.task < lane.num_tasks {
+                    lane.workers_by_task[a.variant.task].push(w);
+                }
+            }
+        }
+    }
+
+    /// Finish one of this lane's drained workers mid-epoch: stop serving, free
+    /// the slot's ownership, drop it from the lane's routing state, and buffer
+    /// the billing delta for the cluster accounting merge at the next barrier.
+    /// The slot itself is never reused, so `WorkerId`s stay stable. (This is
+    /// the shard-local equivalent of the driver's barrier-time retirement: the
+    /// worker appears only in this lane's sorted `owned` list, so the targeted
+    /// removal matches the driver's full owner-map rebuild exactly.)
+    fn retire_worker(&mut self, ctx: &LaneCtx<'_>, worker: WorkerId) {
+        let wi = worker.index();
+        let (class, billed_from) = {
+            let w = ctx.fleet.get_mut(wi);
+            debug_assert_eq!(w.lifecycle, Lifecycle::Draining);
+            let class = w.class;
+            let billed_from = w.billed_from_us;
+            w.lifecycle = Lifecycle::Retired;
+            w.unassign();
+            (class, billed_from)
+        };
+        self.retirements
+            .push((class, self.now.saturating_sub(billed_from)));
+        let lane = ctx.owner[wi].load(Ordering::Relaxed);
+        debug_assert_eq!(lane, self.li, "a shard retires only its own workers");
+        if lane == self.li {
+            ctx.owner[wi].store(FREE, Ordering::Relaxed);
+            if let Ok(pos) = self.lane.owned.binary_search(&worker) {
+                self.lane.owned.remove(pos);
+            }
+            self.lane.assignments_epoch += 1;
+            self.rebuild_workers_by_task(ctx.fleet);
+        }
+    }
+
+    fn kick(&mut self, ctx: &LaneCtx<'_>, worker: WorkerId) {
+        if let Some((finish, _)) = ctx.fleet.get_mut(worker.index()).try_start_batch(self.now) {
+            debug_assert_eq!(
+                ctx.owner[worker.index()].load(Ordering::Relaxed),
+                self.li,
+                "a lane batches only on its own workers"
+            );
+            self.schedule_batch_completion(finish, worker);
+        }
+    }
+}
+
+pub(crate) fn finalize_root(lane: &mut LaneState<'_>, now: SimTime, state: RootState) {
+    lane.window_finished += 1;
+    if state.any_dropped || state.accuracy_count == 0 {
+        lane.current.dropped += 1;
+        return;
+    }
+    let accuracy = state.accuracy_sum / state.accuracy_count as f64;
+    if now <= state.deadline_us {
+        lane.current.completed_on_time += 1;
+        lane.window_on_time += 1;
+    } else {
+        lane.current.completed_late += 1;
+    }
+    lane.current.accuracy_sum += accuracy;
+    lane.current.accuracy_count += 1;
+}
+
+/// Any worker of the lane serving `task`, preferring the shortest queue.
+pub(crate) fn fallback_worker_for_task(
+    lane: &LaneState<'_>,
+    fleet: &Fleet,
+    task: usize,
+) -> Option<WorkerId> {
+    lane.workers_by_task[task]
+        .iter()
+        .copied()
+        .min_by_key(|w| fleet.get(w.index()).queue_len())
+}
+
+fn stochastic_round(rng: &mut StdRng, mean: f64) -> usize {
+    // `as usize` truncates, which equals floor() for the non-negative
+    // means used here — and avoids a libm floor call on baseline x86-64.
+    debug_assert!(mean >= 0.0);
+    let base = mean as usize;
+    let frac = mean - base as f64;
+    let extra = if frac > 0.0 && rng.gen::<f64>() < frac {
+        1
+    } else {
+        0
+    };
+    base + extra
+}
+
+/// Sample a worker from a raw weighted table, skipping entries that no longer
+/// serve the expected task *for this lane*: the slow path used while the
+/// compiled routing is stale. Two passes (sum, then CDF walk) — no allocation.
+/// The `owner` check comes first (short-circuit): a worker owned elsewhere is
+/// rejected without its data ever being read, which is what keeps stale-table
+/// scans sound while other shards run.
+fn sample_table_scan(
+    table: &[(WorkerId, f64)],
+    fleet: &Fleet,
+    owner: &[AtomicU32],
+    lane: u32,
+    task: usize,
+    rng: &mut StdRng,
+) -> Option<WorkerId> {
+    let valid = |w: WorkerId, weight: f64| {
+        weight > 0.0
+            && owner[w.index()].load(Ordering::Relaxed) == lane
+            && fleet.get(w.index()).accepts_dispatches()
+            && fleet
+                .get(w.index())
+                .assignment
+                .map(|a| a.variant.task == task)
+                .unwrap_or(false)
+    };
+    let total: f64 = table
+        .iter()
+        .filter(|(w, weight)| valid(*w, *weight))
+        .map(|(_, weight)| *weight)
+        .sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut draw = rng.gen_range(0.0..total);
+    let mut last = None;
+    for (worker, weight) in table.iter().filter(|(w, weight)| valid(*w, *weight)) {
+        draw -= weight;
+        last = Some(*worker);
+        if draw <= 0.0 {
+            return last;
+        }
+    }
+    last
+}
+
+/// Collect the rescue candidates for opportunistic rerouting from a raw backup
+/// table (slow path): filter by execution time, lane ownership, and current
+/// assignment, then keep every candidate whose accuracy ties the best one.
+#[allow(clippy::too_many_arguments)]
+fn stale_backup_ties(
+    backup: &[BackupWorker],
+    fleet: &Fleet,
+    owner: &[AtomicU32],
+    lane: u32,
+    task: usize,
+    needed_ms: f64,
+    ties: &mut Vec<WorkerId>,
+) {
+    let mut candidates: Vec<&BackupWorker> = backup
+        .iter()
+        .filter(|b| {
+            b.exec_time_ms <= needed_ms
+                && owner[b.worker.index()].load(Ordering::Relaxed) == lane
+                && fleet.get(b.worker.index()).accepts_dispatches()
+                && fleet
+                    .get(b.worker.index())
+                    .assignment
+                    .map(|a| a.variant.task == task)
+                    .unwrap_or(false)
+        })
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    // total_cmp with NaN demoted to -inf: a NaN accuracy from a degenerate
+    // profile must neither panic the data plane mid-run (the old
+    // `partial_cmp(..).unwrap()`) nor win a rescue (`total_cmp` alone ranks
+    // NaN above +inf).
+    let nan_last = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
+    candidates.sort_by(|a, b| nan_last(b.accuracy).total_cmp(&nan_last(a.accuracy)));
+    let best_acc = candidates[0].accuracy;
+    ties.extend(
+        candidates
+            .iter()
+            .take_while(|c| (c.accuracy - best_acc).abs() < 1e-9)
+            .map(|c| c.worker),
+    );
+}
+
+#[derive(Clone, Copy)]
+enum RouteOutcome {
+    To(WorkerId),
+    Rerouted(WorkerId),
+    Drop,
+}

@@ -506,7 +506,12 @@ pub struct ObservedState<'a> {
 /// Manager cadence; 10 s in the paper) and [`Controller::routing`] right after every
 /// plan application as well as every `routing_interval_s` in between (the Load Balancer
 /// cadence).
-pub trait Controller {
+///
+/// `Send` is a supertrait: in a sharded multi-pipeline run each lane's
+/// controller moves to that lane's worker thread between rebalance epochs
+/// (see `crate::shard`). Controllers are plain owned state, so this costs
+/// implementations nothing.
+pub trait Controller: Send {
     /// Name used in metrics and harness output.
     fn name(&self) -> &str;
 

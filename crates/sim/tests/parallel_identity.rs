@@ -1,0 +1,239 @@
+//! Sharded-engine determinism guards: lane-parallel execution must be
+//! *bit-identical* to serial execution.
+//!
+//! The engine runs each pipeline lane on its own worker thread between
+//! rebalance epochs (`MultiSimConfig::jobs`), merging at epoch barriers. These
+//! tests pin the contract that `jobs` changes wall-clock time and nothing
+//! else:
+//!
+//! 1. `jobs_values_are_bit_identical_across_seeds`: a four-lane contended run
+//!    produces identical per-lane summaries, interval series, and event counts
+//!    for `jobs ∈ {1, 2, 4}`, across several seeds.
+//! 2. `migration_heavy_seesaw_is_bit_identical`: an adversarial arbiter that
+//!    flips the partition every epoch (so workers migrate constantly, the
+//!    code path where lane-local state crosses shard boundaries) stays
+//!    bit-identical under parallel execution.
+//! 3. `single_lane_parallel_path_matches_dedicated_simulation`: a one-lane
+//!    `MultiSimulation` at any `jobs` value reproduces the dedicated
+//!    single-pipeline `Simulation` bit for bit — the sharded path is a strict
+//!    generalization, not a fork.
+//!
+//! Wall-clock fields (`lane_wall_s`, `barrier_wait_s`) are host measurements
+//! and deliberately excluded from every comparison.
+
+use loki_pipeline::{zoo, PipelineGraph, VariantId};
+use loki_sim::{
+    apportion, AllocationPlan, ArbiterObservation, Controller, DropPolicy, InstanceSpec,
+    MultiPipeline, MultiSimConfig, MultiSimResult, MultiSimulation, ObservedState, ResourceArbiter,
+    RoutingPlan, SimConfig,
+};
+use loki_workload::{generate_arrivals, generators, ArrivalProcess};
+use std::collections::HashMap;
+
+/// A controller that re-asserts a fixed allocation every control tick and
+/// routes uniformly over whatever instances its partition currently holds.
+/// Re-planning each tick (rather than once) matters here: it makes the lane
+/// reconcile instances after every migration, exercising the model-swap path
+/// under the seesaw arbiter.
+struct StaticController {
+    plan: AllocationPlan,
+}
+
+impl StaticController {
+    fn tiny(replicas: usize, batch: u32) -> Self {
+        Self {
+            plan: AllocationPlan {
+                instances: vec![
+                    InstanceSpec {
+                        variant: VariantId::new(0, 1),
+                        max_batch: batch,
+                        count: replicas,
+                    },
+                    InstanceSpec {
+                        variant: VariantId::new(1, 1),
+                        max_batch: batch,
+                        count: replicas,
+                    },
+                ],
+                latency_budgets_ms: HashMap::new(),
+                drop_policy: DropPolicy::NoEarlyDropping,
+            },
+        }
+    }
+}
+
+impl Controller for StaticController {
+    fn name(&self) -> &str {
+        "static"
+    }
+
+    fn plan(&mut self, _observed: &ObservedState<'_>) -> Option<AllocationPlan> {
+        Some(self.plan.clone())
+    }
+
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+        let mut plan = RoutingPlan::default();
+        for w in observed.workers {
+            if let Some(v) = w.variant {
+                if v.task == 0 {
+                    plan.frontend.push((w.id, 1.0));
+                }
+                plan.downstream_default
+                    .entry(v.task)
+                    .or_default()
+                    .push((w.id, 1.0));
+            }
+        }
+        Some(plan)
+    }
+}
+
+/// An arbiter that flips the cluster split every epoch: odd epochs favour the
+/// low-index lanes, even epochs the high-index ones. Every tick moves workers,
+/// which is exactly the behaviour the epoch-barrier migration path must absorb
+/// without perturbing lane-local event order.
+struct SeesawArbiter {
+    epoch: u64,
+}
+
+impl ResourceArbiter for SeesawArbiter {
+    fn name(&self) -> &str {
+        "seesaw"
+    }
+
+    fn rebalance_interval_s(&self) -> f64 {
+        2.0
+    }
+
+    fn partition(&mut self, observation: &ArbiterObservation<'_>) -> Option<Vec<usize>> {
+        self.epoch += 1;
+        let lanes = observation.partition.len();
+        let weights: Vec<f64> = (0..lanes)
+            .map(|i| {
+                if i.is_multiple_of(2) == self.epoch.is_multiple_of(2) {
+                    3.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Some(apportion(&weights, observation.cluster_size))
+    }
+}
+
+fn base_config(seed: u64) -> SimConfig {
+    SimConfig {
+        cluster_size: 16,
+        drain_s: 10.0,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+/// Four tiny-pipeline lanes with staggered Poisson arrival streams, run under
+/// the seesaw arbiter with the given engine parallelism.
+fn four_lane_run(seed: u64, jobs: usize) -> MultiSimResult {
+    let graphs: Vec<PipelineGraph> = (0..4).map(|_| zoo::tiny_pipeline(200.0)).collect();
+    let trace = generators::constant(20, 30.0);
+    let mut multi = MultiSimulation::new(MultiSimConfig {
+        sim: base_config(seed),
+        jobs,
+    });
+    for (i, graph) in graphs.iter().enumerate() {
+        multi.add_pipeline(MultiPipeline {
+            name: format!("lane{i}"),
+            graph,
+            controller: Box::new(StaticController::tiny(2, 4)),
+            arrivals_s: generate_arrivals(&trace, ArrivalProcess::Poisson, seed + i as u64),
+            initial_demand_hint: Some(30.0),
+        });
+    }
+    let mut arbiter = SeesawArbiter { epoch: 0 };
+    multi.run(&mut arbiter)
+}
+
+/// Everything deterministic about a run must match; host-time fields must not
+/// participate.
+fn assert_bit_identical(a: &MultiSimResult, b: &MultiSimResult, what: &str) {
+    assert_eq!(a.pipelines.len(), b.pipelines.len(), "{what}: lane count");
+    for (lane_a, lane_b) in a.pipelines.iter().zip(&b.pipelines) {
+        assert_eq!(lane_a.name, lane_b.name, "{what}: lane order");
+        assert_eq!(
+            lane_a.result.summary, lane_b.result.summary,
+            "{what}: lane {} summary",
+            lane_a.name
+        );
+        assert_eq!(
+            lane_a.result.intervals, lane_b.result.intervals,
+            "{what}: lane {} interval series",
+            lane_a.name
+        );
+    }
+    assert_eq!(a.total_events, b.total_events, "{what}: total events");
+    assert_eq!(a.rebalances, b.rebalances, "{what}: rebalances");
+    assert_eq!(a.migrations, b.migrations, "{what}: migrations");
+    assert_eq!(a.cost, b.cost, "{what}: cost accounting");
+}
+
+#[test]
+fn jobs_values_are_bit_identical_across_seeds() {
+    for seed in [7, 11, 42] {
+        let serial = four_lane_run(seed, 1);
+        for jobs in [2, 4] {
+            let parallel = four_lane_run(seed, jobs);
+            assert_bit_identical(&serial, &parallel, &format!("seed {seed} jobs {jobs}"));
+        }
+    }
+}
+
+#[test]
+fn migration_heavy_seesaw_is_bit_identical() {
+    let serial = four_lane_run(42, 1);
+    assert!(
+        serial.migrations > 0,
+        "the seesaw arbiter must actually migrate workers (got {} over {} rebalances)",
+        serial.migrations,
+        serial.rebalances
+    );
+    assert!(
+        serial.rebalances >= 5,
+        "partition must shift on (nearly) every epoch, got {}",
+        serial.rebalances
+    );
+    let parallel = four_lane_run(42, 4);
+    assert_bit_identical(&serial, &parallel, "seesaw jobs 4");
+}
+
+#[test]
+fn single_lane_parallel_path_matches_dedicated_simulation() {
+    let graph = zoo::tiny_pipeline(200.0);
+    let trace = generators::constant(20, 40.0);
+    let arrivals = generate_arrivals(&trace, ArrivalProcess::Poisson, 3);
+
+    let mut config = base_config(42);
+    config.initial_demand_hint = Some(40.0);
+    let single = loki_sim::Simulation::new(&graph, config, StaticController::tiny(3, 4))
+        .run(&arrivals)
+        .summary;
+
+    for jobs in [1, 2, 4] {
+        let mut multi = MultiSimulation::new(MultiSimConfig {
+            sim: base_config(42),
+            jobs,
+        });
+        multi.add_pipeline(MultiPipeline {
+            name: "only".to_string(),
+            graph: &graph,
+            controller: Box::new(StaticController::tiny(3, 4)),
+            arrivals_s: arrivals.clone(),
+            initial_demand_hint: Some(40.0),
+        });
+        let mut arbiter = loki_sim::StaticPartition::even(1);
+        let result = multi.run(&mut arbiter);
+        assert_eq!(
+            result.pipelines[0].result.summary, single,
+            "jobs={jobs}: a one-lane multi run must reproduce the dedicated \
+             single-pipeline simulation bit for bit"
+        );
+    }
+}
