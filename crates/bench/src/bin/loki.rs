@@ -34,9 +34,11 @@ USAGE:
 Config keys: cluster, slo, duration, peak, base, seed, bucket, drain, runs,
 jobs (engine lane threads for multi-pipeline scenarios; bit-identical),
 links (uniform, two-tier, edge-split), elastic (fixed, static-peak,
-static-mean, autoscale), classes (uniform, mixed).
+static-mean, autoscale), classes (uniform, mixed), spot (true/false),
+revoke (spot revocations per worker-hour), stockout (probability),
+provisioner (reactive, forecast).
 Sweep axes (comma-separated lists): controllers, slo, peak, cluster, links,
-elastic, jobs, seed.
+elastic, spot, revoke, stockout, provisioner, jobs, seed.
 Multi-seed sweeps report cross-seed mean/stddev per axis point; --csv emits one
 flat CSV (stat=point|mean|stddev) ready for plotting.
 See EXPERIMENTS.md for the invocation reproducing each paper figure.";
@@ -220,7 +222,7 @@ fn cmd_sweep(args: &[String]) {
         match key {
             // Axis keys accept comma-separated lists and are applied to the grid.
             "controllers" | "controller" | "slo" | "peak" | "cluster" | "links" | "elastic"
-            | "jobs" | "seed" => {
+            | "spot" | "revoke" | "stockout" | "provisioner" | "jobs" | "seed" => {
                 axes.push((key.to_string(), value.to_string()));
             }
             // Everything else is a base-config override.
@@ -431,6 +433,7 @@ fn cmd_report(args: &[String]) {
         "multi_traffic_social",
         "multi_zipf_16",
         "elastic_diurnal",
+        "spot_diurnal",
         "stress_diurnal_day",
     ] {
         if skip_large && name != "traffic_300qps_30s" {
@@ -468,6 +471,19 @@ fn cmd_report(args: &[String]) {
                     (serial[0].wall_s / parallel[0].wall_s).into(),
                 )
                 .push("host_cores", host_cores.into());
+            // On a single-core host lanes cannot run concurrently, so the
+            // jobs>1 leg only demonstrates bit-identity; its wall-clock ratio
+            // is scheduling noise, not a speedup measurement.
+            if host_cores == 1 {
+                eprintln!(
+                    "note: single-core host; {name} parallel_speedup is identity-only \
+                     (bit-identity check, not a performance measurement)"
+                );
+                entry.push(
+                    "parallel_speedup_note",
+                    "identity-only: single-core host, lanes cannot run concurrently".into(),
+                );
+            }
             entries.push(entry);
         } else {
             eprintln!("running {name} ({runs} run(s))...");

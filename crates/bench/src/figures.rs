@@ -14,7 +14,7 @@ use crate::sweep::Sweep;
 use crate::{
     bucketize, format_comparison_timeseries, format_headline_ratios, format_summary_table,
 };
-use crate::{ElasticMode, ExperimentConfig};
+use crate::{ElasticMode, ExperimentConfig, ProvisionerKind};
 use loki_core::allocator::{AllocationContext, Allocator};
 use loki_core::greedy::GreedyAllocator;
 use loki_core::milp_alloc::MilpAllocator;
@@ -71,6 +71,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> S
         ScenarioKind::Throughput => throughput(sc, cfg, runner),
         ScenarioKind::MultiPipeline(..) => multi_pipeline(sc, cfg, runner),
         ScenarioKind::Elastic => elastic_family(sc, cfg, runner),
+        ScenarioKind::Spot => spot_family(sc, cfg, runner),
     }
 }
 
@@ -107,7 +108,11 @@ pub fn config_json(cfg: &ExperimentConfig) -> Json {
         .push("jobs", cfg.jobs.into())
         .push("links", cfg.links.name().into())
         .push("elastic", cfg.elastic.name().into())
-        .push("classes", cfg.classes.name().into());
+        .push("classes", cfg.classes.name().into())
+        .push("spot", cfg.spot.into())
+        .push("revoke_per_hour", cfg.revoke_per_hour.into())
+        .push("stockout", cfg.stockout.into())
+        .push("provisioner", cfg.provisioner.name().into());
     obj
 }
 
@@ -120,6 +125,10 @@ pub fn cost_json(cost: &CostSummary) -> Json {
         .push("served_queries", cost.served_queries.into())
         .push("cost_per_1k_queries", cost.cost_per_1k_queries.into())
         .push("peak_fleet", cost.peak_fleet.into())
+        .push("revocations", cost.revocations.into())
+        .push("stockouts", cost.stockouts.into())
+        .push("spot_dollars", cost.spot_dollars.into())
+        .push("ondemand_dollars", cost.ondemand_dollars.into())
         .push(
             "per_class",
             Json::Arr(
@@ -128,11 +137,14 @@ pub fn cost_json(cost: &CostSummary) -> Json {
                     .map(|c| {
                         let mut row = Json::object();
                         row.push("class", c.class.as_str().into())
+                            .push("spot", c.spot.into())
                             .push("gpu_seconds", c.gpu_seconds.into())
                             .push("dollars", c.dollars.into())
                             .push("peak_warm", c.peak_warm.into())
                             .push("provisioned", c.provisioned.into())
-                            .push("retired", c.retired.into());
+                            .push("retired", c.retired.into())
+                            .push("revocations", c.revocations.into())
+                            .push("stockouts", c.stockouts.into());
                         row
                     })
                     .collect(),
@@ -600,6 +612,130 @@ fn elastic_family(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Sce
         );
         json.push("autoscale_saving_pct", saving_pct.into())
             .push("attainment_delta_vs_peak", attain_delta.into());
+    }
+    ScenarioReport { text, json }
+}
+
+/// The adversarial-cloud family: the scenario's workload on the same
+/// autoscaled cluster under three fleets — all-on-demand with the reactive
+/// autoscaler (the friendly-cloud baseline), spot-enabled with the reactive
+/// autoscaler (cheap but naive about revocations), and spot-enabled with the
+/// forecasting provisioner (pre-boots ahead of the ramp, hedges the spot mix
+/// against observed revocations). The headline is adversity survival: under
+/// nonzero revocations the forecasting provisioner must beat the reactive
+/// autoscaler on SLO attainment at equal-or-lower dollars, and the spot fleet
+/// must undercut all-on-demand cost at comparable attainment.
+fn spot_family(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> ScenarioReport {
+    let variants: [(&str, bool, ProvisionerKind); 3] = [
+        ("ondemand-reactive", false, ProvisionerKind::Reactive),
+        ("spot-reactive", true, ProvisionerKind::Reactive),
+        ("spot-forecast", true, ProvisionerKind::Forecast),
+    ];
+    let points: Vec<RunPoint> = variants
+        .into_iter()
+        .map(|(label, spot, provisioner)| RunPoint {
+            label: label.to_string(),
+            cfg: ExperimentConfig {
+                elastic: ElasticMode::Autoscale,
+                spot,
+                provisioner,
+                // The on-demand baseline lives on the friendly cloud: no spot
+                // classes means no revocations or stockouts to survive.
+                revoke_per_hour: if spot { cfg.revoke_per_hour } else { 0.0 },
+                stockout: if spot { cfg.stockout } else { 0.0 },
+                ..cfg.clone()
+            },
+            ..base_point(sc, cfg)
+        })
+        .collect();
+    let results = runner.run(points);
+
+    let mut text = format!(
+        "# {}: adversarial cloud (revoke={}/h, stockout={}, {} classes catalog)\n",
+        sc.name.to_uppercase(),
+        cfg.revoke_per_hour,
+        cfg.stockout,
+        cfg.classes.name()
+    );
+    let _ = writeln!(
+        text,
+        "{:<18} {:>9} {:>9} {:>9} {:>8} {:>9} {:>7} {:>11} {:>9} {:>8}",
+        "fleet",
+        "cost_usd",
+        "spot_usd",
+        "od_usd",
+        "revoked",
+        "stockout",
+        "fleet",
+        "slo_attain",
+        "cost/1k",
+        "dropped"
+    );
+    let mut rows = Vec::new();
+    for point in &results {
+        let s = &point.result.summary;
+        let cost = point.cost.as_ref().expect("spot modes report cost");
+        let _ = writeln!(
+            text,
+            "{:<18} {:>9.2} {:>9.2} {:>9.2} {:>8} {:>9} {:>7} {:>11.4} {:>9.4} {:>8}",
+            point.label,
+            cost.total_dollars,
+            cost.spot_dollars,
+            cost.ondemand_dollars,
+            cost.revocations,
+            cost.stockouts,
+            cost.peak_fleet,
+            slo_attainment(s),
+            cost.cost_per_1k_queries,
+            s.total_dropped,
+        );
+        let mut row = Json::object();
+        row.push("fleet", point.label.as_str().into())
+            .push("slo_attainment", slo_attainment(s).into())
+            .push("cost", cost_json(cost))
+            .push("summary", summary_json(s));
+        rows.push(row);
+    }
+
+    let mut json = report_header(sc, cfg);
+    json.push("fleets", Json::Arr(rows));
+    let (ondemand, reactive, forecast) = (&results[0], &results[1], &results[2]);
+    if let (Some(od_cost), Some(re_cost), Some(fc_cost)) =
+        (&ondemand.cost, &reactive.cost, &forecast.cost)
+    {
+        let fc_attain = slo_attainment(&forecast.result.summary);
+        let re_attain = slo_attainment(&reactive.result.summary);
+        let od_attain = slo_attainment(&ondemand.result.summary);
+        let spot_saving_pct = if od_cost.total_dollars > 0.0 {
+            100.0 * (1.0 - fc_cost.total_dollars / od_cost.total_dollars)
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            text,
+            "\nforecast vs reactive on spot: {:+.4} SLO-attainment at {:+.2} USD",
+            fc_attain - re_attain,
+            fc_cost.total_dollars - re_cost.total_dollars,
+        );
+        let _ = writeln!(
+            text,
+            "spot-forecast vs all-on-demand: {spot_saving_pct:.1}% cheaper at {:+.4} attainment delta",
+            fc_attain - od_attain,
+        );
+        text.push_str(
+            "(Revocations force-drain warm spot workers on a short deadline; billing stops \
+             at revocation and lost batches re-queue at the lane head.)\n",
+        );
+        json.push("forecast_attainment_gain", (fc_attain - re_attain).into())
+            .push(
+                "forecast_cost_delta_usd",
+                (fc_cost.total_dollars - re_cost.total_dollars).into(),
+            )
+            .push("spot_saving_pct_vs_ondemand", spot_saving_pct.into())
+            .push(
+                "attainment_delta_vs_ondemand",
+                (fc_attain - od_attain).into(),
+            );
     }
     ScenarioReport { text, json }
 }

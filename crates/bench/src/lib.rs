@@ -27,11 +27,14 @@ pub mod scenario;
 pub mod sweep;
 
 use loki_baselines::{InferLineController, ProteusController};
-use loki_core::{AutoscalerConfig, LokiConfig, LokiController, ReactiveAutoscaler};
+use loki_core::{
+    AutoscalerConfig, ForecastConfig, ForecastingProvisioner, LokiConfig, LokiController,
+    ReactiveAutoscaler,
+};
 use loki_pipeline::PipelineGraph;
 use loki_sim::{
-    Controller, ElasticSimConfig, IntervalMetrics, LinkDelayModel, SimConfig, SimResult,
-    Simulation, WorkerClass, WorkerClassCatalog,
+    Controller, ElasticPolicy, ElasticSimConfig, IntervalMetrics, LinkDelayModel, MarketConfig,
+    SimConfig, SimResult, Simulation, WorkerClass, WorkerClassCatalog,
 };
 use loki_workload::{generate_arrivals, generators, ArrivalProcess, Trace};
 use std::fmt::Write as _;
@@ -186,6 +189,7 @@ impl GpuClassProfile {
                 memory_gb: 80.0,
                 price_per_hour: 2.5,
                 boot_delay_s: 20.0,
+                spot: false,
             }),
             GpuClassProfile::Mixed => WorkerClassCatalog {
                 classes: vec![
@@ -195,6 +199,7 @@ impl GpuClassProfile {
                         memory_gb: 80.0,
                         price_per_hour: 3.0,
                         boot_delay_s: 20.0,
+                        spot: false,
                     },
                     WorkerClass {
                         name: "budget".to_string(),
@@ -202,10 +207,43 @@ impl GpuClassProfile {
                         memory_gb: 24.0,
                         price_per_hour: 1.5,
                         boot_delay_s: 40.0,
+                        spot: false,
                     },
                 ],
             },
         }
+    }
+}
+
+/// Which [`ElasticPolicy`] drives an autoscaled fleet: the CLI's
+/// `provisioner=` key (and sweep axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProvisionerKind {
+    /// The reactive autoscaler ([`loki_core::ReactiveAutoscaler`]): scales on
+    /// observed demand and pressure, pays the boot lag on every ramp.
+    #[default]
+    Reactive,
+    /// The forecasting provisioner ([`loki_core::ForecastingProvisioner`]):
+    /// fits the trace's seasonal profile online, pre-boots ahead of ramps,
+    /// and hedges the spot/on-demand mix against observed revocations.
+    Forecast,
+}
+
+impl ProvisionerKind {
+    /// All kinds, in registry order.
+    pub const ALL: [ProvisionerKind; 2] = [ProvisionerKind::Reactive, ProvisionerKind::Forecast];
+
+    /// Stable name used by the CLI (`provisioner=` key / sweep axis) and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProvisionerKind::Reactive => "reactive",
+            ProvisionerKind::Forecast => "forecast",
+        }
+    }
+
+    /// Look a kind up by its [`ProvisionerKind::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
     }
 }
 
@@ -241,6 +279,18 @@ pub struct ExperimentConfig {
     pub elastic: ElasticMode,
     /// GPU-class catalog for elastic fleets (`classes=` key).
     pub classes: GpuClassProfile,
+    /// Add a discounted spot twin of the reference class to the catalog and
+    /// attach the cloud market (`spot=` key, `true`/`false`).
+    pub spot: bool,
+    /// Expected spot revocations per warm spot worker per hour (`revoke=`
+    /// key). `0` disables the revocation process entirely.
+    pub revoke_per_hour: f64,
+    /// Probability one requested spot worker is denied by a capacity stockout
+    /// (`stockout=` key, in `[0, 1]`).
+    pub stockout: f64,
+    /// Which policy drives [`ElasticMode::Autoscale`] fleets (`provisioner=`
+    /// key; the reactive autoscaler by default).
+    pub provisioner: ProvisionerKind,
 }
 
 impl Default for ExperimentConfig {
@@ -259,6 +309,10 @@ impl Default for ExperimentConfig {
             links: LinkProfile::Uniform,
             elastic: ElasticMode::Fixed,
             classes: GpuClassProfile::Uniform,
+            spot: false,
+            revoke_per_hour: 0.0,
+            stockout: 0.0,
+            provisioner: ProvisionerKind::Reactive,
         }
     }
 }
@@ -307,9 +361,34 @@ impl ExperimentConfig {
                     )
                 })?
             }
+            "spot" => self.spot = parse(key, value)?,
+            "revoke" => {
+                let rate: f64 = parse(key, value)?;
+                if !rate.is_finite() || rate < 0.0 {
+                    return Err(format!("invalid value for revoke: {value:?} (want >= 0)"));
+                }
+                self.revoke_per_hour = rate;
+            }
+            "stockout" => {
+                let p: f64 = parse(key, value)?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!(
+                        "invalid value for stockout: {value:?} (want a probability in [0, 1])"
+                    ));
+                }
+                self.stockout = p;
+            }
+            "provisioner" => {
+                self.provisioner = ProvisionerKind::from_name(value).ok_or_else(|| {
+                    format!(
+                        "invalid value for provisioner: {value:?} (known: {})",
+                        ProvisionerKind::ALL.map(|k| k.name()).join(", ")
+                    )
+                })?
+            }
             _ => {
                 return Err(format!(
-                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, jobs, links, elastic, classes)"
+                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, jobs, links, elastic, classes, spot, revoke, stockout, provisioner)"
                 ))
             }
         }
@@ -403,6 +482,52 @@ pub fn elastic_fleet_sizes(
     ElasticFleetSizes { floor, mean, peak }
 }
 
+/// Spot classes are billed at this fraction of the on-demand list price
+/// (before the market's time-varying multiplier): the ~68% discount typical
+/// of preemptible capacity.
+pub const SPOT_DISCOUNT: f64 = 0.32;
+
+/// The worker-class catalog of an experiment: the named profile, plus — when
+/// `spot=true` — a spot twin of the reference class (same silicon, same
+/// boots, [`SPOT_DISCOUNT`] of the price, revocable by the market).
+pub fn fleet_catalog(cfg: &ExperimentConfig) -> WorkerClassCatalog {
+    let mut catalog = cfg.classes.to_catalog();
+    if cfg.spot {
+        let reference = &catalog.classes[0];
+        let twin = WorkerClass {
+            name: format!("{}-spot", reference.name),
+            price_per_hour: reference.price_per_hour * SPOT_DISCOUNT,
+            spot: true,
+            ..reference.clone()
+        };
+        catalog.classes.push(twin);
+    }
+    catalog
+}
+
+/// The cloud market an experiment is exposed to, or `None` when every market
+/// knob is off (`spot=false`, `revoke=0`, `stockout=0`) — the friendly cloud,
+/// bit-identical to pre-market runs. Spot-enabled runs get a stepwise price
+/// schedule over the compressed day: a discounted valley, a demand-peak
+/// premium, and a post-peak relaxation.
+pub fn market_config(cfg: &ExperimentConfig) -> Option<MarketConfig> {
+    if !cfg.spot && cfg.revoke_per_hour == 0.0 && cfg.stockout == 0.0 {
+        return None;
+    }
+    let t = cfg.duration_s as f64;
+    let price_schedule = if cfg.spot {
+        vec![(0.0, 0.9), (0.45 * t, 1.3), (0.8 * t, 0.95)]
+    } else {
+        Vec::new()
+    };
+    Some(MarketConfig {
+        revocation_rate_per_hour: cfg.revoke_per_hour,
+        price_schedule,
+        stockout_probability: cfg.stockout,
+        ..MarketConfig::default()
+    })
+}
+
 /// The elastic-fleet half of the simulator config for an experiment, or
 /// `None` for [`ElasticMode::Fixed`]. Static modes pin `max_fleet` at their
 /// initial size (they never scale); autoscaled fleets start at the mean size
@@ -420,28 +545,69 @@ pub fn elastic_sim_config(
         ElasticMode::Autoscale => (sizes.mean, sizes.peak),
     };
     Some(ElasticSimConfig {
-        catalog: cfg.classes.to_catalog(),
-        // The initial fleet is reference-class; the autoscaler's scale-ups
-        // pick the cheapest effective class from the catalog.
+        catalog: fleet_catalog(cfg),
+        // The initial fleet is reference-class (on-demand); the policy's
+        // scale-ups pick spot or on-demand classes from the catalog.
         initial: vec![(0, initial)],
         max_fleet,
         decide_interval_s: 10.0,
+        market: market_config(cfg),
     })
 }
 
-/// The reactive Provisioner an autoscaled experiment runs, bounded by the
-/// pipeline footprint below and the experiment's `cluster` above, and
-/// calibrated to the same per-worker rate the peak fleet was sized with
-/// (peak QPS over the peak fleet) — so a re-sized experiment (`peak=`,
-/// `cluster=` overrides) re-calibrates the demand target automatically.
-pub fn autoscaler(cfg: &ExperimentConfig, num_tasks: usize, mean_qps: f64) -> ReactiveAutoscaler {
+/// The autoscaler sizing an experiment implies, shared by both provisioner
+/// kinds: bounded by the pipeline footprint below and the experiment's
+/// `cluster` above, calibrated to the same per-worker rate the peak fleet was
+/// sized with (peak QPS over the peak fleet) — so a re-sized experiment
+/// (`peak=`, `cluster=` overrides) re-calibrates the demand target
+/// automatically.
+pub fn autoscaler_config(
+    cfg: &ExperimentConfig,
+    num_tasks: usize,
+    mean_qps: f64,
+) -> AutoscalerConfig {
     let sizes = elastic_fleet_sizes(cfg, num_tasks, mean_qps);
-    ReactiveAutoscaler::new(AutoscalerConfig {
+    AutoscalerConfig {
         min_fleet: sizes.floor,
         max_fleet: sizes.peak,
         qps_per_worker: sizes.qps_per_worker(cfg.peak_qps),
         ..AutoscalerConfig::default()
-    })
+    }
+}
+
+/// The reactive Provisioner an autoscaled experiment runs (see
+/// [`autoscaler_config`] for the sizing).
+pub fn autoscaler(cfg: &ExperimentConfig, num_tasks: usize, mean_qps: f64) -> ReactiveAutoscaler {
+    ReactiveAutoscaler::new(autoscaler_config(cfg, num_tasks, mean_qps))
+}
+
+/// The [`ElasticPolicy`] an autoscaled experiment runs: the experiment's
+/// `provisioner=` choice over the shared [`autoscaler_config`] sizing. The
+/// forecasting provisioner fits one seasonal period per compressed day (the
+/// run duration) and buys capacity one boot delay plus one decide interval
+/// ahead, so pre-boots land exactly when the forecast demand arrives.
+pub fn provisioner_policy(
+    cfg: &ExperimentConfig,
+    num_tasks: usize,
+    mean_qps: f64,
+) -> Box<dyn ElasticPolicy> {
+    let autoscaler = autoscaler_config(cfg, num_tasks, mean_qps);
+    match cfg.provisioner {
+        ProvisionerKind::Reactive => Box::new(ReactiveAutoscaler::new(autoscaler)),
+        ProvisionerKind::Forecast => {
+            let max_boot_s = fleet_catalog(cfg)
+                .classes
+                .iter()
+                .map(|c| c.boot_delay_s)
+                .fold(0.0, f64::max);
+            Box::new(ForecastingProvisioner::new(ForecastConfig {
+                autoscaler,
+                period_s: (cfg.duration_s as f64).max(1.0),
+                lead_s: max_boot_s + 10.0,
+                ..ForecastConfig::default()
+            }))
+        }
+    }
 }
 
 /// The simulator configuration shared by all end-to-end experiments.

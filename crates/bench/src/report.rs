@@ -163,7 +163,7 @@ impl From<bool> for Json {
 /// The metrics a sweep point contributes to cross-seed statistics, in the
 /// column order of [`sweep_csv`]. The cost columns are zero for fixed-fleet
 /// points (no billing) and for per-pipeline rows (cost is cluster-level).
-pub const SWEEP_METRICS: [&str; 10] = [
+pub const SWEEP_METRICS: [&str; 14] = [
     "on_time",
     "late",
     "dropped",
@@ -174,6 +174,10 @@ pub const SWEEP_METRICS: [&str; 10] = [
     "gpu_hours",
     "cost_usd",
     "cost_per_1k",
+    "revocations",
+    "stockouts",
+    "spot_usd",
+    "ondemand_usd",
 ];
 
 /// The [`SWEEP_METRICS`] column values of one summary; `wall_s` is the run's
@@ -183,7 +187,7 @@ fn summary_metrics(
     s: &loki_sim::RunSummary,
     wall_s: f64,
     cost: Option<&loki_sim::CostSummary>,
-) -> [f64; 10] {
+) -> [f64; 14] {
     [
         s.total_on_time as f64,
         s.total_late as f64,
@@ -195,10 +199,14 @@ fn summary_metrics(
         cost.map_or(0.0, |c| c.gpu_hours()),
         cost.map_or(0.0, |c| c.total_dollars),
         cost.map_or(0.0, |c| c.cost_per_1k_queries),
+        cost.map_or(0.0, |c| c.revocations as f64),
+        cost.map_or(0.0, |c| c.stockouts as f64),
+        cost.map_or(0.0, |c| c.spot_dollars),
+        cost.map_or(0.0, |c| c.ondemand_dollars),
     ]
 }
 
-fn metric_values(point: &PointResult) -> [f64; 10] {
+fn metric_values(point: &PointResult) -> [f64; 14] {
     summary_metrics(&point.result.summary, point.wall_s, point.cost.as_ref())
 }
 
@@ -211,10 +219,10 @@ pub struct AxisAggregate {
     /// Seeds aggregated, in grid order.
     pub seeds: Vec<u64>,
     /// Per-metric means, ordered as [`SWEEP_METRICS`].
-    pub mean: [f64; 10],
+    pub mean: [f64; 14],
     /// Per-metric sample standard deviations (0 for a single seed), ordered as
     /// [`SWEEP_METRICS`].
-    pub stddev: [f64; 10],
+    pub stddev: [f64; 14],
 }
 
 /// The grouping key of an axis point: everything the grid varies except the
@@ -224,7 +232,15 @@ type AxisKey = (String, u64, u64, usize, &'static str, &'static str);
 
 fn axis_key(point: &RunPoint) -> AxisKey {
     (
-        format!("{:?}|{:?}", point.controller, point.drop_policy),
+        format!(
+            "{:?}|{:?}|{}|{}|{}|{}",
+            point.controller,
+            point.drop_policy,
+            point.cfg.spot,
+            point.cfg.revoke_per_hour.to_bits(),
+            point.cfg.stockout.to_bits(),
+            point.cfg.provisioner.name(),
+        ),
         point.cfg.slo_ms.to_bits(),
         point.cfg.peak_qps.to_bits(),
         point.cfg.cluster_size,
@@ -251,7 +267,7 @@ pub fn aggregate_sweep(points: &[RunPoint], results: &[PointResult]) -> Vec<Axis
         key: AxisKey,
         label: String,
         seeds: Vec<u64>,
-        rows: Vec<[f64; 10]>,
+        rows: Vec<[f64; 14]>,
     }
     let mut groups: Vec<Group> = Vec::new();
     for (point, result) in points.iter().zip(results) {
@@ -277,8 +293,8 @@ pub fn aggregate_sweep(points: &[RunPoint], results: &[PointResult]) -> Vec<Axis
                  label, seeds, rows, ..
              }| {
                 let n = rows.len() as f64;
-                let mut mean = [0.0; 10];
-                let mut stddev = [0.0; 10];
+                let mut mean = [0.0; 14];
+                let mut stddev = [0.0; 14];
                 for row in &rows {
                     for (m, v) in mean.iter_mut().zip(row) {
                         *m += v / n;
@@ -351,6 +367,10 @@ pub fn sweep_csv(scenario: &str, points: &[RunPoint], results: &[PointResult]) -
         "cluster",
         "links",
         "elastic",
+        "spot",
+        "revoke",
+        "stockout",
+        "provisioner",
         "seed",
         "arrivals",
     ]
@@ -370,6 +390,10 @@ pub fn sweep_csv(scenario: &str, points: &[RunPoint], results: &[PointResult]) -
             format!("{}", point.cfg.cluster_size),
             point.cfg.links.name().to_string(),
             point.cfg.elastic.name().to_string(),
+            format!("{}", point.cfg.spot),
+            format!("{}", point.cfg.revoke_per_hour),
+            format!("{}", point.cfg.stockout),
+            point.cfg.provisioner.name().to_string(),
         ]
     };
 

@@ -7,7 +7,7 @@
 //! preserves input order) reports points exactly where a serial loop would.
 
 use crate::scenario::{ControllerSpec, RunPoint, Scenario, ScenarioKind};
-use crate::{ElasticMode, ExperimentConfig, LinkProfile};
+use crate::{ElasticMode, ExperimentConfig, LinkProfile, ProvisionerKind};
 use std::fmt::Write as _;
 
 /// A grid of experiment points over a base configuration.
@@ -21,6 +21,10 @@ pub struct Sweep {
     pub cluster_size: Vec<usize>,
     pub links: Vec<LinkProfile>,
     pub elastic: Vec<ElasticMode>,
+    pub spot: Vec<bool>,
+    pub revoke: Vec<f64>,
+    pub stockout: Vec<f64>,
+    pub provisioner: Vec<ProvisionerKind>,
     pub jobs: Vec<usize>,
     pub seed: Vec<u64>,
 }
@@ -51,6 +55,10 @@ impl Sweep {
             cluster_size: vec![cfg.cluster_size],
             links: vec![cfg.links],
             elastic: vec![cfg.elastic],
+            spot: vec![cfg.spot],
+            revoke: vec![cfg.revoke_per_hour],
+            stockout: vec![cfg.stockout],
+            provisioner: vec![cfg.provisioner],
             jobs: vec![cfg.jobs.max(1)],
             seed: vec![cfg.seed],
         }
@@ -122,9 +130,48 @@ impl Sweep {
                     }
                 }
             }
+            "spot" => {
+                let flags: Result<Vec<bool>, _> =
+                    values.split(',').map(|v| v.trim().parse()).collect();
+                match flags {
+                    Ok(list) if !list.is_empty() => self.spot = list,
+                    _ => return Err(format!("invalid spot list {values:?} (want true/false)")),
+                }
+            }
+            "revoke" => {
+                let rates = parse_list::<f64>(axis, values)?;
+                if rates.iter().any(|r| !r.is_finite() || *r < 0.0) {
+                    return Err(format!("invalid revoke list {values:?} (want rates >= 0)"));
+                }
+                self.revoke = rates;
+            }
+            "stockout" => {
+                let probs = parse_list::<f64>(axis, values)?;
+                if probs.iter().any(|p| !(0.0..=1.0).contains(p)) {
+                    return Err(format!(
+                        "invalid stockout list {values:?} (want probabilities in [0, 1])"
+                    ));
+                }
+                self.stockout = probs;
+            }
+            "provisioner" => {
+                let kinds: Option<Vec<ProvisionerKind>> = values
+                    .split(',')
+                    .map(|v| ProvisionerKind::from_name(v.trim()))
+                    .collect();
+                match kinds {
+                    Some(list) if !list.is_empty() => self.provisioner = list,
+                    _ => {
+                        return Err(format!(
+                            "invalid provisioner list {values:?} (known: {})",
+                            ProvisionerKind::ALL.map(|k| k.name()).join(", ")
+                        ))
+                    }
+                }
+            }
             _ => {
                 return Err(format!(
-                "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, links, elastic, jobs, seed)"
+                "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, links, elastic, spot, revoke, stockout, provisioner, jobs, seed)"
             ))
             }
         }
@@ -139,6 +186,10 @@ impl Sweep {
             * self.cluster_size.len()
             * self.links.len()
             * self.elastic.len()
+            * self.spot.len()
+            * self.revoke.len()
+            * self.stockout.len()
+            * self.provisioner.len()
             * self.jobs.len()
             * self.seed.len()
     }
@@ -146,6 +197,22 @@ impl Sweep {
     /// True when the grid is empty (some axis has no values).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The market axes (spot, revoke, stockout, provisioner) flattened into
+    /// one nesting level, in spot-outermost order.
+    fn market_grid(&self) -> Vec<(bool, f64, f64, ProvisionerKind)> {
+        let mut out = Vec::new();
+        for &spot in &self.spot {
+            for &revoke in &self.revoke {
+                for &stockout in &self.stockout {
+                    for &provisioner in &self.provisioner {
+                        out.push((spot, revoke, stockout, provisioner));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Enumerate the grid in its fixed nesting order. Labels name only the axes that
@@ -158,44 +225,68 @@ impl Sweep {
                     for &cluster in &self.cluster_size {
                         for &links in &self.links {
                             for &elastic in &self.elastic {
-                                for &jobs in &self.jobs {
-                                    for &seed in &self.seed {
-                                        let mut cfg = self.base.cfg.clone();
-                                        cfg.slo_ms = slo;
-                                        cfg.peak_qps = peak;
-                                        cfg.cluster_size = cluster;
-                                        cfg.links = links;
-                                        cfg.elastic = elastic;
-                                        cfg.jobs = jobs;
-                                        cfg.seed = seed;
-                                        let mut label = controller.name().to_string();
-                                        if self.slo_ms.len() > 1 {
-                                            let _ = write!(label, " slo={slo}");
+                                for market in self.market_grid() {
+                                    for &jobs in &self.jobs {
+                                        for &seed in &self.seed {
+                                            let (spot, revoke, stockout, provisioner) = market;
+                                            let mut cfg = self.base.cfg.clone();
+                                            cfg.slo_ms = slo;
+                                            cfg.peak_qps = peak;
+                                            cfg.cluster_size = cluster;
+                                            cfg.links = links;
+                                            cfg.elastic = elastic;
+                                            cfg.spot = spot;
+                                            cfg.revoke_per_hour = revoke;
+                                            cfg.stockout = stockout;
+                                            cfg.provisioner = provisioner;
+                                            cfg.jobs = jobs;
+                                            cfg.seed = seed;
+                                            let mut label = controller.name().to_string();
+                                            if self.slo_ms.len() > 1 {
+                                                let _ = write!(label, " slo={slo}");
+                                            }
+                                            if self.peak_qps.len() > 1 {
+                                                let _ = write!(label, " peak={peak}");
+                                            }
+                                            if self.cluster_size.len() > 1 {
+                                                let _ = write!(label, " cluster={cluster}");
+                                            }
+                                            if self.links.len() > 1 {
+                                                let _ = write!(label, " links={}", links.name());
+                                            }
+                                            if self.elastic.len() > 1 {
+                                                let _ =
+                                                    write!(label, " elastic={}", elastic.name());
+                                            }
+                                            if self.spot.len() > 1 {
+                                                let _ = write!(label, " spot={spot}");
+                                            }
+                                            if self.revoke.len() > 1 {
+                                                let _ = write!(label, " revoke={revoke}");
+                                            }
+                                            if self.stockout.len() > 1 {
+                                                let _ = write!(label, " stockout={stockout}");
+                                            }
+                                            if self.provisioner.len() > 1 {
+                                                let _ = write!(
+                                                    label,
+                                                    " provisioner={}",
+                                                    provisioner.name()
+                                                );
+                                            }
+                                            if self.jobs.len() > 1 {
+                                                let _ = write!(label, " jobs={jobs}");
+                                            }
+                                            if self.seed.len() > 1 {
+                                                let _ = write!(label, " seed={seed}");
+                                            }
+                                            out.push(RunPoint {
+                                                label,
+                                                controller,
+                                                cfg,
+                                                ..self.base.clone()
+                                            });
                                         }
-                                        if self.peak_qps.len() > 1 {
-                                            let _ = write!(label, " peak={peak}");
-                                        }
-                                        if self.cluster_size.len() > 1 {
-                                            let _ = write!(label, " cluster={cluster}");
-                                        }
-                                        if self.links.len() > 1 {
-                                            let _ = write!(label, " links={}", links.name());
-                                        }
-                                        if self.elastic.len() > 1 {
-                                            let _ = write!(label, " elastic={}", elastic.name());
-                                        }
-                                        if self.jobs.len() > 1 {
-                                            let _ = write!(label, " jobs={jobs}");
-                                        }
-                                        if self.seed.len() > 1 {
-                                            let _ = write!(label, " seed={seed}");
-                                        }
-                                        out.push(RunPoint {
-                                            label,
-                                            controller,
-                                            cfg,
-                                            ..self.base.clone()
-                                        });
                                     }
                                 }
                             }

@@ -1,0 +1,659 @@
+//! The forecasting Provisioner: seasonal demand prediction plus a spot /
+//! on-demand hedge over the adversarial cloud market.
+//!
+//! Where the [`crate::ReactiveAutoscaler`] pays a boot-lag attainment dip on
+//! every ramp (it scales when demand has already arrived), the
+//! [`ForecastingProvisioner`] fits the workload's seasonal profile online
+//! with a windowed per-phase estimator ([`loki_workload::SeasonalEstimator`])
+//! and provisions against the demand forecast one boot-delay-plus-margin
+//! ahead — capacity is warm when the ramp lands. Against the market's
+//! adversity it hedges: spot capacity is bought only up to a share that
+//! shrinks with the *observed* revocation rate, so a hostile market shifts
+//! the mix toward on-demand before attainment collapses, and a spot price
+//! spike pauses spot purchases entirely.
+//!
+//! The forecast is only trusted while it is earning its keep: the estimator
+//! scores its own predictions, and when the rolling forecast error crosses
+//! [`ForecastConfig::fallback_error`] the provisioner delegates the tick to
+//! its embedded reactive autoscaler (prediction off, reaction on) until the
+//! error subsides.
+
+use crate::provisioner::{AutoscalerConfig, ReactiveAutoscaler};
+use loki_sim::{ElasticAction, ElasticObservation, ElasticPolicy};
+use loki_workload::SeasonalEstimator;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the [`ForecastingProvisioner`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForecastConfig {
+    /// The embedded reactive autoscaler: sizing parameters (`min_fleet`,
+    /// `max_fleet`, `qps_per_worker`, `headroom`, pressure thresholds) are
+    /// shared, and the whole policy is delegated to it when the forecast
+    /// error spikes.
+    pub autoscaler: AutoscalerConfig,
+    /// Seasonal period of the workload, seconds (one "day" of the trace).
+    pub period_s: f64,
+    /// Phase bins the period is split into.
+    pub num_phases: usize,
+    /// How far ahead the provisioner buys capacity, seconds. Cover at least
+    /// the catalog's boot delay plus one decide interval, or the pre-boot
+    /// lands after the ramp it was meant to absorb.
+    pub lead_s: f64,
+    /// Rolling forecast error above which the tick falls back to the
+    /// reactive autoscaler (symmetric relative error in `[0, 1]`-ish; see
+    /// [`SeasonalEstimator::error`]).
+    pub fallback_error: f64,
+    /// Spot share of the fleet the hedge targets in a calm market. The
+    /// default 1.0 is deliberate: the hedge prices *observed* adversity, so
+    /// until the market revokes something, spot's discount is free money and
+    /// the fleet leans on it fully; the share backs off as revocations land.
+    pub base_spot_share: f64,
+    /// How hard observed revocations shrink the spot target: the share is
+    /// `base / (1 + aversion * revocations_per_spot_worker_hour)`. The
+    /// default halves the spot appetite around 100 revocations per
+    /// spot-worker-hour — ordinary spot weather (single-digit rates) barely
+    /// moves the hedge, a market that shreds the fleet pushes it toward
+    /// on-demand.
+    pub revocation_aversion: f64,
+    /// Spot price multiplier above which spot purchases pause (the schedule
+    /// has made spot a bad deal; existing spot workers keep serving).
+    pub max_spot_multiplier: f64,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        Self {
+            autoscaler: AutoscalerConfig::default(),
+            period_s: 600.0,
+            num_phases: 20,
+            lead_s: 40.0,
+            fallback_error: 0.45,
+            base_spot_share: 1.0,
+            revocation_aversion: 0.01,
+            max_spot_multiplier: 1.5,
+        }
+    }
+}
+
+/// The forecasting provisioner (see module docs).
+#[derive(Debug, Clone)]
+pub struct ForecastingProvisioner {
+    config: ForecastConfig,
+    reactive: ReactiveAutoscaler,
+    estimator: SeasonalEstimator,
+    /// Cumulative revocation count at the previous tick.
+    last_revocations: u64,
+    /// Time of the previous tick (for the revocation-rate window).
+    last_now_s: Option<f64>,
+    /// Smoothed revocations per spot worker per hour.
+    revocation_rate: f64,
+    /// Idle-streak start for the sustained scale-down window.
+    idle_since_s: Option<f64>,
+    scale_ups: u64,
+    scale_downs: u64,
+    /// Ticks delegated to the reactive autoscaler on forecast-error spikes.
+    fallbacks: u64,
+    /// Scale-ups taken while the forecast exceeded observed demand — the
+    /// pre-boots the policy exists for.
+    pre_boots: u64,
+}
+
+impl Default for ForecastingProvisioner {
+    fn default() -> Self {
+        Self::new(ForecastConfig::default())
+    }
+}
+
+impl ForecastingProvisioner {
+    /// A forecasting provisioner with the given configuration.
+    pub fn new(config: ForecastConfig) -> Self {
+        assert!(config.period_s > 0.0, "period_s must be positive");
+        assert!(config.num_phases >= 1, "num_phases must be >= 1");
+        assert!(config.lead_s >= 0.0, "lead_s must be >= 0");
+        assert!(
+            config.fallback_error > 0.0,
+            "fallback_error must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.base_spot_share),
+            "base_spot_share must be in [0, 1]"
+        );
+        assert!(config.revocation_aversion >= 0.0);
+        assert!(config.max_spot_multiplier > 0.0);
+        let reactive = ReactiveAutoscaler::new(config.autoscaler.clone());
+        let estimator =
+            SeasonalEstimator::new(config.period_s, config.num_phases, config.lead_s.max(1.0));
+        Self {
+            config,
+            reactive,
+            estimator,
+            last_revocations: 0,
+            last_now_s: None,
+            revocation_rate: 0.0,
+            idle_since_s: None,
+            scale_ups: 0,
+            scale_downs: 0,
+            fallbacks: 0,
+            pre_boots: 0,
+        }
+    }
+
+    /// The provisioner's configuration.
+    pub fn config(&self) -> &ForecastConfig {
+        &self.config
+    }
+
+    /// Scale-up decisions taken (including delegated ones).
+    pub fn scale_ups(&self) -> u64 {
+        self.scale_ups + self.reactive.scale_ups()
+    }
+
+    /// Scale-down decisions taken (including delegated ones).
+    pub fn scale_downs(&self) -> u64 {
+        self.scale_downs + self.reactive.scale_downs()
+    }
+
+    /// Ticks delegated to the reactive autoscaler on forecast-error spikes.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Scale-ups taken while the forecast exceeded observed demand.
+    pub fn pre_boots(&self) -> u64 {
+        self.pre_boots
+    }
+
+    /// The smoothed observed revocation rate, per spot worker per hour.
+    pub fn observed_revocation_rate(&self) -> f64 {
+        self.revocation_rate
+    }
+
+    /// The spot share of the fleet the hedge currently targets.
+    pub fn target_spot_share(&self) -> f64 {
+        self.config.base_spot_share / (1.0 + self.config.revocation_aversion * self.revocation_rate)
+    }
+
+    /// Update the revocation-rate estimate from the cumulative counter.
+    fn observe_market(&mut self, observation: &ElasticObservation<'_>) {
+        let now = observation.now_s;
+        let delta = observation
+            .revocations
+            .saturating_sub(self.last_revocations);
+        self.last_revocations = observation.revocations;
+        let Some(last) = self.last_now_s else {
+            self.last_now_s = Some(now);
+            return;
+        };
+        self.last_now_s = Some(now);
+        let window_h = (now - last) / 3600.0;
+        if window_h <= 0.0 {
+            return;
+        }
+        let spot_live: usize = observation
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.spot)
+            .map(|(i, _)| observation.warm[i] + observation.provisioning[i])
+            .sum();
+        let rate = delta as f64 / spot_live.max(1) as f64 / window_h;
+        // A slow EWMA: one revocation-free tick must not erase the memory of
+        // a hostile market (revocations are rare events against short ticks).
+        self.revocation_rate = 0.9 * self.revocation_rate + 0.1 * rate;
+    }
+
+    /// The cheapest-effective spot class with room in the catalog, if any.
+    fn spot_class(observation: &ElasticObservation<'_>) -> Option<usize> {
+        observation
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.spot)
+            .min_by(|(_, a), (_, b)| {
+                a.effective_price()
+                    .partial_cmp(&b.effective_price())
+                    .expect("validated finite prices")
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// The cheapest-effective on-demand class.
+    fn ondemand_class(observation: &ElasticObservation<'_>) -> usize {
+        observation
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.spot)
+            .min_by(|(_, a), (_, b)| {
+                a.effective_price()
+                    .partial_cmp(&b.effective_price())
+                    .expect("validated finite prices")
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+impl ElasticPolicy for ForecastingProvisioner {
+    fn name(&self) -> &str {
+        "forecasting-provisioner"
+    }
+
+    fn decide(&mut self, observation: &ElasticObservation<'_>) -> Vec<ElasticAction> {
+        let demand: f64 = observation.demand_qps.iter().sum();
+        self.estimator.observe(observation.now_s, demand);
+        self.observe_market(observation);
+        let cfg = &self.config.autoscaler;
+
+        // Forecast-error spike: prediction has stopped earning its keep
+        // (workload broke its own profile); hand the tick to the reactive
+        // autoscaler until the error subsides.
+        if self.estimator.scored() && self.estimator.error() > self.config.fallback_error {
+            self.fallbacks += 1;
+            self.idle_since_s = None;
+            return self.reactive.decide(observation);
+        }
+
+        let warm = observation.total_warm();
+        let live = observation.total_live();
+        let queued = observation.total_queued();
+        let cap = cfg.max_fleet.min(observation.max_fleet);
+        let scale_of = |i: usize| observation.classes[i].latency_scale;
+        let eq_of = |counts: &[usize]| -> f64 {
+            counts
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| n as f64 / scale_of(i))
+                .sum()
+        };
+        let warm_eq = eq_of(observation.warm);
+        let live_eq = warm_eq + eq_of(observation.provisioning) + eq_of(observation.draining);
+
+        // The demand target covers whichever is larger: what is arriving now,
+        // or what the forecast says will be arriving when capacity bought
+        // this tick turns warm. That max is the pre-boot — and also the
+        // anti-thrash guard (an optimistic forecast never drains a fleet the
+        // current demand still needs).
+        let forecast = self
+            .estimator
+            .forecast(observation.now_s, self.config.lead_s);
+        let demand_target = demand.max(forecast);
+        let spot_live_eq: f64 = observation
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.spot)
+            .map(|(i, _)| (observation.warm[i] + observation.provisioning[i]) as f64 / scale_of(i))
+            .sum();
+        // The revocation reserve: a market revoking at `rate` per spot
+        // worker-hour keeps an expected `rate × spot × boot` equivalents dead
+        // in reboot at any instant. Holding that much extra warm capacity
+        // turns each revocation dip into slack consumption instead of an SLO
+        // hole — the premium is a fraction of one worker at ordinary rates.
+        // A lightly-loaded fleet self-insures (a dip lands on idle workers),
+        // so the reserve is held only while the fleet is actually busy.
+        let spot_boot_h = observation
+            .classes
+            .iter()
+            .filter(|c| c.spot)
+            .map(|c| c.boot_delay_s)
+            .fold(0.0, f64::max)
+            / 3600.0;
+        let reserve_eq = self.revocation_rate * spot_live_eq * spot_boot_h;
+        let desired_eq = (demand_target * (1.0 + cfg.headroom) / cfg.qps_per_worker + reserve_eq)
+            .max(cfg.min_fleet as f64);
+
+        // The reactive pressure kick, unchanged: forecasts based on a fitted
+        // profile can still miss a burst, and the kick is the safety net.
+        let worst_attainment = observation
+            .window_attainment
+            .iter()
+            .copied()
+            .fold(1.0f64, f64::min);
+        let backlogged = warm > 0 && queued as f64 / warm as f64 > cfg.backlog_per_worker;
+        let booting: usize = observation.provisioning.iter().sum();
+        let mut target_eq = desired_eq;
+        if (worst_attainment < cfg.attainment_floor || backlogged) && booting == 0 {
+            let mut step = ((live as f64 * cfg.up_step_fraction).ceil() as usize).max(1);
+            if worst_attainment < cfg.attainment_floor - 0.05
+                || (warm > 0 && queued as f64 / warm as f64 > 3.0 * cfg.backlog_per_worker)
+            {
+                step *= 2;
+            }
+            target_eq = target_eq.max(live_eq + step as f64);
+        }
+
+        let missing_eq = target_eq - live_eq;
+        if missing_eq > 1e-9 && live < cap {
+            let slots = cap - live;
+            let ondemand = Self::ondemand_class(observation);
+            // The hedge: spot equivalents may grow only up to the target
+            // share of the post-provision fleet, and not at all while the
+            // price schedule has spot above the pause threshold.
+            let spot = Self::spot_class(observation)
+                .filter(|_| observation.spot_price_multiplier <= self.config.max_spot_multiplier);
+            // The reserve rides in the spot budget on top of the hedge share:
+            // it exists to absorb *spot* losses, so buying it on-demand would
+            // pay the insurance premium twice.
+            let spot_eq = match spot {
+                Some(_) => {
+                    let allowed = self.target_spot_share() * (live_eq + missing_eq) + reserve_eq
+                        - spot_live_eq;
+                    missing_eq.min(allowed.max(0.0))
+                }
+                None => 0.0,
+            };
+            let ondemand_eq = missing_eq - spot_eq;
+            let mut actions = Vec::new();
+            let mut slots_left = slots;
+            if let Some(class) = spot {
+                let count = ((spot_eq * scale_of(class)).ceil() as usize).min(slots_left);
+                if count > 0 {
+                    actions.push(ElasticAction::Provision { class, count });
+                    slots_left -= count;
+                }
+            }
+            let count = ((ondemand_eq * scale_of(ondemand)).ceil() as usize).min(slots_left);
+            if count > 0 {
+                actions.push(ElasticAction::Provision {
+                    class: ondemand,
+                    count,
+                });
+            }
+            if !actions.is_empty() {
+                self.idle_since_s = None;
+                self.scale_ups += 1;
+                if forecast > demand {
+                    self.pre_boots += 1;
+                }
+                return actions;
+            }
+        }
+
+        // Scale down, with the reactive hysteresis (sustained idle window,
+        // small backlog). The down target is *predictive* in both directions:
+        // an upcoming ramp holds the fleet (max with the forecast, above),
+        // and a trusted forecast of falling demand walks it down one lead
+        // early — the reactive baseline pays `lead_s` of peak-sized fleet on
+        // every descent that prediction does not. Only a scored forecast may
+        // undercut observed demand (an unproven estimator must not drain a
+        // fleet the present still needs), and the error-spike fallback has
+        // already taken the tick when the forecast stopped earning trust.
+        let down_demand = if self.estimator.scored() {
+            demand.min(forecast)
+        } else {
+            demand
+        };
+        let down_eq = (down_demand * (1.0 + cfg.headroom) / cfg.qps_per_worker + reserve_eq)
+            .max(cfg.min_fleet as f64);
+        let desired_workers = (down_eq.ceil() as usize).clamp(cfg.min_fleet, cap);
+        let wants_down = desired_workers < warm && queued <= warm;
+        if !wants_down {
+            self.idle_since_s = None;
+            return Vec::new();
+        }
+        let idle_since = *self.idle_since_s.get_or_insert(observation.now_s);
+        if observation.now_s - idle_since < cfg.idle_window_s || warm <= cfg.min_fleet {
+            return Vec::new();
+        }
+        // Drain the class most over-represented against the hedge: spot when
+        // its share exceeds the target (revocation exposure shrinks first),
+        // the most expensive effective on-demand class otherwise (dollars
+        // shrink first).
+        let spot_warm_eq: f64 = observation
+            .classes
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.spot)
+            .map(|(i, _)| observation.warm[i] as f64 / scale_of(i))
+            .sum();
+        let spot_over = warm_eq > 0.0 && spot_warm_eq / warm_eq > self.target_spot_share() + 0.05;
+        let class = if spot_over {
+            Self::spot_class(observation).filter(|&i| observation.warm[i] > 0)
+        } else {
+            observation
+                .classes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| observation.warm[*i] > 0)
+                .max_by(|(_, a), (_, b)| {
+                    a.effective_price()
+                        .partial_cmp(&b.effective_price())
+                        .expect("validated finite prices")
+                })
+                .map(|(i, _)| i)
+        };
+        let Some(class) = class else {
+            return Vec::new();
+        };
+        let mut step = ((warm as f64 * cfg.down_step_fraction).ceil() as usize).max(1);
+        // The geometric walk-down exists to hedge against demand coming
+        // back; a trusted forecast of a *deep* descent (the lead lands below
+        // 80% of current demand) has already priced that in, so it collapses
+        // the fleet toward the target in one step and banks the fleet-time
+        // the reactive walk would burn. Shallow
+        // descents keep the cautious walk — there the forecast margin is
+        // thinner than its own error.
+        if self.estimator.scored() && forecast < 0.8 * demand {
+            step = step.max(warm);
+        }
+        let drainable_eq = warm_eq - down_eq;
+        let count = step
+            .min((drainable_eq * scale_of(class)).floor().max(0.0) as usize)
+            .min(warm - cfg.min_fleet)
+            .min(observation.warm[class]);
+        if count == 0 {
+            return Vec::new();
+        }
+        self.idle_since_s = Some(observation.now_s);
+        self.scale_downs += 1;
+        vec![ElasticAction::Drain { class, count }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loki_sim::{WorkerClass, WorkerClassCatalog};
+
+    fn spot_catalog() -> WorkerClassCatalog {
+        WorkerClassCatalog {
+            classes: vec![
+                WorkerClass {
+                    name: "ondemand".to_string(),
+                    latency_scale: 1.0,
+                    memory_gb: 80.0,
+                    price_per_hour: 2.5,
+                    boot_delay_s: 20.0,
+                    spot: false,
+                },
+                WorkerClass {
+                    name: "spot".to_string(),
+                    latency_scale: 1.0,
+                    memory_gb: 80.0,
+                    price_per_hour: 0.8,
+                    boot_delay_s: 20.0,
+                    spot: true,
+                },
+            ],
+        }
+    }
+
+    struct Obs {
+        warm: Vec<usize>,
+        provisioning: Vec<usize>,
+        draining: Vec<usize>,
+        queued: Vec<usize>,
+        attainment: Vec<f64>,
+        demand: Vec<f64>,
+        revocations: u64,
+        spot_price_multiplier: f64,
+    }
+
+    fn calm(warm: Vec<usize>, demand: f64) -> Obs {
+        Obs {
+            warm,
+            provisioning: vec![0, 0],
+            draining: vec![0, 0],
+            queued: vec![0],
+            attainment: vec![1.0],
+            demand: vec![demand],
+            revocations: 0,
+            spot_price_multiplier: 1.0,
+        }
+    }
+
+    fn observe<'a>(
+        catalog: &'a WorkerClassCatalog,
+        state: &'a Obs,
+        now_s: f64,
+    ) -> ElasticObservation<'a> {
+        ElasticObservation {
+            now_s,
+            classes: &catalog.classes,
+            warm: &state.warm,
+            active: state.warm.iter().sum(),
+            provisioning: &state.provisioning,
+            draining: &state.draining,
+            demand_qps: &state.demand,
+            queued: &state.queued,
+            window_attainment: &state.attainment,
+            busy_fraction: 0.6,
+            max_fleet: 32,
+            revocations: state.revocations,
+            stockouts: 0,
+            spot_price_multiplier: state.spot_price_multiplier,
+        }
+    }
+
+    fn config() -> ForecastConfig {
+        ForecastConfig {
+            autoscaler: AutoscalerConfig {
+                max_fleet: 32,
+                qps_per_worker: 75.0,
+                ..AutoscalerConfig::default()
+            },
+            ..ForecastConfig::default()
+        }
+    }
+
+    #[test]
+    fn pre_boots_ahead_of_a_ramp() {
+        let catalog = spot_catalog();
+        let mut p = ForecastingProvisioner::new(config());
+        // A steep ramp: demand doubles every tick. 8 warm workers cover the
+        // *current* 300 QPS (needs ceil(300*1.2/75) = 5), but the forecast 40 s
+        // out must request more capacity before the demand arrives.
+        let mut actions = Vec::new();
+        for (i, d) in [75.0, 150.0, 225.0, 300.0].iter().enumerate() {
+            let state = calm(vec![8, 0], *d);
+            actions = p.decide(&observe(&catalog, &state, i as f64 * 10.0));
+        }
+        let bought: usize = actions
+            .iter()
+            .map(|a| match a {
+                ElasticAction::Provision { count, .. } => *count,
+                _ => 0,
+            })
+            .sum();
+        // Current demand alone wants nothing beyond the 8 warm workers
+        // (desired = ceil(300*1.2/75) = 5); only the forecast explains a buy.
+        assert!(
+            bought > 0,
+            "the ramp forecast must pre-boot, got {actions:?}"
+        );
+        assert!(p.pre_boots() >= 1);
+        // And the buy is hedged: mostly spot in a calm market.
+        let spot_count: usize = actions
+            .iter()
+            .map(|a| match a {
+                ElasticAction::Provision { class: 1, count } => *count,
+                _ => 0,
+            })
+            .sum();
+        assert!(
+            spot_count * 2 >= bought,
+            "calm-market pre-boot should lean on spot: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn observed_revocations_shrink_the_spot_target() {
+        let catalog = spot_catalog();
+        let mut p = ForecastingProvisioner::new(config());
+        let calm_share = p.target_spot_share();
+        // Ten ticks, each revoking 2 of the 4 warm spot workers: a brutal
+        // market. The observed rate must push the hedge toward on-demand.
+        for i in 0..10 {
+            let mut state = calm(vec![4, 4], 300.0);
+            state.revocations = 2 * (i + 1) as u64;
+            p.decide(&observe(&catalog, &state, i as f64 * 10.0));
+        }
+        assert!(p.observed_revocation_rate() > 10.0);
+        assert!(
+            p.target_spot_share() < 0.6 * calm_share,
+            "hedge must shrink: calm={calm_share}, now={}",
+            p.target_spot_share()
+        );
+    }
+
+    #[test]
+    fn price_spike_pauses_spot_purchases() {
+        let catalog = spot_catalog();
+        let mut p = ForecastingProvisioner::new(config());
+        // Under-provisioned with an expensive spot market: everything bought
+        // this tick must be on-demand.
+        let mut state = calm(vec![2, 0], 600.0);
+        state.spot_price_multiplier = 2.0;
+        let actions = p.decide(&observe(&catalog, &state, 0.0));
+        assert!(!actions.is_empty());
+        for a in &actions {
+            assert!(
+                matches!(a, ElasticAction::Provision { class: 0, .. }),
+                "spot must pause above the multiplier cap: {actions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn forecast_error_spike_falls_back_to_reactive() {
+        let catalog = spot_catalog();
+        let mut p = ForecastingProvisioner::new(ForecastConfig {
+            lead_s: 10.0,
+            ..config()
+        });
+        // Feed a profile, then betray it: demand alternates wildly so the
+        // probes keep missing and the error EWMA climbs past the threshold.
+        for i in 0..40 {
+            let d = if i % 2 == 0 { 40.0 } else { 1200.0 };
+            let state = calm(vec![8, 0], d);
+            p.decide(&observe(&catalog, &state, i as f64 * 10.0));
+        }
+        assert!(
+            p.fallbacks() > 0,
+            "alternating demand must trip the reactive fallback (error={})",
+            p.estimator.error()
+        );
+    }
+
+    #[test]
+    fn drains_spot_first_when_over_the_hedge() {
+        let catalog = spot_catalog();
+        let mut p = ForecastingProvisioner::new(config());
+        // A deep valley with a fleet that is 100% spot *after the market has
+        // turned hostile* (revocations land every tick, so the hedge target
+        // falls below 1): the sustained-idle drain must come from the spot
+        // class — shrink the revocation exposure before the dollars.
+        let mut drained = None;
+        for i in 0..8 {
+            let mut state = calm(vec![0, 12], 75.0);
+            state.revocations = 3 * (i + 1) as u64;
+            let actions = p.decide(&observe(&catalog, &state, i as f64 * 10.0));
+            if let Some(ElasticAction::Drain { class, .. }) = actions.first() {
+                drained = Some(*class);
+                break;
+            }
+        }
+        assert_eq!(drained, Some(1), "over-hedge drains must hit spot first");
+    }
+}

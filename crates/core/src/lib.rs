@@ -39,6 +39,7 @@
 pub mod allocator;
 pub mod config;
 pub mod controller;
+pub mod forecast;
 pub mod greedy;
 pub mod load_balancer;
 pub mod milp_alloc;
@@ -49,6 +50,7 @@ pub mod resource_manager;
 pub use allocator::{AllocationOutcome, Allocator, AllocatorKind, ScalingMode};
 pub use config::LokiConfig;
 pub use controller::{ControllerStats, LokiController};
+pub use forecast::{ForecastConfig, ForecastingProvisioner};
 pub use load_balancer::MostAccurateFirst;
 pub use provisioner::{AutoscalerConfig, ReactiveAutoscaler};
 pub use resource_manager::{ResourceManager, ResourceManagerConfig};

@@ -374,6 +374,7 @@ mod tests {
                     memory_gb: 80.0,
                     price_per_hour: 3.0,
                     boot_delay_s: 20.0,
+                    spot: false,
                 },
                 WorkerClass {
                     name: "budget".to_string(),
@@ -381,6 +382,7 @@ mod tests {
                     memory_gb: 24.0,
                     price_per_hour: 1.5,
                     boot_delay_s: 40.0,
+                    spot: false,
                 },
             ],
         }
@@ -414,6 +416,9 @@ mod tests {
             window_attainment: &state.attainment,
             busy_fraction: busy,
             max_fleet: 32,
+            revocations: 0,
+            stockouts: 0,
+            spot_price_multiplier: 1.0,
         }
     }
 
@@ -644,6 +649,7 @@ mod tests {
             memory_gb: 40.0,
             price_per_hour: 2.5,
             boot_delay_s: 20.0,
+            spot: false,
         });
         let mut scaler = ReactiveAutoscaler::new(AutoscalerConfig {
             max_fleet: 10,

@@ -286,10 +286,12 @@ fn resource_manager_absorbs_a_fleet_that_grows_between_epochs() {
                 memory_gb: 40.0,
                 price_per_hour: 2.5,
                 boot_delay_s: 5.0,
+                spot: false,
             }),
             initial: vec![(0, 6)],
             max_fleet: 12,
             decide_interval_s: 6.0,
+            market: None,
         });
         let mut multi = MultiSimulation::new(config);
         multi.add_pipeline(MultiPipeline {

@@ -39,13 +39,23 @@ pub struct WorkerClass {
     /// this class (1.0 = the profiled reference GPU; 1.5 = 50% slower).
     pub latency_scale: f64,
     /// Device memory capacity in GB. Recorded in the catalog (and validated
-    /// positive) so policies can reason about it; the model zoo's variants
-    /// currently all fit a single device, so it does not yet gate placement.
+    /// positive) so policies can reason about it. It deliberately does **not**
+    /// gate placement: the model zoo's variant specs carry no memory-footprint
+    /// field at all, so every variant fits every class by construction and a
+    /// memory gate would be vacuously true. `memory_capacity_is_vacuous` in
+    /// the elastic integration tests asserts this (two catalogs differing only
+    /// in `memory_gb` run bit-identically); if variants ever grow a footprint,
+    /// that test is the tripwire for adding a real placement gate.
     pub memory_gb: f64,
     /// Rental price in dollars per hour of *warm* time.
     pub price_per_hour: f64,
     /// Seconds between a provisioning request and the worker turning warm.
     pub boot_delay_s: f64,
+    /// True for spot (preemptible) classes: discounted price, but subject to
+    /// the market's revocation process and stockouts when a
+    /// [`crate::MarketConfig`] is attached. On-demand classes (`false`) are
+    /// never revoked and never stock out.
+    pub spot: bool,
 }
 
 impl WorkerClass {
@@ -154,6 +164,10 @@ pub struct ElasticSimConfig {
     pub max_fleet: usize,
     /// Seconds between [`ElasticPolicy::decide`] invocations.
     pub decide_interval_s: f64,
+    /// The cloud market this fleet rents from: spot revocations, price
+    /// schedules, stockouts. `None` models the friendly cloud (no supply-side
+    /// events), and is bit-identical to a market whose rates are all zero.
+    pub market: Option<crate::MarketConfig>,
 }
 
 impl ElasticSimConfig {
@@ -186,6 +200,9 @@ impl ElasticSimConfig {
         }
         if !(self.decide_interval_s.is_finite() && self.decide_interval_s > 0.0) {
             return Err("decide_interval_s must be > 0".into());
+        }
+        if let Some(market) = &self.market {
+            market.validate()?;
         }
         Ok(())
     }
@@ -223,6 +240,14 @@ pub struct ElasticObservation<'a> {
     pub busy_fraction: f64,
     /// The run's live-fleet bound.
     pub max_fleet: usize,
+    /// Cumulative spot revocations since the start of the run (all classes).
+    /// Policies diff successive observations to estimate the revocation rate.
+    pub revocations: u64,
+    /// Cumulative spot provision requests denied by capacity stockouts.
+    pub stockouts: u64,
+    /// The spot-price multiplier currently in effect (1.0 without a market or
+    /// price schedule).
+    pub spot_price_multiplier: f64,
 }
 
 impl ElasticObservation<'_> {
@@ -308,6 +333,7 @@ mod tests {
             memory_gb: 40.0,
             price_per_hour: price,
             boot_delay_s: 20.0,
+            spot: false,
         }
     }
 
@@ -343,6 +369,7 @@ mod tests {
             initial: vec![(0, 4)],
             max_fleet: 10,
             decide_interval_s: 10.0,
+            market: None,
         };
         assert!(ok.validate().is_ok());
         assert_eq!(ok.initial_fleet(), 4);
@@ -362,6 +389,14 @@ mod tests {
             ..ok.clone()
         };
         assert!(over.validate().is_err());
+        let bad_market = ElasticSimConfig {
+            market: Some(crate::MarketConfig {
+                check_interval_s: 0.0,
+                ..crate::MarketConfig::default()
+            }),
+            ..ok.clone()
+        };
+        assert!(bad_market.validate().is_err());
         let bad_interval = ElasticSimConfig {
             decide_interval_s: 0.0,
             ..ok
@@ -387,6 +422,9 @@ mod tests {
             window_attainment: &[0.1],
             busy_fraction: 1.0,
             max_fleet: 32,
+            revocations: 0,
+            stockouts: 0,
+            spot_price_multiplier: 1.0,
         };
         let mut policy = StaticFleet;
         assert_eq!(policy.name(), "static-fleet");

@@ -32,6 +32,7 @@
 pub mod calendar;
 pub mod elastic;
 pub mod engine;
+pub mod market;
 pub mod metrics;
 pub mod multi;
 pub mod par;
@@ -47,6 +48,7 @@ pub use elastic::{
     StaticFleet, WorkerClass, WorkerClassCatalog,
 };
 pub use engine::{EngineError, SimResult, Simulation};
+pub use market::MarketConfig;
 pub use metrics::{ClassCost, CostSummary, IntervalMetrics, RunSummary};
 pub use multi::{
     apportion, ArbiterObservation, MultiPipeline, MultiSimConfig, MultiSimResult, MultiSimulation,

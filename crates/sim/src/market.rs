@@ -1,0 +1,254 @@
+//! The adversarial cloud market: spot revocations, price dynamics, stockouts.
+//!
+//! The elastic fleet of [`crate::elastic`] models a friendly cloud — static
+//! prices, boots as the only supply-side event. This module supplies the
+//! adversity real cost-efficient serving must survive:
+//!
+//! * **revocations** — spot-class workers ([`crate::WorkerClass::spot`]) are
+//!   reclaimed by the provider: a deterministic per-seed Bernoulli process
+//!   (its RNG stream is decorrelated from every lane stream) picks warm spot
+//!   workers at market ticks and force-drains them on a short deadline;
+//! * **price schedules** — a stepwise multiplier over the run applied to spot
+//!   billing (on-demand classes keep their list price);
+//! * **stockouts** — spot provision requests that the provider denies.
+//!
+//! All of it is configuration ([`MarketConfig`] on
+//! [`crate::ElasticSimConfig::market`]) plus pure functions of simulated time;
+//! the event machinery lives in the engine, which routes every market event
+//! through the serial cluster queue at epoch barriers so `jobs > 1` runs stay
+//! bit-identical. A config with a zero revocation rate and zero stockout
+//! probability schedules no events and draws no randomness: such a run is
+//! bit-identical to one without a market.
+
+use crate::types::{secs_to_us, SimTime};
+
+/// Salt for the market's dedicated RNG stream. Distinct from the lane-RNG
+/// salt (`0x9E37_79B9_7F4A_7C15`-multiplied lane indices), so market draws
+/// never correlate with in-lane stochastic choices.
+pub const MARKET_RNG_SALT: u64 = 0x6d61_726b_6574_5250;
+
+/// Configuration of the cloud market a run is exposed to. Attached to
+/// [`crate::ElasticSimConfig::market`]; `None` there means the friendly cloud
+/// of PR 5 (no revocations, flat prices, infinite spot capacity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketConfig {
+    /// Expected revocations per warm spot worker per hour. At every market
+    /// tick each warm spot-class worker is revoked independently with
+    /// probability `rate * check_interval / 3600` (capped at 1). `0.0`
+    /// disables the revocation process entirely (no events, no RNG draws).
+    pub revocation_rate_per_hour: f64,
+    /// Grace period between a revocation and forced retirement, in seconds.
+    /// An in-flight batch that completes within the deadline retires the
+    /// worker cleanly; at the deadline any remaining batch is aborted and its
+    /// queries are re-queued at the head of a surviving worker's queue.
+    pub revocation_deadline_s: f64,
+    /// Seconds between market ticks (revocation draws).
+    pub check_interval_s: f64,
+    /// Stepwise spot-price multiplier: `(start_s, multiplier)` entries sorted
+    /// ascending by start time. Before the first entry the multiplier is 1.0.
+    /// Applies to the billing of spot classes only; policies observe the
+    /// current multiplier through
+    /// [`crate::ElasticObservation::spot_price_multiplier`].
+    pub price_schedule: Vec<(f64, f64)>,
+    /// Probability that one requested spot worker fails to provision
+    /// (capacity stockout). Drawn per worker per provision request; denied
+    /// workers are counted and the request silently shrinks (policies retry
+    /// at their next tick). `0.0` draws no randomness.
+    pub stockout_probability: f64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        Self {
+            revocation_rate_per_hour: 0.0,
+            revocation_deadline_s: 2.0,
+            check_interval_s: 5.0,
+            price_schedule: Vec::new(),
+            stockout_probability: 0.0,
+        }
+    }
+}
+
+impl MarketConfig {
+    /// Validate the configuration; returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.revocation_rate_per_hour.is_finite() || self.revocation_rate_per_hour < 0.0 {
+            return Err(format!(
+                "revocation_rate_per_hour must be finite and >= 0, got {}",
+                self.revocation_rate_per_hour
+            ));
+        }
+        if !self.revocation_deadline_s.is_finite() || self.revocation_deadline_s < 0.0 {
+            return Err(format!(
+                "revocation_deadline_s must be finite and >= 0, got {}",
+                self.revocation_deadline_s
+            ));
+        }
+        if !self.check_interval_s.is_finite() || self.check_interval_s <= 0.0 {
+            return Err(format!(
+                "check_interval_s must be finite and > 0, got {}",
+                self.check_interval_s
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.stockout_probability) {
+            return Err(format!(
+                "stockout_probability must be in [0, 1], got {}",
+                self.stockout_probability
+            ));
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for &(start_s, multiplier) in &self.price_schedule {
+            if !start_s.is_finite() || start_s < 0.0 || start_s < prev {
+                return Err(format!(
+                    "price_schedule starts must be finite, >= 0, and ascending; got {start_s}"
+                ));
+            }
+            if !multiplier.is_finite() || multiplier <= 0.0 {
+                return Err(format!(
+                    "price_schedule multipliers must be finite and > 0, got {multiplier}"
+                ));
+            }
+            prev = start_s;
+        }
+        Ok(())
+    }
+
+    /// True when the revocation process is active (market ticks are scheduled).
+    pub fn revokes(&self) -> bool {
+        self.revocation_rate_per_hour > 0.0
+    }
+
+    /// Per-tick revocation probability of one warm spot worker.
+    pub fn revocation_probability(&self) -> f64 {
+        (self.revocation_rate_per_hour * self.check_interval_s / 3600.0).min(1.0)
+    }
+
+    /// The spot-price multiplier in effect at `t_s`.
+    pub fn multiplier_at(&self, t_s: f64) -> f64 {
+        let mut multiplier = 1.0;
+        for &(start_s, m) in &self.price_schedule {
+            if start_s <= t_s {
+                multiplier = m;
+            } else {
+                break;
+            }
+        }
+        multiplier
+    }
+
+    /// Multiplier-weighted billable microseconds over `[from_us, to_us)`:
+    /// the integral of the stepwise multiplier over the interval. With an
+    /// empty schedule this is exactly `(to - from) as f64`, so flat-price
+    /// billing stays bit-identical to the unweighted accounting.
+    pub fn weighted_us(&self, from_us: SimTime, to_us: SimTime) -> f64 {
+        if to_us <= from_us {
+            return 0.0;
+        }
+        if self.price_schedule.is_empty() {
+            return (to_us - from_us) as f64;
+        }
+        let mut total = 0.0;
+        let mut cursor = from_us;
+        let mut multiplier = self.multiplier_at(crate::types::us_to_secs(from_us));
+        for &(start_s, m) in &self.price_schedule {
+            let start_us = secs_to_us(start_s);
+            if start_us <= cursor {
+                multiplier = m;
+                continue;
+            }
+            if start_us >= to_us {
+                break;
+            }
+            total += (start_us - cursor) as f64 * multiplier;
+            cursor = start_us;
+            multiplier = m;
+        }
+        total += (to_us - cursor) as f64 * multiplier;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(entries: &[(f64, f64)]) -> MarketConfig {
+        MarketConfig {
+            price_schedule: entries.to_vec(),
+            ..MarketConfig::default()
+        }
+    }
+
+    #[test]
+    fn default_config_is_inert_and_valid() {
+        let m = MarketConfig::default();
+        m.validate().expect("default validates");
+        assert!(!m.revokes());
+        assert_eq!(m.revocation_probability(), 0.0);
+        assert_eq!(m.multiplier_at(123.0), 1.0);
+        assert_eq!(m.weighted_us(1_000_000, 4_000_000), 3_000_000.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let bad_rate = MarketConfig {
+            revocation_rate_per_hour: -1.0,
+            ..MarketConfig::default()
+        };
+        assert!(bad_rate.validate().is_err());
+        let bad_interval = MarketConfig {
+            check_interval_s: 0.0,
+            ..MarketConfig::default()
+        };
+        assert!(bad_interval.validate().is_err());
+        let bad_stockout = MarketConfig {
+            stockout_probability: 1.5,
+            ..MarketConfig::default()
+        };
+        assert!(bad_stockout.validate().is_err());
+        assert!(schedule(&[(10.0, 1.2), (5.0, 0.9)]).validate().is_err());
+        assert!(schedule(&[(0.0, 0.0)]).validate().is_err());
+        assert!(schedule(&[(0.0, 1.2), (60.0, 0.8)]).validate().is_ok());
+    }
+
+    #[test]
+    fn revocation_probability_scales_with_interval_and_caps() {
+        let m = MarketConfig {
+            revocation_rate_per_hour: 6.0,
+            check_interval_s: 60.0,
+            ..MarketConfig::default()
+        };
+        assert!(m.revokes());
+        assert!((m.revocation_probability() - 0.1).abs() < 1e-12);
+        let extreme = MarketConfig {
+            revocation_rate_per_hour: 1e6,
+            ..MarketConfig::default()
+        };
+        assert_eq!(extreme.revocation_probability(), 1.0);
+    }
+
+    #[test]
+    fn stepwise_multiplier_lookup() {
+        let m = schedule(&[(10.0, 1.5), (20.0, 0.5)]);
+        assert_eq!(m.multiplier_at(0.0), 1.0);
+        assert_eq!(m.multiplier_at(10.0), 1.5);
+        assert_eq!(m.multiplier_at(19.9), 1.5);
+        assert_eq!(m.multiplier_at(25.0), 0.5);
+    }
+
+    #[test]
+    fn weighted_integral_walks_segments() {
+        let m = schedule(&[(10.0, 2.0), (20.0, 0.5)]);
+        // [5 s, 25 s): 5 s at 1.0, 10 s at 2.0, 5 s at 0.5 = 27.5 weighted
+        // seconds.
+        let weighted = m.weighted_us(secs_to_us(5.0), secs_to_us(25.0));
+        assert!((weighted - 27.5e6).abs() < 1e-3, "{weighted}");
+        // Entirely inside one segment.
+        let inside = m.weighted_us(secs_to_us(12.0), secs_to_us(14.0));
+        assert!((inside - 4.0e6).abs() < 1e-3, "{inside}");
+        // Empty and inverted intervals bill nothing (billed_from = MAX after
+        // a revocation relies on this).
+        assert_eq!(m.weighted_us(100, 100), 0.0);
+        assert_eq!(m.weighted_us(SimTime::MAX, 100), 0.0);
+    }
+}

@@ -169,6 +169,13 @@ pub struct ClassCost {
     pub provisioned: u64,
     /// Workers drained and retired over the run.
     pub retired: u64,
+    /// True for spot (preemptible) classes.
+    pub spot: bool,
+    /// Workers of this class revoked by the market over the run. Revoked
+    /// workers are also counted in `retired` once their forced drain lands.
+    pub revocations: u64,
+    /// Provision requests for this class denied by capacity stockouts.
+    pub stockouts: u64,
 }
 
 /// Whole-run cost summary of an elastic fleet. Cluster-level: one per engine
@@ -188,6 +195,14 @@ pub struct CostSummary {
     pub cost_per_1k_queries: f64,
     /// Peak concurrent warm workers across the whole fleet.
     pub peak_fleet: usize,
+    /// Total spot revocations delivered by the market over the run.
+    pub revocations: u64,
+    /// Total spot provision requests denied by capacity stockouts.
+    pub stockouts: u64,
+    /// Dollars billed to spot classes (price schedule applied).
+    pub spot_dollars: f64,
+    /// Dollars billed to on-demand classes.
+    pub ondemand_dollars: f64,
 }
 
 impl CostSummary {

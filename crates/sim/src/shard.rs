@@ -323,8 +323,11 @@ pub(crate) struct Shard<'a> {
     pub(crate) unowned_events: u64,
 
     /// Mid-epoch retirements to merge into the cluster's elastic accounting at
-    /// the next barrier: `(class, billed gpu-µs)` per retired worker.
-    pub(crate) retirements: Vec<(u32, u64)>,
+    /// the next barrier: `(class, billed_from_us, retired_at_us)` per retired
+    /// worker. A `billed_from_us` of `SimTime::MAX` marks a worker the market
+    /// revoked (billing already stopped; lifecycle counts move out of the
+    /// revoked pool, not the voluntary draining pool).
+    pub(crate) retirements: Vec<(u32, SimTime, SimTime)>,
 
     // Scratch buffers, reused across events/ticks.
     views_scratch: Vec<WorkerView>,
@@ -617,7 +620,11 @@ impl<'a> Shard<'a> {
             .get_mut(worker_id.index())
             .finish_batch_into(&mut batch);
         let Some(variant_id) = variant_id else {
-            // Shouldn't happen, but don't lose the queries if it does.
+            // A completion with no in-flight variant: either a stale event
+            // for a batch the market's revocation deadline aborted (the
+            // worker is Retired; the batch is empty and nothing happens), or
+            // an unexpected scheduler state — in which case don't lose the
+            // queries.
             for q in batch.drain(..) {
                 self.drop_query(&q)?;
             }
@@ -1256,8 +1263,7 @@ impl<'a> Shard<'a> {
             w.unassign();
             (class, billed_from)
         };
-        self.retirements
-            .push((class, self.now.saturating_sub(billed_from)));
+        self.retirements.push((class, billed_from, self.now));
         let lane = ctx.owner[wi].load(Ordering::Relaxed);
         debug_assert_eq!(lane, self.li, "a shard retires only its own workers");
         if lane == self.li {

@@ -148,6 +148,14 @@ impl Worker {
         self.queue.push_back(q);
     }
 
+    /// Push a query at the *head* of the waiting queue. Used when re-homing
+    /// queries lost to a spot revocation: they were already at the front of
+    /// the revoked worker's service order, so they keep their place on the
+    /// survivor rather than re-queueing behind newer arrivals.
+    pub fn enqueue_front(&mut self, q: Query) {
+        self.queue.push_front(q);
+    }
+
     /// Deliver a query and immediately try to start a batch — the common case
     /// in an underloaded cluster is an idle worker with an empty queue, where
     /// the query can go straight into execution as a batch of one without the
@@ -266,6 +274,23 @@ impl Worker {
         out.clear();
         std::mem::swap(&mut self.in_flight, out);
         self.in_flight_variant.take()
+    }
+
+    /// Abort the in-flight batch at `now`, moving its queries into `out`
+    /// (cleared first). The inverse of [`Worker::finish_batch_into`] for a
+    /// batch that will never complete: busy-time credited at batch start is
+    /// refunded for the unexecuted remainder, the processed count is rolled
+    /// back, and the worker is left idle. Used when a revocation deadline
+    /// expires with the batch still running.
+    pub fn abort_batch_into(&mut self, out: &mut Vec<Query>, now: SimTime) {
+        out.clear();
+        std::mem::swap(&mut self.in_flight, out);
+        self.busy_time_us = self
+            .busy_time_us
+            .saturating_sub(self.busy_until.saturating_sub(now));
+        self.busy_until = now;
+        self.processed = self.processed.saturating_sub(out.len() as u64);
+        self.in_flight_variant = None;
     }
 
     /// Profiled execution time (ms) of one full batch at the configured batch size.
@@ -413,6 +438,46 @@ mod tests {
         assert!((scaled - base * 1.5).abs() < 1e-9, "{scaled} vs {base}");
         // Throughput drops by the same factor.
         assert!((slow.capacity_qps() - reference.capacity_qps() / 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_batch_refunds_busy_time_and_processed_count() {
+        let g = zoo::tiny_pipeline(100.0);
+        let mut w = Worker::new(WorkerId(8));
+        w.assign(VariantId::new(0, 0), 4, &g);
+        for i in 0..3 {
+            w.enqueue(query(i, 0));
+        }
+        let (finish, size) = w.try_start_batch(0).unwrap();
+        assert_eq!(size, 3);
+        assert_eq!(w.busy_time_us, finish);
+        // Revocation deadline hits 1 ms into the batch: the batch is lost,
+        // only the elapsed 1 ms stays credited as busy time.
+        let now = crate::types::ms_to_us(1.0);
+        let mut lost = Vec::new();
+        w.abort_batch_into(&mut lost, now);
+        assert_eq!(lost.len(), 3);
+        assert!(!w.has_in_flight());
+        assert_eq!(w.in_flight_variant, None);
+        assert_eq!(w.busy_until, now);
+        assert_eq!(w.busy_time_us, now);
+        assert_eq!(w.processed, 0);
+    }
+
+    #[test]
+    fn enqueue_front_preserves_service_order() {
+        let g = zoo::tiny_pipeline(100.0);
+        let mut w = Worker::new(WorkerId(9));
+        w.assign(VariantId::new(0, 0), 1, &g);
+        w.enqueue(query(10, 0));
+        w.enqueue_front(query(5, 0));
+        let (_, size) = w.try_start_batch(0).unwrap();
+        assert_eq!(size, 1);
+        let mut done = Vec::new();
+        w.finish_batch_into(&mut done);
+        // The front-enqueued query is served before the earlier arrival.
+        assert_eq!(done[0].root, 5);
+        assert_eq!(w.queue_len(), 1);
     }
 
     #[test]

@@ -113,6 +113,7 @@ fn catalog(boot_delay_s: f64) -> WorkerClassCatalog {
         memory_gb: 40.0,
         price_per_hour: 3.6, // 0.001 $/s: dollars are easy to eyeball
         boot_delay_s,
+        spot: false,
     })
 }
 
@@ -122,6 +123,7 @@ fn elastic_config(initial: usize, max_fleet: usize, boot_delay_s: f64) -> Elasti
         initial: vec![(0, initial)],
         max_fleet,
         decide_interval_s: 10.0,
+        market: None,
     }
 }
 

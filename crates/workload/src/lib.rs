@@ -28,6 +28,6 @@ pub mod generators;
 pub mod trace;
 
 pub use arrivals::{generate_arrivals, ArrivalProcess};
-pub use estimator::{DemandHistory, EwmaEstimator};
+pub use estimator::{DemandHistory, EwmaEstimator, SeasonalEstimator};
 pub use generators::TraceSpec;
 pub use trace::Trace;
