@@ -11,7 +11,7 @@
 use loki_core::load_balancer::MostAccurateFirst;
 use loki_core::perf::{FanoutOverrides, PerfModel};
 use loki_pipeline::{PipelineGraph, VariantId};
-use loki_sim::{AllocationPlan, Controller, DropPolicy, InstanceSpec, ObservedState, RoutingPlan};
+use loki_sim::{AllocationPlan, CompiledPlan, Controller, DropPolicy, InstanceSpec, ObservedState};
 use std::collections::HashMap;
 
 /// Configuration of the InferLine-style baseline.
@@ -52,6 +52,9 @@ impl Default for InferLineConfig {
 pub struct InferLineController {
     graph: PipelineGraph,
     config: InferLineConfig,
+    /// Shared plan-emission seam: the same `MostAccurateFirst` emitter Loki uses,
+    /// so this baseline's routing compiles through the identical dense-plan API.
+    lb: MostAccurateFirst,
     fanout: FanoutOverrides,
     last_planned_demand: f64,
     planned_once: bool,
@@ -64,6 +67,7 @@ impl InferLineController {
         Self {
             graph,
             config,
+            lb: MostAccurateFirst::default(),
             fanout: FanoutOverrides::new(),
             last_planned_demand: 0.0,
             planned_once: false,
@@ -191,14 +195,12 @@ impl Controller for InferLineController {
         Some(self.allocate_for_demand(demand, observed.cluster_size))
     }
 
-    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<CompiledPlan> {
         let demand = self.demand_estimate(observed);
-        Some(MostAccurateFirst::build_routing(
-            &self.graph,
-            observed.workers,
-            demand,
-            &self.fanout,
-        ))
+        Some(
+            self.lb
+                .emit(&self.graph, observed.workers, demand, &self.fanout),
+        )
     }
 }
 

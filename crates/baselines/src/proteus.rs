@@ -16,7 +16,7 @@
 use loki_core::load_balancer::MostAccurateFirst;
 use loki_core::perf::PerfModel;
 use loki_pipeline::{BatchSize, PipelineGraph, TaskId, VariantId};
-use loki_sim::{AllocationPlan, Controller, DropPolicy, InstanceSpec, ObservedState, RoutingPlan};
+use loki_sim::{AllocationPlan, CompiledPlan, Controller, DropPolicy, InstanceSpec, ObservedState};
 use std::collections::HashMap;
 
 /// Configuration of the Proteus-style baseline.
@@ -53,13 +53,20 @@ impl Default for ProteusConfig {
 pub struct ProteusController {
     graph: PipelineGraph,
     config: ProteusConfig,
+    /// Shared plan-emission seam: the same `MostAccurateFirst` emitter Loki uses,
+    /// so this baseline's routing compiles through the identical dense-plan API.
+    lb: MostAccurateFirst,
 }
 
 impl ProteusController {
     /// Create a controller for a pipeline.
     pub fn new(graph: PipelineGraph, config: ProteusConfig) -> Self {
         graph.validate().expect("pipeline graph must be valid");
-        Self { graph, config }
+        Self {
+            graph,
+            config,
+            lb: MostAccurateFirst::default(),
+        }
     }
 
     /// Create a controller with the default configuration.
@@ -268,14 +275,14 @@ impl Controller for ProteusController {
         Some(self.allocate_for_observed(&per_task, observed.cluster_size))
     }
 
-    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<CompiledPlan> {
         let demand = observed
             .demand
             .provisioning_estimate()
             .max(observed.initial_demand_hint.unwrap_or(0.0));
         // Proteus routes per task without pipeline knowledge; MostAccurateFirst over
         // the observed fan-out degenerates to exactly that when fan-out data is empty.
-        Some(MostAccurateFirst::build_routing(
+        Some(self.lb.emit(
             &self.graph,
             observed.workers,
             demand,

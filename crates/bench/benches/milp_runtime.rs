@@ -31,7 +31,7 @@ fn bench_allocators(c: &mut Criterion) {
             fanout: &fanout,
             drop_policy: DropPolicy::OpportunisticRerouting,
             slo_divisor: 2.0,
-            comm_ms: 2.0,
+            budgets: loki_sim::HopBudgets::uniform(2.0, graph.num_tasks()),
             upgrade_with_leftover: true,
         };
         let greedy = GreedyAllocator::new();
@@ -50,7 +50,7 @@ fn bench_allocators(c: &mut Criterion) {
         fanout: &fanout,
         drop_policy: DropPolicy::OpportunisticRerouting,
         slo_divisor: 2.0,
-        comm_ms: 2.0,
+        budgets: loki_sim::HopBudgets::uniform(2.0, tiny.num_tasks()),
         upgrade_with_leftover: true,
     };
     let milp = MilpAllocator::new(Duration::from_millis(800), 2_000);

@@ -36,9 +36,9 @@ jobs (engine lane threads for multi-pipeline scenarios; bit-identical),
 links (uniform, two-tier, edge-split), elastic (fixed, static-peak,
 static-mean, autoscale), classes (uniform, mixed), spot (true/false),
 revoke (spot revocations per worker-hour), stockout (probability),
-provisioner (reactive, forecast).
+provisioner (reactive, forecast), route (accuracy, link-aware).
 Sweep axes (comma-separated lists): controllers, slo, peak, cluster, links,
-elastic, spot, revoke, stockout, provisioner, jobs, seed.
+route, elastic, spot, revoke, stockout, provisioner, jobs, seed.
 Multi-seed sweeps report cross-seed mean/stddev per axis point; --csv emits one
 flat CSV (stat=point|mean|stddev) ready for plotting.
 See EXPERIMENTS.md for the invocation reproducing each paper figure.";
@@ -145,6 +145,10 @@ fn cmd_list(args: &[String]) {
                     Json::Arr(sweep.links.iter().map(|l| l.name().into()).collect()),
                 )
                 .push(
+                    "route",
+                    Json::Arr(sweep.route.iter().map(|r| r.label().into()).collect()),
+                )
+                .push(
                     "elastic",
                     Json::Arr(sweep.elastic.iter().map(|m| m.name().into()).collect()),
                 )
@@ -221,8 +225,8 @@ fn cmd_sweep(args: &[String]) {
         };
         match key {
             // Axis keys accept comma-separated lists and are applied to the grid.
-            "controllers" | "controller" | "slo" | "peak" | "cluster" | "links" | "elastic"
-            | "spot" | "revoke" | "stockout" | "provisioner" | "jobs" | "seed" => {
+            "controllers" | "controller" | "slo" | "peak" | "cluster" | "links" | "route"
+            | "elastic" | "spot" | "revoke" | "stockout" | "provisioner" | "jobs" | "seed" => {
                 axes.push((key.to_string(), value.to_string()));
             }
             // Everything else is a base-config override.

@@ -112,7 +112,8 @@ pub fn config_json(cfg: &ExperimentConfig) -> Json {
         .push("spot", cfg.spot.into())
         .push("revoke_per_hour", cfg.revoke_per_hour.into())
         .push("stockout", cfg.stockout.into())
-        .push("provisioner", cfg.provisioner.name().into());
+        .push("provisioner", cfg.provisioner.name().into())
+        .push("route", cfg.route.label().into());
     obj
 }
 
@@ -749,6 +750,17 @@ pub fn throughput_entry_json(name: &str, runs: usize, point: &PointResult) -> Js
         .controller_stats
         .as_ref()
         .map(|st| st.allocation_time_s + st.routing_time_s);
+    let plan_build_s = point
+        .controller_stats
+        .as_ref()
+        .map(|st| st.plan_build_time_s);
+    let cache = point.controller_stats.as_ref().map(|st| {
+        (
+            st.routing_cache_consults,
+            st.routing_cache_hits,
+            st.routing_warnings_total,
+        )
+    });
     let mut entry = Json::object();
     entry
         .push("name", name.into())
@@ -768,6 +780,28 @@ pub fn throughput_entry_json(name: &str, runs: usize, point: &PointResult) -> Js
         .push(
             "controller_s",
             controller_s.map(Json::Num).unwrap_or(Json::Null),
+        )
+        .push(
+            "plan_build_s",
+            plan_build_s.map(Json::Num).unwrap_or(Json::Null),
+        )
+        .push(
+            "routing_cache_consults",
+            cache
+                .map(|(c, _, _)| Json::UInt(c as u64))
+                .unwrap_or(Json::Null),
+        )
+        .push(
+            "routing_cache_hits",
+            cache
+                .map(|(_, h, _)| Json::UInt(h as u64))
+                .unwrap_or(Json::Null),
+        )
+        .push(
+            "routing_warnings",
+            cache
+                .map(|(_, _, w)| Json::UInt(w as u64))
+                .unwrap_or(Json::Null),
         )
         .push("events_processed", events.into())
         .push("events_per_sec", (events as f64 / point.wall_s).into())
@@ -938,7 +972,7 @@ fn allocator_ablation(sc: &Scenario, cfg: &ExperimentConfig) -> ScenarioReport {
             fanout: &fanout,
             drop_policy: DropPolicy::OpportunisticRerouting,
             slo_divisor: 2.0,
-            comm_ms: 2.0,
+            budgets: loki_sim::HopBudgets::uniform(2.0, graph.num_tasks()),
             upgrade_with_leftover: true,
         };
         let t0 = Instant::now();
@@ -1058,7 +1092,7 @@ fn milp_probe(sc: &Scenario, cfg: &ExperimentConfig) -> ScenarioReport {
             fanout: &fanout,
             drop_policy: DropPolicy::OpportunisticRerouting,
             slo_divisor: 2.0,
-            comm_ms: 2.0,
+            budgets: loki_sim::HopBudgets::uniform(2.0, graph.num_tasks()),
             upgrade_with_leftover: true,
         };
         let alloc = MilpAllocator::new(Duration::from_secs(10), 4000);

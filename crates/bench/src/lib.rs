@@ -34,7 +34,7 @@ use loki_core::{
 use loki_pipeline::PipelineGraph;
 use loki_sim::{
     Controller, ElasticPolicy, ElasticSimConfig, IntervalMetrics, LinkDelayModel, MarketConfig,
-    SimConfig, SimResult, Simulation, WorkerClass, WorkerClassCatalog,
+    RouteMode, SimConfig, SimResult, Simulation, WorkerClass, WorkerClassCatalog,
 };
 use loki_workload::{generate_arrivals, generators, ArrivalProcess, Trace};
 use std::fmt::Write as _;
@@ -291,6 +291,10 @@ pub struct ExperimentConfig {
     /// Which policy drives [`ElasticMode::Autoscale`] fleets (`provisioner=`
     /// key; the reactive autoscaler by default).
     pub provisioner: ProvisionerKind,
+    /// Load-Balancer candidate-ordering mode (`route=` key; accuracy-first by
+    /// default). `link-aware` breaks equal-accuracy ties toward replicas on
+    /// cheap links of the `links` profile and budgets the SLO per hop.
+    pub route: RouteMode,
 }
 
 impl Default for ExperimentConfig {
@@ -313,6 +317,7 @@ impl Default for ExperimentConfig {
             revoke_per_hour: 0.0,
             stockout: 0.0,
             provisioner: ProvisionerKind::Reactive,
+            route: RouteMode::Accuracy,
         }
     }
 }
@@ -386,9 +391,14 @@ impl ExperimentConfig {
                     )
                 })?
             }
+            "route" => {
+                self.route = RouteMode::parse(value).ok_or_else(|| {
+                    format!("invalid value for route: {value:?} (known: accuracy, link-aware)")
+                })?
+            }
             _ => {
                 return Err(format!(
-                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, jobs, links, elastic, classes, spot, revoke, stockout, provisioner)"
+                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, jobs, links, elastic, classes, spot, revoke, stockout, provisioner, route)"
                 ))
             }
         }

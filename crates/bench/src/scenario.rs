@@ -13,9 +13,9 @@ use loki_baselines::{InferLineController, ProteusController};
 use loki_core::{ControllerStats, LokiConfig, LokiController, ResourceManager};
 use loki_pipeline::{zoo, PipelineGraph};
 use loki_sim::{
-    AllocationPlan, Controller, CostSummary, DropPolicy, LinkDelayModel, MultiPipeline,
-    MultiSimConfig, MultiSimulation, ObservedState, ResourceArbiter, RoutingPlan, RunSummary,
-    SimResult, Simulation, StaticPartition,
+    AllocationPlan, CompiledPlan, Controller, CostSummary, DropPolicy, LinkDelayModel,
+    MultiPipeline, MultiSimConfig, MultiSimulation, ObservedState, ResourceArbiter, RouteMode,
+    RunSummary, SimResult, Simulation, StaticPartition,
 };
 use loki_workload::{generate_arrivals, ArrivalProcess, Trace, TraceSpec};
 use std::time::Instant;
@@ -132,6 +132,7 @@ impl ControllerSpec {
         graph: &PipelineGraph,
         drop_policy: Option<DropPolicy>,
         links: &LinkDelayModel,
+        route: RouteMode,
     ) -> AnyController {
         match self {
             ControllerSpec::LokiGreedy => {
@@ -140,6 +141,7 @@ impl ControllerSpec {
                     config.drop_policy = policy;
                 }
                 config.link_delays = links.clone();
+                config.route = route;
                 AnyController::Loki(LokiController::new(graph.clone(), config))
             }
             ControllerSpec::LokiMilp => {
@@ -148,6 +150,7 @@ impl ControllerSpec {
                     config.drop_policy = policy;
                 }
                 config.link_delays = links.clone();
+                config.route = route;
                 AnyController::Loki(LokiController::new(graph.clone(), config))
             }
             ControllerSpec::InferLine => {
@@ -225,7 +228,7 @@ impl Controller for AnyController {
         }
     }
 
-    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<CompiledPlan> {
         match self {
             AnyController::Loki(c) => c.routing(observed),
             AnyController::InferLine(c) => c.routing(observed),
@@ -450,7 +453,9 @@ impl RunPoint {
         let mut result = None;
         let mut controller_stats = None;
         for _ in 0..runs {
-            let controller = self.controller.build(&graph, self.drop_policy, &links);
+            let controller =
+                self.controller
+                    .build(&graph, self.drop_policy, &links, self.cfg.route);
             let mut sim = Simulation::new(&graph, config.clone(), controller);
             let start = Instant::now();
             let run = match self.cfg.elastic {
@@ -549,7 +554,12 @@ impl RunPoint {
                 sim.add_pipeline(MultiPipeline {
                     name: lane.name.clone(),
                     graph: &graphs[i],
-                    controller: self.controller.build(&graphs[i], self.drop_policy, &links),
+                    controller: self.controller.build(
+                        &graphs[i],
+                        self.drop_policy,
+                        &links,
+                        cfg.route,
+                    ),
                     arrivals_s: arrivals[i].clone(),
                     initial_demand_hint: Some(traces[i].qps_at(0).max(1.0)),
                 });
@@ -591,7 +601,11 @@ impl RunPoint {
             a.last_allocation_time_s = a.last_allocation_time_s.max(b.last_allocation_time_s);
             a.routings += b.routings;
             a.routing_time_s += b.routing_time_s;
+            a.plan_build_time_s += b.plan_build_time_s;
+            a.routing_cache_consults += b.routing_cache_consults;
             a.routing_cache_hits += b.routing_cache_hits;
+            a.routing_warnings.extend(b.routing_warnings);
+            a.routing_warnings_total += b.routing_warnings_total;
             a
         });
         PointResult {
@@ -838,6 +852,18 @@ fn traffic_hetnet_cfg() -> ExperimentConfig {
     }
 }
 
+fn traffic_hetnet_linkaware_cfg() -> ExperimentConfig {
+    // The two-tier hetnet workload with link-aware routing: same interconnect,
+    // same trace, but the Load Balancer breaks equal-accuracy ties toward
+    // intra-class (0.2 ms) hops instead of spreading across the 5 ms tier
+    // boundary, and the allocator budgets the SLO with per-hop link delays
+    // instead of taxing every hop at the worst-case 5 ms.
+    ExperimentConfig {
+        route: RouteMode::LinkAware,
+        ..traffic_hetnet_cfg()
+    }
+}
+
 fn elastic_diurnal_cfg() -> ExperimentConfig {
     // The fig5 diurnal day compressed to 10 minutes: a deep off-peak valley
     // (~80 QPS) against a 1500 QPS evening peak. A peak-sized static fleet
@@ -1038,6 +1064,14 @@ pub const REGISTRY: &[Scenario] = &[
         defaults: traffic_hetnet_cfg,
     },
     Scenario {
+        name: "traffic_hetnet_linkaware",
+        title: "Heterogeneous per-link delays with link-aware routing and per-hop budgets",
+        kind: ScenarioKind::Throughput,
+        pipeline: PipelineSpec::Traffic,
+        trace: TraceSpec::Constant,
+        defaults: traffic_hetnet_linkaware_cfg,
+    },
+    Scenario {
         name: "elastic_diurnal",
         title: "Elastic fleet: static-peak vs static-mean vs autoscaled provisioning, with cost",
         kind: ScenarioKind::Elastic,
@@ -1137,17 +1171,22 @@ mod tests {
         let graph = zoo::tiny_pipeline(100.0);
         for spec in ControllerSpec::ALL {
             assert_eq!(ControllerSpec::from_name(spec.name()), Some(spec));
-            let ctl = spec.build(&graph, Some(DropPolicy::PerTask), &LinkDelayModel::Uniform);
+            let ctl = spec.build(
+                &graph,
+                Some(DropPolicy::PerTask),
+                &LinkDelayModel::Uniform,
+                RouteMode::Accuracy,
+            );
             assert!(!ctl.name().is_empty());
         }
         assert_eq!(ControllerSpec::from_name("gurobi"), None);
         // Loki controllers expose stats; baselines do not.
         assert!(ControllerSpec::LokiGreedy
-            .build(&graph, None, &LinkDelayModel::Uniform)
+            .build(&graph, None, &LinkDelayModel::Uniform, RouteMode::Accuracy)
             .controller_stats()
             .is_some());
         assert!(ControllerSpec::Proteus
-            .build(&graph, None, &LinkDelayModel::Uniform)
+            .build(&graph, None, &LinkDelayModel::Uniform, RouteMode::Accuracy)
             .controller_stats()
             .is_none());
     }
@@ -1157,19 +1196,21 @@ mod tests {
         let graph = zoo::tiny_pipeline(100.0);
         let links = LinkProfile::TwoTier.to_model();
         // Loki mirrors the model; the baselines budget with its worst hop.
-        let AnyController::Loki(loki) = ControllerSpec::LokiGreedy.build(&graph, None, &links)
+        let AnyController::Loki(loki) =
+            ControllerSpec::LokiGreedy.build(&graph, None, &links, RouteMode::Accuracy)
         else {
             panic!("loki spec must build a loki controller");
         };
         assert_eq!(loki.config().link_delays, links);
         assert_eq!(loki.config().effective_comm_ms(), 5.0);
         let AnyController::InferLine(inferline) =
-            ControllerSpec::InferLine.build(&graph, None, &links)
+            ControllerSpec::InferLine.build(&graph, None, &links, RouteMode::Accuracy)
         else {
             panic!("inferline spec must build an inferline controller");
         };
         assert_eq!(inferline.config().comm_latency_ms, 5.0);
-        let AnyController::Proteus(proteus) = ControllerSpec::Proteus.build(&graph, None, &links)
+        let AnyController::Proteus(proteus) =
+            ControllerSpec::Proteus.build(&graph, None, &links, RouteMode::Accuracy)
         else {
             panic!("proteus spec must build a proteus controller");
         };

@@ -8,6 +8,7 @@
 
 use crate::scenario::{ControllerSpec, RunPoint, Scenario, ScenarioKind};
 use crate::{ElasticMode, ExperimentConfig, LinkProfile, ProvisionerKind};
+use loki_sim::RouteMode;
 use std::fmt::Write as _;
 
 /// A grid of experiment points over a base configuration.
@@ -20,6 +21,7 @@ pub struct Sweep {
     pub peak_qps: Vec<f64>,
     pub cluster_size: Vec<usize>,
     pub links: Vec<LinkProfile>,
+    pub route: Vec<RouteMode>,
     pub elastic: Vec<ElasticMode>,
     pub spot: Vec<bool>,
     pub revoke: Vec<f64>,
@@ -54,6 +56,7 @@ impl Sweep {
             peak_qps: vec![cfg.peak_qps],
             cluster_size: vec![cfg.cluster_size],
             links: vec![cfg.links],
+            route: vec![cfg.route],
             elastic: vec![cfg.elastic],
             spot: vec![cfg.spot],
             revoke: vec![cfg.revoke_per_hour],
@@ -115,6 +118,20 @@ impl Sweep {
                     }
                 }
             }
+            "route" => {
+                let modes: Option<Vec<RouteMode>> = values
+                    .split(',')
+                    .map(|v| RouteMode::parse(v.trim()))
+                    .collect();
+                match modes {
+                    Some(list) if !list.is_empty() => self.route = list,
+                    _ => {
+                        return Err(format!(
+                            "invalid route list {values:?} (known: accuracy, link-aware)"
+                        ))
+                    }
+                }
+            }
             "elastic" => {
                 let modes: Option<Vec<ElasticMode>> = values
                     .split(',')
@@ -171,7 +188,7 @@ impl Sweep {
             }
             _ => {
                 return Err(format!(
-                "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, links, elastic, spot, revoke, stockout, provisioner, jobs, seed)"
+                "unknown sweep axis {axis:?} (axes: controllers, slo, peak, cluster, links, route, elastic, spot, revoke, stockout, provisioner, jobs, seed)"
             ))
             }
         }
@@ -185,6 +202,7 @@ impl Sweep {
             * self.peak_qps.len()
             * self.cluster_size.len()
             * self.links.len()
+            * self.route.len()
             * self.elastic.len()
             * self.spot.len()
             * self.revoke.len()
@@ -224,68 +242,79 @@ impl Sweep {
                 for &peak in &self.peak_qps {
                     for &cluster in &self.cluster_size {
                         for &links in &self.links {
-                            for &elastic in &self.elastic {
-                                for market in self.market_grid() {
-                                    for &jobs in &self.jobs {
-                                        for &seed in &self.seed {
-                                            let (spot, revoke, stockout, provisioner) = market;
-                                            let mut cfg = self.base.cfg.clone();
-                                            cfg.slo_ms = slo;
-                                            cfg.peak_qps = peak;
-                                            cfg.cluster_size = cluster;
-                                            cfg.links = links;
-                                            cfg.elastic = elastic;
-                                            cfg.spot = spot;
-                                            cfg.revoke_per_hour = revoke;
-                                            cfg.stockout = stockout;
-                                            cfg.provisioner = provisioner;
-                                            cfg.jobs = jobs;
-                                            cfg.seed = seed;
-                                            let mut label = controller.name().to_string();
-                                            if self.slo_ms.len() > 1 {
-                                                let _ = write!(label, " slo={slo}");
-                                            }
-                                            if self.peak_qps.len() > 1 {
-                                                let _ = write!(label, " peak={peak}");
-                                            }
-                                            if self.cluster_size.len() > 1 {
-                                                let _ = write!(label, " cluster={cluster}");
-                                            }
-                                            if self.links.len() > 1 {
-                                                let _ = write!(label, " links={}", links.name());
-                                            }
-                                            if self.elastic.len() > 1 {
-                                                let _ =
-                                                    write!(label, " elastic={}", elastic.name());
-                                            }
-                                            if self.spot.len() > 1 {
-                                                let _ = write!(label, " spot={spot}");
-                                            }
-                                            if self.revoke.len() > 1 {
-                                                let _ = write!(label, " revoke={revoke}");
-                                            }
-                                            if self.stockout.len() > 1 {
-                                                let _ = write!(label, " stockout={stockout}");
-                                            }
-                                            if self.provisioner.len() > 1 {
-                                                let _ = write!(
+                            for &route in &self.route {
+                                for &elastic in &self.elastic {
+                                    for market in self.market_grid() {
+                                        for &jobs in &self.jobs {
+                                            for &seed in &self.seed {
+                                                let (spot, revoke, stockout, provisioner) = market;
+                                                let mut cfg = self.base.cfg.clone();
+                                                cfg.slo_ms = slo;
+                                                cfg.peak_qps = peak;
+                                                cfg.cluster_size = cluster;
+                                                cfg.links = links;
+                                                cfg.route = route;
+                                                cfg.elastic = elastic;
+                                                cfg.spot = spot;
+                                                cfg.revoke_per_hour = revoke;
+                                                cfg.stockout = stockout;
+                                                cfg.provisioner = provisioner;
+                                                cfg.jobs = jobs;
+                                                cfg.seed = seed;
+                                                let mut label = controller.name().to_string();
+                                                if self.slo_ms.len() > 1 {
+                                                    let _ = write!(label, " slo={slo}");
+                                                }
+                                                if self.peak_qps.len() > 1 {
+                                                    let _ = write!(label, " peak={peak}");
+                                                }
+                                                if self.cluster_size.len() > 1 {
+                                                    let _ = write!(label, " cluster={cluster}");
+                                                }
+                                                if self.links.len() > 1 {
+                                                    let _ =
+                                                        write!(label, " links={}", links.name());
+                                                }
+                                                if self.route.len() > 1 {
+                                                    let _ =
+                                                        write!(label, " route={}", route.label());
+                                                }
+                                                if self.elastic.len() > 1 {
+                                                    let _ = write!(
+                                                        label,
+                                                        " elastic={}",
+                                                        elastic.name()
+                                                    );
+                                                }
+                                                if self.spot.len() > 1 {
+                                                    let _ = write!(label, " spot={spot}");
+                                                }
+                                                if self.revoke.len() > 1 {
+                                                    let _ = write!(label, " revoke={revoke}");
+                                                }
+                                                if self.stockout.len() > 1 {
+                                                    let _ = write!(label, " stockout={stockout}");
+                                                }
+                                                if self.provisioner.len() > 1 {
+                                                    let _ = write!(
+                                                        label,
+                                                        " provisioner={}",
+                                                        provisioner.name()
+                                                    );
+                                                }
+                                                if self.jobs.len() > 1 {
+                                                    let _ = write!(label, " jobs={jobs}");
+                                                }
+                                                if self.seed.len() > 1 {
+                                                    let _ = write!(label, " seed={seed}");
+                                                }
+                                                out.push(RunPoint {
                                                     label,
-                                                    " provisioner={}",
-                                                    provisioner.name()
-                                                );
+                                                    controller,
+                                                    cfg,
+                                                    ..self.base.clone()
+                                                });
                                             }
-                                            if self.jobs.len() > 1 {
-                                                let _ = write!(label, " jobs={jobs}");
-                                            }
-                                            if self.seed.len() > 1 {
-                                                let _ = write!(label, " seed={seed}");
-                                            }
-                                            out.push(RunPoint {
-                                                label,
-                                                controller,
-                                                cfg,
-                                                ..self.base.clone()
-                                            });
                                         }
                                     }
                                 }
@@ -358,6 +387,20 @@ mod tests {
             sweep.controllers,
             vec![ControllerSpec::LokiMilp, ControllerSpec::Proteus]
         );
+    }
+
+    #[test]
+    fn route_axis_enumerates_and_labels_modes() {
+        let sc = scenario::find("traffic_hetnet").unwrap();
+        let mut sweep = Sweep::for_scenario(sc, sc.config());
+        assert_eq!(sweep.route, vec![RouteMode::Accuracy]);
+        sweep.set_axis("route", "accuracy,link-aware").unwrap();
+        assert_eq!(sweep.len(), 2);
+        let points = sweep.points();
+        assert_eq!(points[0].cfg.route, RouteMode::Accuracy);
+        assert_eq!(points[1].cfg.route, RouteMode::LinkAware);
+        assert!(points[1].label.contains("route=link-aware"));
+        assert!(sweep.set_axis("route", "telepathy").is_err());
     }
 
     #[test]

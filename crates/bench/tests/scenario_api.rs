@@ -78,8 +78,18 @@ fn fresh_controllers_per_point_keep_milp_and_greedy_separate() {
     // Building twice from the same spec must not share state: both start with
     // zeroed stats.
     for spec in [ControllerSpec::LokiGreedy, ControllerSpec::LokiMilp] {
-        let a = spec.build(&graph, None, &loki_sim::LinkDelayModel::Uniform);
-        let b = spec.build(&graph, None, &loki_sim::LinkDelayModel::Uniform);
+        let a = spec.build(
+            &graph,
+            None,
+            &loki_sim::LinkDelayModel::Uniform,
+            loki_sim::RouteMode::Accuracy,
+        );
+        let b = spec.build(
+            &graph,
+            None,
+            &loki_sim::LinkDelayModel::Uniform,
+            loki_sim::RouteMode::Accuracy,
+        );
         assert_eq!(a.controller_stats().unwrap().allocations, 0);
         assert_eq!(b.controller_stats().unwrap().allocations, 0);
     }

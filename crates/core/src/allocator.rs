@@ -5,7 +5,7 @@ use crate::greedy::GreedyAllocator;
 use crate::milp_alloc::MilpAllocator;
 use crate::perf::FanoutOverrides;
 use loki_pipeline::PipelineGraph;
-use loki_sim::{AllocationPlan, DropPolicy};
+use loki_sim::{AllocationPlan, DropPolicy, HopBudgets};
 use serde::{Deserialize, Serialize};
 
 /// Which regime the Resource Manager ended up in for a given demand level.
@@ -38,8 +38,9 @@ pub struct AllocationContext<'a> {
     pub drop_policy: DropPolicy,
     /// SLO headroom divisor (2.0 in the paper).
     pub slo_divisor: f64,
-    /// Per-hop communication latency (ms).
-    pub comm_ms: f64,
+    /// Per-hop communication latency budgets (uniform when derived from the scalar
+    /// `comm_latency_ms`, per-edge under link-aware routing).
+    pub budgets: HopBudgets,
     /// Whether to spend leftover servers on upgrading a fraction of traffic.
     pub upgrade_with_leftover: bool,
 }

@@ -1,6 +1,6 @@
 //! Configuration of the Loki controller.
 
-use loki_sim::{DropPolicy, LinkDelayModel};
+use loki_sim::{DropPolicy, HopBudgets, LinkDelayModel, RouteMode};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -64,6 +64,12 @@ pub struct LokiConfig {
     /// the adopted fan-out observations are also unchanged. `0.0` disables the cache
     /// (only bit-identical demand estimates reuse tables).
     pub routing_cache_threshold: f64,
+    /// Candidate-ordering mode for the Load Balancer. [`RouteMode::Accuracy`] is the
+    /// historical most-accurate-first order; [`RouteMode::LinkAware`] additionally
+    /// breaks equal-accuracy ties toward replicas on cheap links of `link_delays`, and
+    /// switches the planner's SLO accounting from the worst-case-hop scalar to per-hop
+    /// budgets (see [`LokiConfig::hop_budgets`]).
+    pub route: RouteMode,
 }
 
 impl Default for LokiConfig {
@@ -82,6 +88,7 @@ impl Default for LokiConfig {
             upgrade_with_leftover: true,
             provisioning_margin: 1.25,
             routing_cache_threshold: 0.02,
+            route: RouteMode::Accuracy,
         }
     }
 }
@@ -92,6 +99,22 @@ impl LokiConfig {
     /// worst-case hop of the model otherwise.
     pub fn effective_comm_ms(&self) -> f64 {
         self.link_delays.max_hop_ms(self.comm_latency_ms)
+    }
+
+    /// The per-hop latency budgets the planner charges against the SLO. Under
+    /// [`RouteMode::Accuracy`] this collapses to the historical uniform
+    /// worst-case-hop scalar ([`LokiConfig::effective_comm_ms`]), keeping the
+    /// allocator bit-identical to previous releases; under
+    /// [`RouteMode::LinkAware`] the budgets follow [`LokiConfig::link_delays`]
+    /// per edge, so paths on cheap links stop paying for the slowest link in
+    /// the cluster.
+    pub fn hop_budgets(&self, num_tasks: usize) -> HopBudgets {
+        match self.route {
+            RouteMode::Accuracy => HopBudgets::uniform(self.effective_comm_ms(), num_tasks),
+            RouteMode::LinkAware => self
+                .link_delays
+                .hop_budgets(self.comm_latency_ms, num_tasks),
+        }
     }
 
     /// A configuration using the exact MILP allocator.

@@ -4,10 +4,10 @@
 
 use crate::allocator::{AllocationContext, AllocationOutcome, Allocator, AllocatorKind};
 use crate::config::LokiConfig;
-use crate::load_balancer::MostAccurateFirst;
+use crate::load_balancer::{MostAccurateFirst, PlannerWarning};
 use crate::perf::FanoutOverrides;
 use loki_pipeline::{BatchSize, PipelineGraph, VariantId};
-use loki_sim::{AllocationPlan, Controller, ObservedState, RoutingPlan, WorkerId, WorkerView};
+use loki_sim::{AllocationPlan, CompiledPlan, Controller, ObservedState, WorkerId, WorkerView};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -24,9 +24,21 @@ pub struct ControllerStats {
     pub routings: usize,
     /// Total wall-clock time spent computing routing tables (seconds).
     pub routing_time_s: f64,
+    /// Of `routing_time_s`, the portion spent emitting the compiled plan itself
+    /// (dense table construction), excluding cache bookkeeping.
+    pub plan_build_time_s: f64,
+    /// Routing ticks on which the cache was consulted (every routing tick with a
+    /// populated cache). Tracked separately from hits so the hit ratio stays
+    /// meaningful even when a controller is driven outside the simulator loop.
+    pub routing_cache_consults: usize,
     /// Routing ticks answered from the cache (demand within the configured deadband
     /// and worker assignments + fan-out unchanged), skipping the table rebuild.
     pub routing_cache_hits: usize,
+    /// Warnings from the most recent routing emission: tasks that received demand
+    /// but had no routable workers (traffic the data plane can only drop).
+    pub routing_warnings: Vec<PlannerWarning>,
+    /// Cumulative count of unroutable-task warnings across all emissions.
+    pub routing_warnings_total: usize,
 }
 
 impl ControllerStats {
@@ -48,9 +60,14 @@ impl ControllerStats {
         }
     }
 
-    /// Fraction of routing ticks served from the cache.
+    /// Fraction of cache consults that were hits. Falls back to
+    /// hits / (rebuilds + hits) for stats that predate consult tracking.
     pub fn routing_cache_hit_ratio(&self) -> f64 {
-        let total = self.routings + self.routing_cache_hits;
+        let total = if self.routing_cache_consults > 0 {
+            self.routing_cache_consults
+        } else {
+            self.routings + self.routing_cache_hits
+        };
         if total == 0 {
             0.0
         } else {
@@ -93,6 +110,8 @@ pub struct LokiController {
     graph: PipelineGraph,
     config: LokiConfig,
     allocator: AllocatorKind,
+    /// The Load Balancer's plan emitter (owns the reusable emission scratch).
+    lb: MostAccurateFirst,
     fanout: FanoutOverrides,
     fanout_generation: u64,
     last_outcome: Option<AllocationOutcome>,
@@ -111,6 +130,7 @@ impl LokiController {
             graph,
             config,
             allocator,
+            lb: MostAccurateFirst::default(),
             fanout: FanoutOverrides::new(),
             fanout_generation: 0,
             last_outcome: None,
@@ -150,7 +170,7 @@ impl LokiController {
             fanout: &self.fanout,
             drop_policy: self.config.drop_policy,
             slo_divisor: self.config.slo_headroom_divisor,
-            comm_ms: self.config.effective_comm_ms(),
+            budgets: self.config.hop_budgets(self.graph.num_tasks()),
             upgrade_with_leftover: self.config.upgrade_with_leftover,
         };
         let start = Instant::now();
@@ -222,13 +242,14 @@ impl Controller for LokiController {
         Some(outcome.plan)
     }
 
-    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<CompiledPlan> {
         let demand = self.demand_estimate(observed) * self.config.provisioning_margin;
         // Routing cache: if nothing the table builder reads has changed materially
         // since the last rebuild, keep the engine's current tables (`None`). The
         // deadband is relative to the demand the cached tables were built for, so
         // drift cannot accumulate across consecutive hits.
         if let Some(cache) = &self.routing_cache {
+            self.stats.routing_cache_consults += 1;
             let tolerance = self.config.routing_cache_threshold * cache.demand_qps.max(1.0);
             if observed.now_s >= cache.now_s
                 && cache.fanout_generation == self.fanout_generation
@@ -240,10 +261,20 @@ impl Controller for LokiController {
             }
         }
         let start = Instant::now();
-        let plan =
-            MostAccurateFirst::build_routing(&self.graph, observed.workers, demand, &self.fanout);
+        let plan = self.lb.emit_with_route(
+            &self.graph,
+            observed.workers,
+            demand,
+            &self.fanout,
+            self.config.route,
+            &self.config.link_delays,
+            self.config.comm_latency_ms,
+        );
+        let build_s = start.elapsed().as_secs_f64();
         self.stats.routings += 1;
-        self.stats.routing_time_s += start.elapsed().as_secs_f64();
+        self.stats.plan_build_time_s += build_s;
+        self.stats.routing_warnings = self.lb.warnings().to_vec();
+        self.stats.routing_warnings_total += self.lb.warnings().len();
         self.routing_cache = Some(RoutingCacheKey {
             demand_qps: demand,
             workers: observed
@@ -254,6 +285,7 @@ impl Controller for LokiController {
             fanout_generation: self.fanout_generation,
             now_s: observed.now_s,
         });
+        self.stats.routing_time_s += start.elapsed().as_secs_f64();
         Some(plan)
     }
 }

@@ -122,7 +122,7 @@ impl GreedyAllocator {
         ctx: &AllocationContext<'_>,
         plan: &ChoicePlan,
     ) -> (AllocationPlan, HashMap<VariantId, f64>) {
-        let perf = PerfModel::new(ctx.graph, ctx.slo_divisor, ctx.comm_ms);
+        let perf = PerfModel::with_budgets(ctx.graph, ctx.slo_divisor, ctx.budgets.clone());
         let mut instances = Vec::new();
         let mut budgets = HashMap::new();
         for (t, &k) in plan.choice.iter().enumerate() {
@@ -255,7 +255,7 @@ impl Allocator for GreedyAllocator {
     }
 
     fn allocate(&self, ctx: &AllocationContext<'_>) -> AllocationOutcome {
-        let perf = PerfModel::new(ctx.graph, ctx.slo_divisor, ctx.comm_ms);
+        let perf = PerfModel::with_budgets(ctx.graph, ctx.slo_divisor, ctx.budgets.clone());
         let best_choice = Self::most_accurate_choice(ctx);
         let demand = ctx.demand_qps.max(0.0);
 
@@ -377,7 +377,7 @@ mod tests {
             fanout,
             drop_policy: DropPolicy::OpportunisticRerouting,
             slo_divisor: 2.0,
-            comm_ms: 2.0,
+            budgets: loki_sim::HopBudgets::uniform(2.0, graph.num_tasks()),
             upgrade_with_leftover: true,
         }
     }

@@ -51,6 +51,6 @@ pub use allocator::{AllocationOutcome, Allocator, AllocatorKind, ScalingMode};
 pub use config::LokiConfig;
 pub use controller::{ControllerStats, LokiController};
 pub use forecast::{ForecastConfig, ForecastingProvisioner};
-pub use load_balancer::MostAccurateFirst;
+pub use load_balancer::{MostAccurateFirst, PlannerWarning};
 pub use provisioner::{AutoscalerConfig, ReactiveAutoscaler};
 pub use resource_manager::{ResourceManager, ResourceManagerConfig};

@@ -11,15 +11,68 @@
 //! Workers left with spare capacity afterwards are advertised in per-task *backup
 //! tables*; the data plane consults them when a query falls behind its latency budget
 //! (opportunistic rerouting, Section 5.2).
+//!
+//! # Plan emission
+//!
+//! [`MostAccurateFirst::emit`] builds the engine's dense [`CompiledPlan`] in
+//! place through [`loki_sim::PlanBuilder`] — no `HashMap` intermediate, with
+//! the per-task worker groups and all table scratch reused across refreshes.
+//! Under [`RouteMode::Accuracy`] the emitted plan samples bit-identically to
+//! lowering the legacy [`RoutingPlan`] built by
+//! [`MostAccurateFirst::build_routing`] (kept as the reference
+//! implementation, pinned by the round-trip test in
+//! `crates/core/tests/plan_roundtrip.rs`). Under [`RouteMode::LinkAware`]
+//! equal-accuracy candidates (replicas of the same variant) are re-ordered by
+//! the actual hop delay from the run's [`LinkDelayModel`] before each
+//! saturation pass, so demand prefers network-local replicas on heterogeneous
+//! interconnects without ever sacrificing accuracy-first ordering.
+//!
+//! Emission also reports [`PlannerWarning`]s for demand that reaches a task
+//! with no routable workers — traffic the engine can only drop — instead of
+//! leaving those tasks silently unroutable.
 
 use crate::perf::{FanoutOverrides, PerfModel};
 use loki_pipeline::{PipelineGraph, TaskId, VariantId};
-use loki_sim::{BackupWorker, RoutingPlan, WorkerId, WorkerView};
+use loki_sim::{
+    BackupWorker, CompiledPlan, LinkDelayModel, PlanBuilder, RouteMode, RoutingPlan, WorkerId,
+    WorkerView,
+};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// A structured planner warning: estimated demand reaches `task` but no
+/// routable worker serves it, so the engine's only recourse is the
+/// queue-length fallback over an empty set — i.e. dropping. Surfaced through
+/// `ControllerStats::routing_warnings` instead of failing silently.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlannerWarning {
+    /// The pipeline task with traffic but no routable workers.
+    pub task: usize,
+    /// Estimated demand (QPS) that reaches the task and cannot be routed.
+    pub demand_qps: f64,
+}
+
 /// The `MostAccurateFirst` routing-table builder.
-#[derive(Debug, Clone, Default)]
-pub struct MostAccurateFirst;
+///
+/// Stateful: one instance lives inside a controller and reuses its grouping,
+/// saturation, and alias-table scratch across routing refreshes.
+#[derive(Debug, Default)]
+pub struct MostAccurateFirst {
+    builder: PlanBuilder,
+    /// Per-task worker groups (dense by task index), reused across emissions.
+    by_task: Vec<Vec<WorkerState>>,
+    /// Snapshot of one task's upstream workers: `(id, variant, incoming)`.
+    upstream_scratch: Vec<(WorkerId, VariantId, f64)>,
+    /// Saturation output scratch: `(worker, routed)`.
+    assign_scratch: Vec<(WorkerId, f64)>,
+    /// Normalized-table scratch handed to the plan builder.
+    table_scratch: Vec<(WorkerId, f64)>,
+    /// Backup-list scratch (filtered, exec-ascending).
+    backup_scratch: Vec<BackupWorker>,
+    /// Per-task demand that could not be routed in the last emission.
+    unrouted_scratch: Vec<f64>,
+    warnings: Vec<PlannerWarning>,
+}
 
 /// Map a NaN (degenerate profile) to `-inf` so `f64::total_cmp` sorts it below
 /// every real value — `total_cmp` alone ranks NaN *above* `+inf`, which would
@@ -58,10 +111,244 @@ struct WorkerState {
 }
 
 impl MostAccurateFirst {
+    /// Emit a compiled routing plan with accuracy-first candidate ordering:
+    /// the historical behaviour, sampling bit-identically to lowering
+    /// [`MostAccurateFirst::build_routing`]'s plan.
+    pub fn emit(
+        &mut self,
+        graph: &PipelineGraph,
+        workers: &[WorkerView],
+        demand_qps: f64,
+        fanout: &FanoutOverrides,
+    ) -> CompiledPlan {
+        self.emit_with_route(
+            graph,
+            workers,
+            demand_qps,
+            fanout,
+            RouteMode::Accuracy,
+            &LinkDelayModel::Uniform,
+            0.0,
+        )
+    }
+
+    /// Emit a compiled routing plan. `route` selects the candidate ordering;
+    /// under [`RouteMode::LinkAware`], `links` (with `uniform_ms` as the
+    /// uniform-model hop delay) supplies the per-hop delays that break
+    /// equal-accuracy ties toward network-local replicas.
+    #[allow(clippy::too_many_arguments)]
+    pub fn emit_with_route(
+        &mut self,
+        graph: &PipelineGraph,
+        workers: &[WorkerView],
+        demand_qps: f64,
+        fanout: &FanoutOverrides,
+        route: RouteMode,
+        links: &LinkDelayModel,
+        uniform_ms: f64,
+    ) -> CompiledPlan {
+        let perf = PerfModel::new(graph, 1.0, 0.0);
+        let num_tasks = graph.num_tasks();
+        self.warnings.clear();
+        self.group_by_task(graph, workers, num_tasks);
+
+        self.builder.begin(num_tasks);
+
+        // Frontend: pour the root demand into the root task's workers.
+        let root = graph.root().index();
+        let mut routed_any = false;
+        if let Some(states) = self.by_task.get_mut(root) {
+            if route == RouteMode::LinkAware {
+                states.sort_by(|a, b| {
+                    nan_last(b.accuracy)
+                        .total_cmp(&nan_last(a.accuracy))
+                        .then(
+                            links
+                                .frontend_worker_hop_ms(a.id, uniform_ms)
+                                .total_cmp(&links.frontend_worker_hop_ms(b.id, uniform_ms)),
+                        )
+                        .then(a.id.cmp(&b.id))
+                });
+            }
+            Self::saturate_into(states, demand_qps, &mut self.assign_scratch);
+            for &(id, routed) in &self.assign_scratch {
+                if routed > 0.0 {
+                    self.builder.push_frontend(id, routed);
+                    routed_any = true;
+                }
+            }
+        }
+        if demand_qps > 1e-9 && !routed_any {
+            self.warnings.push(PlannerWarning {
+                task: root,
+                demand_qps,
+            });
+        }
+
+        // Walk tasks in topological order, assigning each worker's outgoing
+        // traffic to downstream workers most-accurate-first.
+        self.unrouted_scratch.clear();
+        self.unrouted_scratch.resize(num_tasks, 0.0);
+        for task_id in graph.topological_order() {
+            let t = task_id.index();
+            let children = &graph.task(task_id).children;
+            if children.is_empty() {
+                continue;
+            }
+            self.upstream_scratch.clear();
+            if let Some(states) = self.by_task.get(t) {
+                self.upstream_scratch
+                    .extend(states.iter().map(|s| (s.id, s.variant, s.incoming)));
+            }
+            for i in 0..self.upstream_scratch.len() {
+                let (worker_id, variant, incoming) = self.upstream_scratch[i];
+                for edge in children {
+                    let child = edge.child.index();
+                    let outgoing = incoming * perf.fanout(variant, edge.child, fanout);
+                    let Some(child_states) = self.by_task.get_mut(child) else {
+                        continue;
+                    };
+                    // Link-aware: among equal-accuracy candidates, prefer the
+                    // cheapest hop from *this* upstream worker. Exact-equality
+                    // tie-break (accuracy first) keeps the comparator a strict
+                    // weak order and leaves cross-variant ordering untouched.
+                    if route == RouteMode::LinkAware && child_states.len() > 1 {
+                        child_states.sort_by(|a, b| {
+                            nan_last(b.accuracy)
+                                .total_cmp(&nan_last(a.accuracy))
+                                .then(
+                                    links
+                                        .worker_hop_ms(worker_id, t, a.id, child, uniform_ms)
+                                        .total_cmp(
+                                            &links.worker_hop_ms(
+                                                worker_id, t, b.id, child, uniform_ms,
+                                            ),
+                                        ),
+                                )
+                                .then(a.id.cmp(&b.id))
+                        });
+                    }
+                    Self::saturate_into(child_states, outgoing, &mut self.assign_scratch);
+                    let total: f64 = self.assign_scratch.iter().map(|(_, r)| r).sum();
+                    if total <= 0.0 {
+                        if outgoing > 1e-9 {
+                            self.unrouted_scratch[child] += outgoing;
+                        }
+                        continue;
+                    }
+                    self.table_scratch.clear();
+                    self.table_scratch.extend(
+                        self.assign_scratch
+                            .iter()
+                            .filter(|(_, r)| *r > 0.0)
+                            .map(|(id, r)| (*id, r / total)),
+                    );
+                    self.builder
+                        .set_downstream(worker_id, child, &self.table_scratch);
+                }
+            }
+        }
+        for (task, &unrouted) in self.unrouted_scratch.iter().enumerate() {
+            if unrouted > 1e-9 {
+                self.warnings.push(PlannerWarning {
+                    task,
+                    demand_qps: unrouted,
+                });
+            }
+        }
+
+        // Per-task default tables (used for queries whose upstream worker has
+        // no specific entry, e.g. right after a re-allocation): proportional
+        // to capacity. Backup tables: leftover capacity per task, pushed
+        // exec-ascending (the builder's stable accuracy sort keeps that order
+        // among ties).
+        for t in 0..num_tasks {
+            let states = &self.by_task[t];
+            if states.is_empty() {
+                continue;
+            }
+            self.table_scratch.clear();
+            self.table_scratch
+                .extend(states.iter().map(|s| (s.id, s.capacity.max(1e-9))));
+            self.builder.set_default(t, &self.table_scratch);
+
+            self.backup_scratch.clear();
+            self.backup_scratch
+                .extend(
+                    states
+                        .iter()
+                        .filter(|s| s.capacity_left > 1e-6)
+                        .map(|s| BackupWorker {
+                            worker: s.id,
+                            exec_time_ms: s.exec_time_ms,
+                            accuracy: s.accuracy,
+                        }),
+                );
+            self.backup_scratch.sort_by(|a, b| {
+                nan_slowest(a.exec_time_ms).total_cmp(&nan_slowest(b.exec_time_ms))
+            });
+            for &bw in &self.backup_scratch {
+                self.builder.push_backup(t, bw);
+            }
+        }
+
+        self.builder.finish()
+    }
+
+    /// Warnings from the most recent emission (tasks left unroutable).
+    pub fn warnings(&self) -> &[PlannerWarning] {
+        &self.warnings
+    }
+
+    /// Group `workers` by task into the reusable dense scratch, most accurate
+    /// first (ties by id for determinism).
+    fn group_by_task(&mut self, graph: &PipelineGraph, workers: &[WorkerView], num_tasks: usize) {
+        self.by_task.resize_with(num_tasks, Vec::new);
+        self.by_task.truncate(num_tasks);
+        for states in self.by_task.iter_mut() {
+            states.clear();
+        }
+        for w in workers {
+            let Some(variant) = w.variant else { continue };
+            if w.swapping {
+                // A worker still loading its model has no usable capacity right
+                // now; it will be picked up at the next routing refresh.
+                continue;
+            }
+            let Some(states) = self.by_task.get_mut(variant.task) else {
+                continue;
+            };
+            let profile = graph.variant(variant);
+            let capacity = profile.throughput_qps(w.max_batch);
+            states.push(WorkerState {
+                id: w.id,
+                variant,
+                accuracy: profile.accuracy,
+                capacity,
+                capacity_left: capacity,
+                incoming: 0.0,
+                exec_time_ms: profile.batch_latency_ms(w.max_batch),
+            });
+        }
+        for states in self.by_task.iter_mut() {
+            states.sort_by(|a, b| {
+                nan_last(b.accuracy)
+                    .total_cmp(&nan_last(a.accuracy))
+                    .then(a.id.cmp(&b.id))
+            });
+        }
+    }
+
     /// Build routing tables for the current worker assignments and estimated demand.
     ///
     /// `demand_qps` is the estimated root arrival rate; `fanout` carries observed
     /// multiplicative factors (profiled values are used where no observation exists).
+    ///
+    /// The legacy `HashMap`-keyed reference implementation: production
+    /// controllers emit [`CompiledPlan`]s directly via
+    /// [`MostAccurateFirst::emit`]; this remains as the semantic reference the
+    /// round-trip test pins emission against (and as a convenient
+    /// introspectable form for unit tests).
     pub fn build_routing(
         graph: &PipelineGraph,
         workers: &[WorkerView],
@@ -75,8 +362,6 @@ impl MostAccurateFirst {
         for w in workers {
             let Some(variant) = w.variant else { continue };
             if w.swapping {
-                // A worker still loading its model has no usable capacity right now;
-                // it will be picked up at the next routing refresh.
                 continue;
             }
             let profile = graph.variant(variant);
@@ -104,7 +389,8 @@ impl MostAccurateFirst {
         // Frontend: pour the root demand into the root task's workers.
         let root = graph.root().index();
         if let Some(states) = by_task.get_mut(&root) {
-            let assignments = Self::saturate(states, demand_qps);
+            let mut assignments = Vec::new();
+            Self::saturate_into(states, demand_qps, &mut assignments);
             for (id, routed) in assignments {
                 if routed > 0.0 {
                     plan.frontend.push((id, routed));
@@ -140,7 +426,8 @@ impl MostAccurateFirst {
                     let Some(child_states) = by_task.get_mut(&child.index()) else {
                         continue;
                     };
-                    let assignments = Self::saturate(child_states, outgoing);
+                    let mut assignments = Vec::new();
+                    Self::saturate_into(child_states, outgoing, &mut assignments);
                     let total: f64 = assignments.iter().map(|(_, r)| r).sum();
                     if total <= 0.0 {
                         continue;
@@ -190,11 +477,13 @@ impl MostAccurateFirst {
     /// Pour `demand` into the (accuracy-sorted) worker list, saturating each worker's
     /// remaining capacity in turn. Any demand exceeding the total remaining capacity is
     /// spread proportionally to total capacity so that overload degrades gracefully
-    /// instead of leaving traffic unroutable. Returns `(worker, routed)` pairs.
-    fn saturate(states: &mut [WorkerState], demand: f64) -> Vec<(WorkerId, f64)> {
-        let mut out: Vec<(WorkerId, f64)> = states.iter().map(|s| (s.id, 0.0)).collect();
+    /// instead of leaving traffic unroutable. Writes `(worker, routed)` pairs into
+    /// `out` (cleared first).
+    fn saturate_into(states: &mut [WorkerState], demand: f64, out: &mut Vec<(WorkerId, f64)>) {
+        out.clear();
+        out.extend(states.iter().map(|s| (s.id, 0.0)));
         if demand <= 0.0 || states.is_empty() {
-            return out;
+            return;
         }
         let mut remaining = demand;
         for (i, s) in states.iter_mut().enumerate() {
@@ -219,7 +508,6 @@ impl MostAccurateFirst {
                 }
             }
         }
-        out
     }
 }
 
@@ -401,5 +689,88 @@ mod tests {
                 .sum()
         };
         assert!(cheap_share(&plan_hi) > cheap_share(&plan_lo));
+    }
+
+    #[test]
+    fn emission_warns_on_unroutable_tasks() {
+        let g = zoo::tiny_pipeline(100.0);
+        // Only root-task workers: everything pouring into task 1 is unroutable.
+        let workers = vec![view(0, VariantId::new(0, 1), 4)];
+        let mut lb = MostAccurateFirst::default();
+        let _ = lb.emit(&g, &workers, 20.0, &FanoutOverrides::new());
+        assert_eq!(lb.warnings().len(), 1);
+        assert_eq!(lb.warnings()[0].task, 1);
+        assert!(lb.warnings()[0].demand_qps > 0.0);
+
+        // No workers at all: the root itself is unroutable.
+        let _ = lb.emit(&g, &[], 20.0, &FanoutOverrides::new());
+        assert_eq!(lb.warnings().len(), 1);
+        assert_eq!(lb.warnings()[0].task, 0);
+
+        // A fully covered pipeline emits no warnings.
+        let covered = vec![
+            view(0, VariantId::new(0, 1), 4),
+            view(1, VariantId::new(1, 0), 8),
+        ];
+        let _ = lb.emit(&g, &covered, 5.0, &FanoutOverrides::new());
+        assert!(lb.warnings().is_empty());
+    }
+
+    #[test]
+    fn link_aware_prefers_local_replicas_among_equal_accuracy() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = zoo::tiny_pipeline(100.0);
+        // Upstream worker 0 (class 0 under 2-way striping). Two replicas of the
+        // SAME downstream variant: worker 2 (class 0, cheap hop) and worker 3
+        // (class 1, expensive hop). Low demand fits entirely on one replica.
+        let workers = vec![
+            view(0, VariantId::new(0, 1), 4),
+            view(2, VariantId::new(1, 1), 8),
+            view(3, VariantId::new(1, 1), 8),
+        ];
+        let links = LinkDelayModel::PerWorkerClass {
+            classes: 2,
+            delay_ms: vec![0.2, 5.0, 5.0, 0.2],
+            frontend_ms: vec![2.0, 2.0],
+        };
+        let mut lb = MostAccurateFirst::default();
+        let plan = lb.emit_with_route(
+            &g,
+            &workers,
+            5.0,
+            &FanoutOverrides::new(),
+            RouteMode::LinkAware,
+            &links,
+            2.0,
+        );
+        // All task-1 traffic from worker 0 lands on the same-class replica.
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = plan.downstream_table(WorkerId(0), 1).expect("table");
+        for _ in 0..200 {
+            assert_eq!(t.sample(&mut rng), Some(WorkerId(2)));
+        }
+
+        // Accuracy mode with the same inputs ties by id, which also picks
+        // worker 2 here — so flip the classes to show link-awareness actually
+        // drives the choice: now worker 3 is the local one.
+        let flipped = LinkDelayModel::PerWorkerClass {
+            classes: 2,
+            delay_ms: vec![5.0, 0.2, 0.2, 5.0],
+            frontend_ms: vec![2.0, 2.0],
+        };
+        let plan = lb.emit_with_route(
+            &g,
+            &workers,
+            5.0,
+            &FanoutOverrides::new(),
+            RouteMode::LinkAware,
+            &flipped,
+            2.0,
+        );
+        let t = plan.downstream_table(WorkerId(0), 1).expect("table");
+        for _ in 0..200 {
+            assert_eq!(t.sample(&mut rng), Some(WorkerId(3)));
+        }
     }
 }

@@ -72,7 +72,7 @@ impl MilpAllocator {
         restrict_to_most_accurate: bool,
     ) -> (Model, MilpVars) {
         let graph = ctx.graph;
-        let perf = PerfModel::new(graph, ctx.slo_divisor, ctx.comm_ms);
+        let perf = PerfModel::with_budgets(graph, ctx.slo_divisor, ctx.budgets.clone());
         let s = ctx.cluster_size as f64;
         let demand = ctx.demand_qps.max(0.0);
 
@@ -349,7 +349,7 @@ impl MilpAllocator {
         vars: &MilpVars,
         solution: &loki_milp::Solution,
     ) -> (AllocationPlan, usize) {
-        let perf = PerfModel::new(ctx.graph, ctx.slo_divisor, ctx.comm_ms);
+        let perf = PerfModel::with_budgets(ctx.graph, ctx.slo_divisor, ctx.budgets.clone());
         let mut instances = Vec::new();
         let mut budgets = HashMap::new();
         let mut servers = 0usize;
@@ -415,7 +415,7 @@ impl Allocator for MilpAllocator {
 
     fn allocate(&self, ctx: &AllocationContext<'_>) -> AllocationOutcome {
         let aug = AugmentedGraph::new(ctx.graph);
-        let perf = PerfModel::new(ctx.graph, ctx.slo_divisor, ctx.comm_ms);
+        let perf = PerfModel::with_budgets(ctx.graph, ctx.slo_divisor, ctx.budgets.clone());
         let greedy = GreedyAllocator::new().allocate(ctx);
 
         // ---- Step 1: hardware scaling ---------------------------------------------
@@ -510,7 +510,7 @@ mod tests {
             fanout,
             drop_policy: DropPolicy::OpportunisticRerouting,
             slo_divisor: 2.0,
-            comm_ms: 2.0,
+            budgets: loki_sim::HopBudgets::uniform(2.0, graph.num_tasks()),
             upgrade_with_leftover: true,
         }
     }

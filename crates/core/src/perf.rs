@@ -5,6 +5,7 @@
 //! them to pre-compute coefficients and latency budgets), and the baseline controllers.
 
 use loki_pipeline::{BatchSize, PipelineGraph, TaskId, VariantId};
+use loki_sim::HopBudgets;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -19,8 +20,8 @@ pub struct PerfModel<'a> {
     graph: &'a PipelineGraph,
     /// Divisor applied to the SLO to reserve queueing headroom (2.0 in the paper).
     slo_divisor: f64,
-    /// One-way network latency between servers (ms), charged once per hop on a path.
-    comm_ms: f64,
+    /// Per-hop one-way network latency budgets, charged once per hop on a path.
+    budgets: HopBudgets,
 }
 
 /// The provisioning implied by choosing one specific model variant per task.
@@ -42,14 +43,27 @@ pub struct ChoicePlan {
 }
 
 impl<'a> PerfModel<'a> {
-    /// Create a performance model for a pipeline.
+    /// Create a performance model with a uniform per-hop latency of `comm_ms` —
+    /// every hop (frontend or worker-to-worker) is charged the same scalar, the
+    /// historical behaviour.
     pub fn new(graph: &'a PipelineGraph, slo_divisor: f64, comm_ms: f64) -> Self {
-        assert!(slo_divisor >= 1.0, "the SLO divisor must be at least 1");
         assert!(comm_ms >= 0.0);
+        Self::with_budgets(
+            graph,
+            slo_divisor,
+            HopBudgets::uniform(comm_ms, graph.num_tasks()),
+        )
+    }
+
+    /// Create a performance model with explicit per-hop latency budgets (e.g. from
+    /// `LinkDelayModel::hop_budgets`), so paths that stay on cheap links are not
+    /// charged the cluster's worst-case hop.
+    pub fn with_budgets(graph: &'a PipelineGraph, slo_divisor: f64, budgets: HopBudgets) -> Self {
+        assert!(slo_divisor >= 1.0, "the SLO divisor must be at least 1");
         Self {
             graph,
             slo_divisor,
-            comm_ms,
+            budgets,
         }
     }
 
@@ -58,11 +72,28 @@ impl<'a> PerfModel<'a> {
         self.graph
     }
 
+    /// The per-hop latency budgets in use.
+    pub fn budgets(&self) -> &HopBudgets {
+        &self.budgets
+    }
+
+    /// Total one-way network latency (ms) charged to a concrete root-to-sink task
+    /// path: one frontend hop in, each inter-task edge, and one frontend hop out.
+    pub fn path_comm_ms(&self, tasks: &[TaskId]) -> f64 {
+        2.0 * self.budgets.frontend_ms()
+            + tasks
+                .windows(2)
+                .map(|w| self.budgets.edge_ms(w[0].index(), w[1].index()))
+                .sum::<f64>()
+    }
+
     /// The processing-latency budget (ms) available to a root-to-sink path with
-    /// `num_tasks` tasks: the SLO divided by the queueing-headroom divisor, minus one
-    /// network hop per edge plus the frontend hop.
+    /// `num_tasks` tasks: the SLO divided by the queueing-headroom divisor, minus the
+    /// worst-case network charge for a path of that length (one hop per edge plus the
+    /// frontend hop each way). Concrete paths may enjoy a looser budget under per-edge
+    /// models; see [`PerfModel::path_comm_ms`].
     pub fn path_budget_ms(&self, num_tasks: usize) -> f64 {
-        self.graph.slo_ms() / self.slo_divisor - self.comm_ms * (num_tasks as f64 + 1.0)
+        self.graph.slo_ms() / self.slo_divisor - self.budgets.worst_path_comm_ms(num_tasks)
     }
 
     /// The effective fan-out from `variant` to `child` task: the observed value if the
@@ -122,7 +153,7 @@ impl<'a> PerfModel<'a> {
     /// root-to-sink path within its budget.
     pub fn batches_fit(&self, choice: &[usize], batches: &[BatchSize]) -> bool {
         for path in self.graph.task_paths() {
-            let budget = self.path_budget_ms(path.tasks.len());
+            let budget = self.graph.slo_ms() / self.slo_divisor - self.path_comm_ms(&path.tasks);
             let total: f64 = path
                 .tasks
                 .iter()
@@ -228,17 +259,23 @@ impl<'a> PerfModel<'a> {
     /// makes per-task progress checks meaningful rather than hair-trigger.
     pub fn runtime_budget_ms(&self, variant: VariantId, batch: BatchSize) -> f64 {
         let exec = self.graph.variant(variant).batch_latency_ms(batch);
-        // Longest root-to-sink task path through this variant's task.
-        let path_len = self
+        // The tightest equal share over the root-to-sink paths through this variant's
+        // task, each charged its own per-hop network cost. (Under uniform budgets the
+        // tightest share always comes from the longest path, matching the historical
+        // worst-case-length formula exactly.)
+        let share = self
             .graph
             .task_paths()
             .iter()
             .filter(|p| p.tasks.iter().any(|t| t.index() == variant.task))
-            .map(|p| p.tasks.len())
-            .max()
-            .unwrap_or(1);
-        let allowance = (self.graph.slo_ms() - self.comm_ms * (path_len as f64 + 1.0)).max(exec);
-        (self.slo_divisor * exec).max(allowance / path_len as f64)
+            .map(|p| {
+                (self.graph.slo_ms() - self.path_comm_ms(&p.tasks)).max(exec) / p.tasks.len() as f64
+            })
+            .min_by(f64::total_cmp)
+            .unwrap_or_else(|| {
+                (self.graph.slo_ms() - self.budgets.worst_path_comm_ms(1)).max(exec)
+            });
+        (self.slo_divisor * exec).max(share)
     }
 
     /// The batch sizes that maximize per-server throughput while keeping every path
@@ -445,6 +482,57 @@ mod tests {
             .plan_for_choice(&choice, cap * 1.10, &no_overrides())
             .unwrap();
         assert!(above.servers > 20, "servers={}", above.servers);
+    }
+
+    #[test]
+    fn two_tier_per_hop_budgets_strictly_tighter_than_scalar() {
+        use loki_sim::LinkDelayModel;
+        // The two-tier hetnet link model: cheap intra-class hops (0.2 ms), expensive
+        // cross-class hops (5 ms), 2 ms frontend. The legacy scalar model charged the
+        // worst hop (5 ms) on EVERY hop including the frontend; per-hop budgets charge
+        // the frontend its real 2 ms. The network charge must be strictly smaller on
+        // every path (budget strictly looser), and never larger on any.
+        let g = zoo::traffic_analysis_pipeline(250.0);
+        let links = LinkDelayModel::PerWorkerClass {
+            classes: 2,
+            delay_ms: vec![0.2, 5.0, 5.0, 0.2],
+            frontend_ms: vec![2.0, 2.0],
+        };
+        let scalar_hop = links.max_hop_ms(2.0);
+        assert!((scalar_hop - 5.0).abs() < 1e-9);
+        let per_hop = PerfModel::with_budgets(&g, 2.0, links.hop_budgets(2.0, g.num_tasks()));
+        let scalar = PerfModel::new(&g, 2.0, scalar_hop);
+        let mut strictly_tighter = 0;
+        for path in g.task_paths() {
+            let new_comm = per_hop.path_comm_ms(&path.tasks);
+            let old_comm = scalar.path_comm_ms(&path.tasks);
+            assert!(
+                new_comm <= old_comm + 1e-9,
+                "per-hop charge must never exceed the scalar worst case"
+            );
+            if new_comm < old_comm - 1e-9 {
+                strictly_tighter += 1;
+            }
+        }
+        assert!(
+            strictly_tighter >= 1,
+            "no path got a tighter network charge"
+        );
+        // Consequently every per-task runtime budget is at least as generous, and at
+        // least one task's strictly more so.
+        let mut strictly_looser = 0;
+        for t in 0..g.num_tasks() {
+            for v in 0..g.task(TaskId(t)).variants.len() {
+                let id = VariantId::new(t, v);
+                let new_b = per_hop.runtime_budget_ms(id, 4);
+                let old_b = scalar.runtime_budget_ms(id, 4);
+                assert!(new_b >= old_b - 1e-9, "budget got looser for {id:?}");
+                if new_b > old_b + 1e-9 {
+                    strictly_looser += 1;
+                }
+            }
+        }
+        assert!(strictly_looser >= 1);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Round-trip property test for the plan-emission API (the compile-once contract).
+//!
+//! The controller-built [`CompiledPlan`] (emitted in place through `PlanBuilder`) must
+//! sample *identically* — same RNG stream, same worker sequence — to lowering the
+//! legacy `HashMap`-keyed [`RoutingPlan`] built by `MostAccurateFirst::build_routing`
+//! for the same inputs. This pins the dense emission path to the interpreted reference
+//! across randomized worker assignments, batches, swap flags, demands, and fan-out
+//! overrides, which is what lets the engine drop the per-install recompilation step
+//! without re-pinning any determinism golden.
+
+use loki_core::perf::FanoutOverrides;
+use loki_core::MostAccurateFirst;
+use loki_pipeline::{zoo, PipelineGraph, TaskId, VariantId};
+use loki_sim::{CompiledPlan, WorkerId, WorkerView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_workers(g: &PipelineGraph, rng: &mut StdRng) -> Vec<WorkerView> {
+    let cluster = rng.gen_range(0..24usize);
+    let batches = [1u32, 2, 4, 8];
+    (0..cluster)
+        .map(|id| {
+            let variant = if rng.gen_bool(0.15) {
+                None
+            } else {
+                let t = rng.gen_range(0..g.num_tasks());
+                let v = rng.gen_range(0..g.task(TaskId(t)).variants.len());
+                Some(VariantId::new(t, v))
+            };
+            WorkerView {
+                id: WorkerId(id),
+                variant,
+                max_batch: batches[rng.gen_range(0..batches.len())],
+                queue_len: rng.gen_range(0..5),
+                swapping: rng.gen_bool(0.1),
+            }
+        })
+        .collect()
+}
+
+fn random_fanout(g: &PipelineGraph, rng: &mut StdRng) -> FanoutOverrides {
+    let mut fanout = FanoutOverrides::new();
+    for (task_id, task) in g.tasks() {
+        for edge in &task.children {
+            if rng.gen_bool(0.3) {
+                let v = rng.gen_range(0..task.variants.len());
+                fanout.insert(
+                    (VariantId::new(task_id.index(), v), edge.child.index()),
+                    rng.gen_range(0.2..3.0),
+                );
+            }
+        }
+    }
+    fanout
+}
+
+/// Draw `n` samples from the frontend tables of both plans with identical RNG
+/// streams and assert the worker sequences match.
+fn assert_frontend_matches(a: &CompiledPlan, b: &CompiledPlan, seed: u64) {
+    let mut ra = StdRng::seed_from_u64(seed);
+    let mut rb = StdRng::seed_from_u64(seed);
+    for i in 0..512 {
+        assert_eq!(
+            a.frontend().sample(&mut ra),
+            b.frontend().sample(&mut rb),
+            "frontend sample {i} diverged"
+        );
+    }
+    assert_eq!(a.frontend_raw(), b.frontend_raw());
+}
+
+/// Compare the downstream table for one (upstream, child) slot: same presence,
+/// same sample stream, same raw fallback rows.
+fn assert_slot_matches(a: &CompiledPlan, b: &CompiledPlan, up: WorkerId, child: usize, seed: u64) {
+    let ta = a.downstream_table(up, child);
+    let tb = b.downstream_table(up, child);
+    assert_eq!(
+        ta.is_some(),
+        tb.is_some(),
+        "table presence diverged at ({up:?}, {child})"
+    );
+    if let (Some(ta), Some(tb)) = (ta, tb) {
+        let mut ra = StdRng::seed_from_u64(seed);
+        let mut rb = StdRng::seed_from_u64(seed);
+        for i in 0..256 {
+            assert_eq!(
+                ta.sample(&mut ra),
+                tb.sample(&mut rb),
+                "sample {i} diverged at ({up:?}, {child})"
+            );
+        }
+    }
+    assert_eq!(
+        a.raw_downstream(up, child),
+        b.raw_downstream(up, child),
+        "stale-path raw rows diverged at ({up:?}, {child})"
+    );
+}
+
+fn check_roundtrip(g: &PipelineGraph, trial_seed: u64) {
+    let mut rng = StdRng::seed_from_u64(trial_seed);
+    let workers = random_workers(g, &mut rng);
+    let fanout = random_fanout(g, &mut rng);
+    let demand = rng.gen_range(0.0..600.0);
+
+    let legacy = MostAccurateFirst::build_routing(g, &workers, demand, &fanout);
+    let lowered = CompiledPlan::from_routing_plan(&legacy, g.num_tasks());
+    let mut lb = MostAccurateFirst::default();
+    let emitted = lb.emit(g, &workers, demand, &fanout);
+
+    assert_eq!(emitted.num_tasks(), lowered.num_tasks());
+    assert_frontend_matches(&emitted, &lowered, trial_seed ^ 0xF00D);
+
+    // Every slot the legacy plan populated, plus a fringe of absent upstreams
+    // (exercising the per-task default fold and the beyond-rows extension) and
+    // absent children.
+    let max_up = workers.len() + 2;
+    for up in 0..max_up {
+        for child in 0..g.num_tasks() {
+            assert_slot_matches(
+                &emitted,
+                &lowered,
+                WorkerId(up),
+                child,
+                trial_seed ^ ((up as u64) << 20) ^ child as u64,
+            );
+        }
+    }
+
+    // Backup tables must agree exactly (same workers, same order) so the
+    // opportunistic-rerouting scan behaves identically on both plans.
+    for t in 0..g.num_tasks() {
+        assert_eq!(
+            emitted.backup(t),
+            lowered.backup(t),
+            "backup diverged at {t}"
+        );
+    }
+}
+
+#[test]
+fn emitted_plan_samples_identically_to_lowered_legacy_plan() {
+    let tiny = zoo::tiny_pipeline(100.0);
+    let traffic = zoo::traffic_analysis_pipeline(250.0);
+    for trial in 0..40u64 {
+        check_roundtrip(&tiny, 0x51AB_0000 + trial);
+        check_roundtrip(&traffic, 0x7EA1_0000 + trial);
+    }
+}
+
+#[test]
+fn roundtrip_holds_for_empty_and_degenerate_clusters() {
+    let g = zoo::tiny_pipeline(100.0);
+    // Empty cluster.
+    check_roundtrip(&g, u64::MAX);
+    let legacy = MostAccurateFirst::build_routing(&g, &[], 100.0, &FanoutOverrides::new());
+    let lowered = CompiledPlan::from_routing_plan(&legacy, g.num_tasks());
+    let mut lb = MostAccurateFirst::default();
+    let emitted = lb.emit(&g, &[], 100.0, &FanoutOverrides::new());
+    let mut rng = StdRng::seed_from_u64(7);
+    assert_eq!(emitted.frontend().sample(&mut rng), None);
+    assert_eq!(lowered.frontend().sample(&mut rng), None);
+    // Zero demand on a populated cluster still produces matching (empty) tables.
+    let mut rng = StdRng::seed_from_u64(8);
+    let workers = random_workers(&g, &mut rng);
+    let legacy = MostAccurateFirst::build_routing(&g, &workers, 0.0, &FanoutOverrides::new());
+    let lowered = CompiledPlan::from_routing_plan(&legacy, g.num_tasks());
+    let emitted = lb.emit(&g, &workers, 0.0, &FanoutOverrides::new());
+    assert_frontend_matches(&emitted, &lowered, 9);
+    for up in 0..workers.len() {
+        for child in 0..g.num_tasks() {
+            assert_slot_matches(&emitted, &lowered, WorkerId(up), child, 10 + up as u64);
+        }
+    }
+}

@@ -55,9 +55,10 @@ pub use multi::{
     PipelineResult, ResourceArbiter, StaticPartition,
 };
 pub use par::par_map;
-pub use routing::AliasTable;
+pub use routing::{AliasTable, CompiledPlan, PlanBuilder};
 pub use slab::{Slab, SlotRef};
 pub use types::{
-    AllocationPlan, BackupWorker, CompiledLinkDelays, Controller, DropPolicy, InstanceSpec,
-    LinkDelayModel, ObservedState, Query, RoutingPlan, SimConfig, WorkerId, WorkerView,
+    AllocationPlan, BackupWorker, CompiledLinkDelays, Controller, DropPolicy, HopBudgets,
+    InstanceSpec, LinkDelayModel, ObservedState, Query, RouteMode, RoutingPlan, SimConfig,
+    WorkerId, WorkerView,
 };

@@ -29,11 +29,11 @@
 
 use crate::calendar::CalendarQueue;
 use crate::engine::EngineError;
-use crate::routing::CompiledRouting;
+use crate::routing::CompiledPlan;
 use crate::slab::{Slab, SlotRef};
 use crate::types::{
     ms_to_us, secs_to_us, us_to_ms, AllocationPlan, BackupWorker, CompiledLinkDelays, Controller,
-    DropPolicy, ObservedState, Query, RoutingPlan, SimConfig, SimTime, WorkerId, WorkerView,
+    DropPolicy, ObservedState, Query, SimConfig, SimTime, WorkerId, WorkerView,
 };
 use crate::worker::{Lifecycle, Worker};
 use loki_pipeline::{PipelineGraph, TaskId, VariantId};
@@ -80,14 +80,6 @@ impl Fleet {
         // SAFETY: ownership discipline (module docs) — no thread holds a
         // conflicting `&mut` to this worker while the reference is live.
         unsafe { &*self.workers[index].get() }
-    }
-
-    /// Like [`Fleet::get`] but `None` past the fleet (stale plans can mention
-    /// workers an elastic fleet has not provisioned in this run).
-    #[inline]
-    pub(crate) fn try_get(&self, index: usize) -> Option<&Worker> {
-        // SAFETY: as `Fleet::get`.
-        self.workers.get(index).map(|c| unsafe { &*c.get() })
     }
 
     /// Exclusive view of a worker. See the module docs for when this is sound;
@@ -155,11 +147,9 @@ pub(crate) struct LaneState<'a> {
     /// The next trace arrival of this lane: `(time, seq, index)`.
     pub(crate) next_arrival: Option<(SimTime, u64, usize)>,
 
-    /// Raw routing plan from the lane's controller, kept for the stale-epoch
-    /// slow path.
-    routing: RoutingPlan,
-    /// Alias-table compilation of `routing`.
-    compiled: CompiledRouting,
+    /// The controller-emitted compiled plan, installed verbatim. Its retained
+    /// raw weight vectors feed the stale-epoch slow path.
+    compiled: CompiledPlan,
     /// Bumped whenever this lane's worker set or assignments change.
     pub(crate) assignments_epoch: u64,
     drop_policy: DropPolicy,
@@ -236,8 +226,11 @@ impl<'a> LaneState<'a> {
             graph,
             arrivals_us,
             next_arrival: None,
-            routing: RoutingPlan::default(),
-            compiled: CompiledRouting::default(),
+            // The default plan has epoch 0 and every table empty; with
+            // `assignments_epoch` starting at 1 it reads as stale, so the
+            // pre-first-plan window routes through the queue-length fallback
+            // exactly as before.
+            compiled: CompiledPlan::default(),
             assignments_epoch: 1,
             drop_policy: DropPolicy::default(),
             num_tasks,
@@ -914,27 +907,26 @@ impl<'a> Shard<'a> {
 
     // ---- routing and dropping -----------------------------------------------------
 
-    fn set_routing(&mut self, ctx: &LaneCtx<'_>, plan: RoutingPlan) {
+    /// Install a controller-emitted compiled plan verbatim. The plan was
+    /// built from the worker views snapshotted in this very control event
+    /// (nothing mutates assignments between the snapshot and this store), so
+    /// its tables need no re-filtering: stamping it with the current
+    /// assignment epoch is the whole hand-off. Any later assignment change
+    /// bumps the epoch and diverts sampling to the validity-checked stale
+    /// scan until the next refresh.
+    fn set_routing(&mut self, ctx: &LaneCtx<'_>, mut plan: CompiledPlan) {
         let lane = &mut self.lane;
-        lane.compiled.recompile(
-            &plan,
-            ctx.fleet,
-            ctx.owner,
-            self.li,
-            lane.num_tasks,
-            lane.root_task,
-            lane.assignments_epoch,
-        );
-        lane.routing = plan;
+        plan.finalize(ctx.fleet.len(), lane.assignments_epoch);
+        lane.compiled = plan;
     }
 
     fn pick_frontend_worker(&mut self, ctx: &LaneCtx<'_>) -> Option<WorkerId> {
         let lane = &mut self.lane;
-        let choice = if lane.compiled.epoch == lane.assignments_epoch {
-            lane.compiled.frontend.sample(&mut lane.rng)
+        let choice = if lane.compiled.epoch() == lane.assignments_epoch {
+            lane.compiled.frontend().sample(&mut lane.rng)
         } else {
             sample_table_scan(
-                &lane.routing.frontend,
+                lane.compiled.frontend_raw(),
                 ctx.fleet,
                 ctx.owner,
                 self.li,
@@ -954,7 +946,7 @@ impl<'a> Shard<'a> {
     ) -> RouteOutcome {
         let mut ties = std::mem::take(&mut self.reroute_scratch);
         let lane = &mut self.lane;
-        let fresh = lane.compiled.epoch == lane.assignments_epoch;
+        let fresh = lane.compiled.epoch() == lane.assignments_epoch;
         // Default choice: the upstream worker's own routing table, then the per-task
         // default table, then any owned worker serving the task.
         let sampled = if fresh {
@@ -962,14 +954,11 @@ impl<'a> Shard<'a> {
                 .downstream_table(upstream, child_task)
                 .and_then(|t| t.sample(&mut lane.rng))
         } else {
-            let table = lane
-                .routing
-                .downstream
-                .get(&(upstream, child_task))
-                .or_else(|| lane.routing.downstream_default.get(&child_task));
-            table.and_then(|t| {
-                sample_table_scan(t, ctx.fleet, ctx.owner, self.li, child_task, &mut lane.rng)
-            })
+            lane.compiled
+                .raw_downstream(upstream, child_task)
+                .and_then(|t| {
+                    sample_table_scan(t, ctx.fleet, ctx.owner, self.li, child_task, &mut lane.rng)
+                })
         };
         let default_choice =
             sampled.or_else(|| fallback_worker_for_task(lane, ctx.fleet, child_task));
@@ -990,11 +979,11 @@ impl<'a> Shard<'a> {
             let needed_ms = default_exec_ms - overrun_ms;
             ties.clear();
             if fresh {
-                // Compiled backups are pre-filtered for assignment and sorted by
-                // accuracy (desc), so the first match has the best accuracy and
-                // ties are collected until accuracy falls below it.
+                // Emitted backups are already accuracy-sorted (desc), so the
+                // first match has the best accuracy and ties are collected
+                // until accuracy falls below it.
                 let mut best_acc = f64::NEG_INFINITY;
-                for b in &lane.compiled.backup[child_task] {
+                for b in lane.compiled.backup(child_task) {
                     if !ties.is_empty() && b.accuracy < best_acc - 1e-9 {
                         break;
                     }
@@ -1006,8 +995,11 @@ impl<'a> Shard<'a> {
                     }
                 }
             } else {
+                // The emitted list is already stably accuracy-sorted; the
+                // stale scan's own stable sort is idempotent on it, so the
+                // tie set matches what the raw plan list would have produced.
                 stale_backup_ties(
-                    lane.routing.backup.get(&child_task).map_or(&[][..], |v| v),
+                    lane.compiled.backup(child_task),
                     ctx.fleet,
                     ctx.owner,
                     self.li,

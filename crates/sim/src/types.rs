@@ -186,6 +186,96 @@ impl LinkDelayModel {
         (min.min(max), max)
     }
 
+    /// Derive the per-hop latency-budget tables a controller should plan
+    /// with, in milliseconds. Exact for `Uniform` and `PerEdge`; for
+    /// `PerWorkerClass` the worker placement is not known at planning time,
+    /// so every entry is the conservative worst case over classes (which
+    /// still beats collapsing the whole model to one scalar worst hop:
+    /// `PerEdge`'s cheap edges stop being taxed for the expensive ones).
+    pub fn hop_budgets(&self, uniform_ms: f64, num_tasks: usize) -> HopBudgets {
+        match self {
+            LinkDelayModel::Uniform => HopBudgets::uniform(uniform_ms, num_tasks),
+            LinkDelayModel::PerEdge {
+                frontend_ms,
+                default_ms,
+                edges,
+            } => {
+                let mut edge_ms = vec![*default_ms; num_tasks * num_tasks];
+                for ((from, to), ms) in edges {
+                    if *from < num_tasks && *to < num_tasks {
+                        edge_ms[from * num_tasks + to] = *ms;
+                    }
+                }
+                HopBudgets {
+                    frontend_ms: *frontend_ms,
+                    num_tasks,
+                    edge_ms,
+                }
+            }
+            LinkDelayModel::PerWorkerClass {
+                delay_ms,
+                frontend_ms,
+                ..
+            } => {
+                let worst_edge = delay_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+                let worst_frontend = frontend_ms.iter().fold(0.0f64, |a, &b| a.max(b));
+                HopBudgets {
+                    frontend_ms: worst_frontend,
+                    num_tasks,
+                    edge_ms: vec![worst_edge; num_tasks * num_tasks],
+                }
+            }
+        }
+    }
+
+    /// Planning-time estimate of the frontend → `dst` hop delay (ms),
+    /// mirroring [`CompiledLinkDelays::frontend_us`] (including the
+    /// round-robin class striping rule). Used by link-aware candidate
+    /// ordering in the Load Balancer.
+    pub fn frontend_worker_hop_ms(&self, dst: WorkerId, uniform_ms: f64) -> f64 {
+        match self {
+            LinkDelayModel::Uniform => uniform_ms,
+            LinkDelayModel::PerEdge { frontend_ms, .. } => *frontend_ms,
+            LinkDelayModel::PerWorkerClass {
+                classes,
+                frontend_ms,
+                ..
+            } => frontend_ms[dst.index() % classes],
+        }
+    }
+
+    /// Planning-time estimate of the `src` (hosting `src_task`) → `dst`
+    /// (hosting `dst_task`) hop delay (ms), mirroring
+    /// [`CompiledLinkDelays::hop_us`]. Used by link-aware candidate ordering.
+    pub fn worker_hop_ms(
+        &self,
+        src: WorkerId,
+        src_task: usize,
+        dst: WorkerId,
+        dst_task: usize,
+        uniform_ms: f64,
+    ) -> f64 {
+        match self {
+            LinkDelayModel::Uniform => uniform_ms,
+            LinkDelayModel::PerEdge {
+                default_ms, edges, ..
+            } => {
+                let _ = (src, dst);
+                edges
+                    .iter()
+                    .find(|((f, t), _)| *f == src_task && *t == dst_task)
+                    .map(|(_, ms)| *ms)
+                    .unwrap_or(*default_ms)
+            }
+            LinkDelayModel::PerWorkerClass {
+                classes, delay_ms, ..
+            } => {
+                let _ = (src_task, dst_task);
+                delay_ms[(src.index() % classes) * classes + (dst.index() % classes)]
+            }
+        }
+    }
+
     /// Compile into dense per-hop microsecond tables for the engine's dispatch
     /// path. Panics when [`LinkDelayModel::validate`] fails — the engine calls
     /// this once at construction, where a bad model is a configuration error.
@@ -325,6 +415,122 @@ impl CompiledLinkDelays {
                 hop_us[Self::striped_class(class_of, *classes, src) * classes
                     + Self::striped_class(class_of, *classes, dst)]
             }
+        }
+    }
+}
+
+/// Per-hop latency budgets a controller plans the SLO decomposition with, in
+/// milliseconds: one frontend-hop budget plus a dense per-pipeline-edge table.
+/// Derived from the run's [`LinkDelayModel`] by [`LinkDelayModel::hop_budgets`]
+/// (or [`HopBudgets::uniform`] for the historical single-scalar behaviour).
+///
+/// Replaces the scalar `effective_comm_ms` the planners used to budget every
+/// hop with: a path through cheap PCIe edges is no longer taxed as if every
+/// hop crossed the slowest network link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopBudgets {
+    /// Budget of a frontend → root-task hop (also charged for the final
+    /// aggregation hop back to the frontend).
+    frontend_ms: f64,
+    /// Row length of `edge_ms`.
+    num_tasks: usize,
+    /// Dense `(parent_task, child_task)` → ms budget table.
+    edge_ms: Vec<f64>,
+}
+
+impl HopBudgets {
+    /// Budgets where every hop (frontend and edges) costs `hop_ms`: exactly
+    /// the historical scalar model.
+    pub fn uniform(hop_ms: f64, num_tasks: usize) -> HopBudgets {
+        HopBudgets {
+            frontend_ms: hop_ms,
+            num_tasks,
+            edge_ms: vec![hop_ms; num_tasks * num_tasks],
+        }
+    }
+
+    /// Number of tasks the edge table covers.
+    pub fn num_tasks(&self) -> usize {
+        self.num_tasks
+    }
+
+    /// Budget of a frontend hop (ms).
+    #[inline]
+    pub fn frontend_ms(&self) -> f64 {
+        self.frontend_ms
+    }
+
+    /// Budget of the `parent → child` pipeline edge (ms); out-of-range edges
+    /// fall back to the worst edge budget (conservative).
+    #[inline]
+    pub fn edge_ms(&self, parent: usize, child: usize) -> f64 {
+        self.edge_ms
+            .get(parent * self.num_tasks + child)
+            .copied()
+            .unwrap_or_else(|| self.worst_edge_ms())
+    }
+
+    /// The largest per-edge budget (ms); 0 for a task-less pipeline.
+    pub fn worst_edge_ms(&self) -> f64 {
+        self.edge_ms.iter().fold(0.0f64, |a, &b| a.max(b))
+    }
+
+    /// The largest single-hop budget, frontend included (ms). Collapsing the
+    /// budgets through this reproduces the legacy scalar `effective_comm_ms`.
+    pub fn worst_hop_ms(&self) -> f64 {
+        self.frontend_ms.max(self.worst_edge_ms())
+    }
+
+    /// Total communication budget of a root-to-sink path visiting `tasks` in
+    /// order (ms): the frontend hop in, every traversed edge, and the final
+    /// aggregation hop back out. Under uniform budgets `c` this is exactly
+    /// the legacy `c * (len + 1)`.
+    pub fn path_comm_ms(&self, tasks: &[usize]) -> f64 {
+        let mut total = 2.0 * self.frontend_ms;
+        for pair in tasks.windows(2) {
+            total += self.edge_ms(pair[0], pair[1]);
+        }
+        total
+    }
+
+    /// Worst-case communication budget of *any* path of `len` tasks (ms):
+    /// the legacy length-based decomposition, kept for planners that bound
+    /// paths by length before enumerating them. Equals `path_comm_ms` for
+    /// every path under uniform budgets.
+    pub fn worst_path_comm_ms(&self, len: usize) -> f64 {
+        2.0 * self.frontend_ms + self.worst_edge_ms() * len.saturating_sub(1) as f64
+    }
+}
+
+/// How the Load Balancer orders equally attractive worker candidates when
+/// spreading demand (`route=` in the bench harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RouteMode {
+    /// Accuracy-first ordering (ties broken by worker id): the historical
+    /// behaviour, bit-identical to every pre-`route=` run.
+    #[default]
+    Accuracy,
+    /// Accuracy-first, but ties (replicas of the same variant) are ordered by
+    /// the actual upstream-hop delay from the run's [`LinkDelayModel`], so
+    /// demand prefers network-local replicas on heterogeneous interconnects.
+    LinkAware,
+}
+
+impl RouteMode {
+    /// Short label used by the bench harness (`route=` values).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteMode::Accuracy => "accuracy",
+            RouteMode::LinkAware => "link-aware",
+        }
+    }
+
+    /// Parse a `route=` value.
+    pub fn parse(s: &str) -> Option<RouteMode> {
+        match s {
+            "accuracy" => Some(RouteMode::Accuracy),
+            "link-aware" | "linkaware" | "link_aware" => Some(RouteMode::LinkAware),
+            _ => None,
         }
     }
 }
@@ -528,9 +734,12 @@ pub trait Controller: Send {
     /// Produce a new allocation plan, or `None` to keep the current one.
     fn plan(&mut self, observed: &ObservedState<'_>) -> Option<AllocationPlan>;
 
-    /// Produce new routing tables for the current worker assignments, or `None` to
-    /// keep the current ones.
-    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan>;
+    /// Produce new routing tables for the current worker assignments in the
+    /// engine's native compiled form (see [`crate::routing::CompiledPlan`]
+    /// for the compile-once contract), or `None` to keep the current ones.
+    /// Controllers that still build a legacy [`RoutingPlan`] can lower it
+    /// with [`crate::routing::CompiledPlan::from_routing_plan`].
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<crate::routing::CompiledPlan>;
 }
 
 /// An in-flight query (either a client query at the first task or an intermediate
@@ -635,7 +844,7 @@ impl<C: Controller + ?Sized> Controller for Box<C> {
         (**self).plan(observed)
     }
 
-    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<crate::routing::CompiledPlan> {
         (**self).routing(observed)
     }
 }

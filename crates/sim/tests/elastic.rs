@@ -13,9 +13,9 @@
 
 use loki_pipeline::{zoo, VariantId};
 use loki_sim::{
-    AllocationPlan, Controller, DropPolicy, ElasticAction, ElasticObservation, ElasticPolicy,
-    ElasticSimConfig, InstanceSpec, ObservedState, RoutingPlan, RunSummary, SimConfig, Simulation,
-    StaticFleet, WorkerClass, WorkerClassCatalog,
+    AllocationPlan, CompiledPlan, Controller, DropPolicy, ElasticAction, ElasticObservation,
+    ElasticPolicy, ElasticSimConfig, InstanceSpec, ObservedState, RoutingPlan, RunSummary,
+    SimConfig, Simulation, StaticFleet, WorkerClass, WorkerClassCatalog,
 };
 use loki_workload::{generate_arrivals, generators, ArrivalProcess};
 use std::collections::HashMap;
@@ -65,8 +65,9 @@ impl Controller for StaticController {
         Some(self.plan.clone())
     }
 
-    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<CompiledPlan> {
         let mut plan = RoutingPlan::default();
+        let mut num_tasks = 0;
         for w in observed.workers {
             if let Some(v) = w.variant {
                 if v.task == 0 {
@@ -76,9 +77,10 @@ impl Controller for StaticController {
                     .entry(v.task)
                     .or_default()
                     .push((w.id, 1.0));
+                num_tasks = num_tasks.max(v.task + 1);
             }
         }
-        Some(plan)
+        Some(CompiledPlan::from_routing_plan(&plan, num_tasks))
     }
 }
 

@@ -23,9 +23,9 @@
 
 use loki_pipeline::{zoo, PipelineGraph, VariantId};
 use loki_sim::{
-    apportion, AllocationPlan, ArbiterObservation, Controller, DropPolicy, InstanceSpec,
-    MultiPipeline, MultiSimConfig, MultiSimResult, MultiSimulation, ObservedState, ResourceArbiter,
-    RoutingPlan, SimConfig,
+    apportion, AllocationPlan, ArbiterObservation, CompiledPlan, Controller, DropPolicy,
+    InstanceSpec, MultiPipeline, MultiSimConfig, MultiSimResult, MultiSimulation, ObservedState,
+    ResourceArbiter, RoutingPlan, SimConfig,
 };
 use loki_workload::{generate_arrivals, generators, ArrivalProcess};
 use std::collections::HashMap;
@@ -71,8 +71,9 @@ impl Controller for StaticController {
         Some(self.plan.clone())
     }
 
-    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<RoutingPlan> {
+    fn routing(&mut self, observed: &ObservedState<'_>) -> Option<CompiledPlan> {
         let mut plan = RoutingPlan::default();
+        let mut num_tasks = 0;
         for w in observed.workers {
             if let Some(v) = w.variant {
                 if v.task == 0 {
@@ -82,9 +83,10 @@ impl Controller for StaticController {
                     .entry(v.task)
                     .or_default()
                     .push((w.id, 1.0));
+                num_tasks = num_tasks.max(v.task + 1);
             }
         }
-        Some(plan)
+        Some(CompiledPlan::from_routing_plan(&plan, num_tasks))
     }
 }
 

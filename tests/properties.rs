@@ -146,7 +146,7 @@ proptest! {
             fanout: &fanout,
             drop_policy: DropPolicy::OpportunisticRerouting,
             slo_divisor: 2.0,
-            comm_ms: 2.0,
+            budgets: loki_sim::HopBudgets::uniform(2.0, graph.num_tasks()),
             upgrade_with_leftover: true,
         };
         let out = GreedyAllocator::new().allocate(&ctx);
