@@ -26,7 +26,7 @@ const USAGE: &str = "loki — the Loki evaluation harness
 
 USAGE:
   loki list   [--json]                                 list registered scenarios
-  loki run    <scenario> [key=value ...] [--json] [--jobs N]
+  loki run    <scenario> [key=value ...] [--json] [--jobs N] [--trace PATH]
   loki sweep  <scenario> [axis=v1,v2,...] [key=value ...] [--json] [--csv] [--jobs N] [--serial]
   loki report [out=PATH] [runs=N] [skip_large=1] [skip_stress=1] [--jobs N]
   loki help
@@ -36,7 +36,13 @@ jobs (engine lane threads for multi-pipeline scenarios; bit-identical),
 links (uniform, two-tier, edge-split), elastic (fixed, static-peak,
 static-mean, autoscale), classes (uniform, mixed), spot (true/false),
 revoke (spot revocations per worker-hour), stockout (probability),
-provisioner (reactive, forecast), route (accuracy, link-aware).
+provisioner (reactive, forecast), route (accuracy, link-aware),
+trace (sample every Nth root query; 0 = off), profile (engine phase
+timers, true/false), hist (latency histograms, default true).
+
+`run --trace PATH` executes the scenario's canonical point with tracing on
+(trace=100 unless overridden) and writes Chrome trace-event JSON to PATH —
+load it in Perfetto (ui.perfetto.dev) or chrome://tracing.
 Sweep axes (comma-separated lists): controllers, slo, peak, cluster, links,
 route, elastic, spot, revoke, stockout, provisioner, jobs, seed.
 Multi-seed sweeps report cross-seed mean/stddev per axis point; --csv emits one
@@ -55,6 +61,8 @@ struct Flags {
     csv: bool,
     jobs: Option<usize>,
     serial: bool,
+    /// Output path for Chrome trace-event JSON (`run` only).
+    trace: Option<String>,
     /// Remaining `key=value` operands.
     kv: Vec<String>,
 }
@@ -65,6 +73,7 @@ fn parse_flags(args: &[String]) -> Flags {
         csv: false,
         jobs: None,
         serial: false,
+        trace: None,
         kv: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -81,6 +90,12 @@ fn parse_flags(args: &[String]) -> Flags {
                     Ok(n) if n >= 1 => flags.jobs = Some(n),
                     _ => fail(&format!("invalid --jobs value {value:?}")),
                 }
+            }
+            "--trace" => {
+                let Some(value) = iter.next() else {
+                    fail("--trace requires an output path");
+                };
+                flags.trace = Some(value.clone());
             }
             other if other.starts_with("--") => fail(&format!("unknown flag {other:?}")),
             other => flags.kv.push(other.to_string()),
@@ -111,6 +126,9 @@ fn cmd_list(args: &[String]) {
     let flags = parse_flags(args);
     if flags.csv {
         fail("--csv is only available for sweep");
+    }
+    if flags.trace.is_some() {
+        fail("--trace is only available for run");
     }
     if !flags.kv.is_empty() {
         fail(&format!("list takes no operands, got {:?}", flags.kv));
@@ -203,15 +221,66 @@ fn cmd_run(args: &[String]) {
     if let Err(message) = cfg.apply_overrides(overrides.iter().map(String::as_str)) {
         fail(&message);
     }
+    if let Some(path) = &flags.trace {
+        cmd_run_traced(sc, cfg, path, &flags);
+        return;
+    }
     let runner = runner_from_flags(&flags);
     let report = figures::run_scenario(sc, &cfg, &runner);
     emit(&report, flags.json);
+}
+
+/// `run --trace PATH`: execute the scenario's canonical point once with query
+/// tracing enabled and write the Chrome trace-event JSON to `path`. Skips the
+/// kind-specific executor — the trace is the deliverable, not the figure.
+fn cmd_run_traced(sc: &Scenario, mut cfg: loki_bench::ExperimentConfig, path: &str, flags: &Flags) {
+    if cfg.trace_sample == 0 {
+        cfg.trace_sample = 100;
+    }
+    let runner = runner_from_flags(flags);
+    let mut results = runner.run(vec![scenario::scenario_point(sc, &cfg)]);
+    let point = results.remove(0);
+    let Some(trace) = &point.result.trace else {
+        fail("run produced no trace (simulation recorded zero sampled roots)");
+    };
+    if let Err(err) = std::fs::write(path, trace.to_chrome_json()) {
+        fail(&format!("cannot write trace to {path:?}: {err}"));
+    }
+    let s = &point.result.summary;
+    if flags.json {
+        let mut obj = Json::object();
+        obj.push("scenario", sc.name.into())
+            .push("trace_path", path.into())
+            .push("trace_sample", cfg.trace_sample.into())
+            .push("roots", Json::UInt(trace.roots.len() as u64))
+            .push("spans", Json::UInt(trace.num_spans() as u64))
+            .push("p50_ms", s.p50_ms.into())
+            .push("p99_ms", s.p99_ms.into());
+        print!("{}", obj.render());
+    } else {
+        println!(
+            "traced {}: {} sampled roots, {} spans (every {}th arrival) -> {}",
+            sc.name,
+            trace.roots.len(),
+            trace.num_spans(),
+            cfg.trace_sample,
+            path
+        );
+        println!(
+            "latency_ms p50 {:.1}  p90 {:.1}  p99 {:.1}  p999 {:.1}",
+            s.p50_ms, s.p90_ms, s.p99_ms, s.p999_ms
+        );
+        println!("open in Perfetto (ui.perfetto.dev) or chrome://tracing");
+    }
 }
 
 fn cmd_sweep(args: &[String]) {
     let flags = parse_flags(args);
     if flags.json && flags.csv {
         fail("--json and --csv are mutually exclusive");
+    }
+    if flags.trace.is_some() {
+        fail("--trace is only available for run");
     }
     let Some((name, operands)) = flags.kv.split_first() else {
         fail("sweep requires a scenario name");
@@ -374,17 +443,17 @@ fn cmd_sweep(args: &[String]) {
             "axis point", "seeds", "slo_viol", "accuracy", "on_time"
         );
         for agg in report::aggregate_sweep(&points, &results) {
-            // SWEEP_METRICS order: on_time, late, dropped, slo_violation_ratio,
-            // system_accuracy, mean_utilization, wall_s.
+            // SWEEP_METRICS indices: 0 = on_time, 6 = slo_violation_ratio,
+            // 7 = system_accuracy (see report::SWEEP_METRICS for the full order).
             let _ = writeln!(
                 out,
                 "{:<34} {:>7} {:>12.4} ± {:>7.4} {:>12.4} ± {:>7.4} {:>11.1} ± {:>6.1}",
                 agg.label,
                 agg.seeds.len(),
-                agg.mean[3],
-                agg.stddev[3],
-                agg.mean[4],
-                agg.stddev[4],
+                agg.mean[6],
+                agg.stddev[6],
+                agg.mean[7],
+                agg.stddev[7],
                 agg.mean[0],
                 agg.stddev[0],
             );
@@ -397,6 +466,9 @@ fn cmd_report(args: &[String]) {
     let flags = parse_flags(args);
     if flags.json || flags.csv {
         fail("report is always JSON; drop --json/--csv");
+    }
+    if flags.trace.is_some() {
+        fail("--trace is only available for run");
     }
     let mut out_path = "BENCH_sim.json".to_string();
     let mut skip_large = false;

@@ -75,22 +75,68 @@ pub fn run_scenario(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> S
     }
 }
 
-/// JSON view of a whole-run summary.
+/// JSON view of a whole-run summary. Every field here is simulated state
+/// (bit-identical across `jobs=` values); host-time measurements live in the
+/// separate profile object.
 pub fn summary_json(s: &RunSummary) -> Json {
     let mut obj = Json::object();
     obj.push("total_arrivals", s.total_arrivals.into())
         .push("on_time", s.total_on_time.into())
         .push("late", s.total_late.into())
         .push("dropped", s.total_dropped.into())
+        .push("dropped_deadline", s.total_dropped_deadline.into())
+        .push("dropped_reclaimed", s.total_dropped_reclaimed.into())
+        .push("dropped_revoked", s.total_dropped_revoked.into())
         .push("slo_violation_ratio", s.slo_violation_ratio.into())
         .push("system_accuracy", s.system_accuracy.into())
         .push("mean_utilization", s.mean_utilization.into())
+        .push("p50_ms", s.p50_ms.into())
+        .push("p90_ms", s.p90_ms.into())
+        .push("p99_ms", s.p99_ms.into())
+        .push("p999_ms", s.p999_ms.into())
         .push("min_active_workers", s.min_active_workers.into())
         .push("max_active_workers", s.max_active_workers.into())
         .push("peak_goodput", s.peak_goodput.into())
         .push("rerouted", s.total_rerouted.into())
         .push("events_processed", s.events_processed.into());
     obj
+}
+
+/// JSON view of an engine self-profile: host wall-clock seconds per dispatch
+/// phase (`profile=true` runs only). Host time, not simulated time — these
+/// fields are excluded from determinism comparisons, like `lane_wall_s`.
+pub fn profile_json(p: &loki_sim::PhaseProfile) -> Json {
+    let mut obj = Json::object();
+    obj.push("arrival_s", p.arrival_s.into())
+        .push("delivery_s", p.delivery_s.into())
+        .push("batch_s", p.batch_s.into())
+        .push("control_s", p.control_s.into())
+        .push("routing_s", p.routing_s.into())
+        .push("metrics_s", p.metrics_s.into())
+        .push("swap_s", p.swap_s.into())
+        .push("market_s", p.market_s.into())
+        .push("elastic_s", p.elastic_s.into())
+        .push("rebalance_s", p.rebalance_s.into())
+        .push("lane_total_s", p.lane_total_s().into());
+    obj
+}
+
+/// One-line text rendering of an engine self-profile.
+pub fn profile_text(p: &loki_sim::PhaseProfile) -> String {
+    format!(
+        "engine profile (host-s): arrival {:.4}  delivery {:.4}  batch {:.4}  control {:.4}  \
+         routing {:.4}  metrics {:.4}  swap {:.4}  market {:.4}  elastic {:.4}  rebalance {:.4}",
+        p.arrival_s,
+        p.delivery_s,
+        p.batch_s,
+        p.control_s,
+        p.routing_s,
+        p.metrics_s,
+        p.swap_s,
+        p.market_s,
+        p.elastic_s,
+        p.rebalance_s
+    )
 }
 
 /// JSON view of the experiment knobs a report was produced with.
@@ -113,7 +159,10 @@ pub fn config_json(cfg: &ExperimentConfig) -> Json {
         .push("revoke_per_hour", cfg.revoke_per_hour.into())
         .push("stockout", cfg.stockout.into())
         .push("provisioner", cfg.provisioner.name().into())
-        .push("route", cfg.route.label().into());
+        .push("route", cfg.route.label().into())
+        .push("trace", cfg.trace_sample.into())
+        .push("profile", cfg.profile.into())
+        .push("hist", cfg.hist.into());
     obj
 }
 
@@ -413,12 +462,31 @@ fn throughput(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Scenari
     }
     let _ = writeln!(
         text,
-        "on_time {}  late {}  dropped {}  accuracy {:.4}",
-        s.total_on_time, s.total_late, s.total_dropped, s.system_accuracy
+        "on_time {}  late {}  dropped {} (deadline {}, reclaimed {}, revoked {})  accuracy {:.4}",
+        s.total_on_time,
+        s.total_late,
+        s.total_dropped,
+        s.total_dropped_deadline,
+        s.total_dropped_reclaimed,
+        s.total_dropped_revoked,
+        s.system_accuracy
     );
+    if results[0].result.latency.is_some() {
+        let _ = writeln!(
+            text,
+            "latency_ms p50 {:.1}  p90 {:.1}  p99 {:.1}  p999 {:.1}",
+            s.p50_ms, s.p90_ms, s.p99_ms, s.p999_ms
+        );
+    }
+    if let Some(p) = &results[0].result.profile {
+        let _ = writeln!(text, "{}", profile_text(p));
+    }
 
     let mut json = report_header(sc, cfg);
     json.push("throughput", entry);
+    if let Some(p) = &results[0].result.profile {
+        json.push("profile", profile_json(p));
+    }
     ScenarioReport { text, json }
 }
 
@@ -490,6 +558,10 @@ fn multi_pipeline(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Sce
             .push("lane_wall_s", lane.lane_wall_s.into())
             .push("barrier_wait_s", lane.barrier_wait_s.into())
             .push("summary", summary_json(s));
+        if let Some(p) = &lane.profile {
+            let _ = writeln!(text, "{:<12} {}", "", profile_text(p));
+            row.push("profile", profile_json(p));
+        }
         rows.push(row);
     }
     let agg = &point.result.summary;
@@ -517,6 +589,10 @@ fn multi_pipeline(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Sce
         .push("pipelines", Json::Arr(rows))
         .push("aggregate_slo_attainment", slo_attainment(agg).into())
         .push("aggregate", summary_json(agg));
+    if let Some(p) = &point.result.profile {
+        let _ = writeln!(text, "{}", profile_text(p));
+        json.push("profile", profile_json(p));
+    }
     ScenarioReport { text, json }
 }
 
@@ -812,7 +888,14 @@ pub fn throughput_entry_json(name: &str, runs: usize, point: &PointResult) -> Js
         .push("on_time", s.total_on_time.into())
         .push("late", s.total_late.into())
         .push("dropped", s.total_dropped.into())
-        .push("system_accuracy", s.system_accuracy.into());
+        .push("dropped_deadline", s.total_dropped_deadline.into())
+        .push("dropped_reclaimed", s.total_dropped_reclaimed.into())
+        .push("dropped_revoked", s.total_dropped_revoked.into())
+        .push("system_accuracy", s.system_accuracy.into())
+        .push("p50_ms", s.p50_ms.into())
+        .push("p90_ms", s.p90_ms.into())
+        .push("p99_ms", s.p99_ms.into())
+        .push("p999_ms", s.p999_ms.into());
     if let Some(cost) = &point.cost {
         entry.push("cost", cost_json(cost));
     }

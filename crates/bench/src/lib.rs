@@ -295,6 +295,17 @@ pub struct ExperimentConfig {
     /// default). `link-aware` breaks equal-accuracy ties toward replicas on
     /// cheap links of the `links` profile and budgets the SLO per hop.
     pub route: RouteMode,
+    /// Deterministic query-trace sampling: record a span tree for every Nth
+    /// root query (`trace=` key; `0` disables tracing). The sample set is
+    /// seed-stable and identical for every `jobs=` value.
+    pub trace_sample: u64,
+    /// Engine self-profiling: accumulate per-phase wall-clock timers in the
+    /// dispatch loop (`profile=` key, `true`/`false`). Host time only — never
+    /// affects simulated results.
+    pub profile: bool,
+    /// Latency histograms (p50/p90/p99/p999) per task, worker class, and
+    /// end-to-end (`hist=` key; on by default, `false` to disable).
+    pub hist: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -318,6 +329,9 @@ impl Default for ExperimentConfig {
             stockout: 0.0,
             provisioner: ProvisionerKind::Reactive,
             route: RouteMode::Accuracy,
+            trace_sample: 0,
+            profile: false,
+            hist: true,
         }
     }
 }
@@ -396,9 +410,12 @@ impl ExperimentConfig {
                     format!("invalid value for route: {value:?} (known: accuracy, link-aware)")
                 })?
             }
+            "trace" => self.trace_sample = parse(key, value)?,
+            "profile" => self.profile = parse(key, value)?,
+            "hist" => self.hist = parse(key, value)?,
             _ => {
                 return Err(format!(
-                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, jobs, links, elastic, classes, spot, revoke, stockout, provisioner, route)"
+                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, jobs, links, elastic, classes, spot, revoke, stockout, provisioner, route, trace, profile, hist)"
                 ))
             }
         }
@@ -631,6 +648,11 @@ pub fn sim_config(cfg: &ExperimentConfig, trace: &Trace) -> SimConfig {
         initial_demand_hint: Some(trace.qps_at(0).max(1.0)),
         drain_s: cfg.drain_s,
         link_delays: cfg.links.to_model(),
+        observe: loki_sim::ObserveConfig {
+            trace_sample: cfg.trace_sample,
+            profile: cfg.profile,
+            histograms: cfg.hist,
+        },
         ..SimConfig::default()
     }
 }
@@ -685,6 +707,9 @@ pub fn bucketize(intervals: &[IntervalMetrics], bucket_s: usize) -> Vec<Interval
             agg.completed_on_time += m.completed_on_time;
             agg.completed_late += m.completed_late;
             agg.dropped += m.dropped;
+            agg.dropped_deadline += m.dropped_deadline;
+            agg.dropped_reclaimed += m.dropped_reclaimed;
+            agg.dropped_revoked += m.dropped_revoked;
             agg.accuracy_sum += m.accuracy_sum;
             agg.accuracy_count += m.accuracy_count;
             agg.rerouted += m.rerouted;
@@ -773,14 +798,24 @@ pub fn format_summary_table(results: &[(String, SimResult)]) -> String {
     let mut out = String::from("\n");
     let _ = writeln!(
         out,
-        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
-        "system", "arrivals", "on_time", "late", "dropped", "slo_viol", "accuracy", "mean_util"
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8} {:>8} {:>8}",
+        "system",
+        "arrivals",
+        "on_time",
+        "late",
+        "dropped",
+        "slo_viol",
+        "accuracy",
+        "mean_util",
+        "p50_ms",
+        "p99_ms",
+        "p999_ms"
     );
     for (name, r) in results {
         let s = &r.summary;
         let _ = writeln!(
             out,
-            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12.4} {:>12.4} {:>10.3}",
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>12.4} {:>12.4} {:>10.3} {:>8.1} {:>8.1} {:>8.1}",
             name,
             s.total_arrivals,
             s.total_on_time,
@@ -788,7 +823,10 @@ pub fn format_summary_table(results: &[(String, SimResult)]) -> String {
             s.total_dropped,
             s.slo_violation_ratio,
             s.system_accuracy,
-            s.mean_utilization
+            s.mean_utilization,
+            s.p50_ms,
+            s.p99_ms,
+            s.p999_ms
         );
     }
     out
@@ -848,6 +886,9 @@ mod tests {
                 completed_on_time: 8,
                 completed_late: 1,
                 dropped: 1,
+                dropped_deadline: 1,
+                dropped_reclaimed: 0,
+                dropped_revoked: 0,
                 accuracy_sum: 8.0,
                 accuracy_count: 9,
                 active_workers: 5,

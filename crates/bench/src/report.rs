@@ -162,14 +162,25 @@ impl From<bool> for Json {
 
 /// The metrics a sweep point contributes to cross-seed statistics, in the
 /// column order of [`sweep_csv`]. The cost columns are zero for fixed-fleet
-/// points (no billing) and for per-pipeline rows (cost is cluster-level).
-pub const SWEEP_METRICS: [&str; 14] = [
+/// points (no billing) and for per-pipeline rows (cost is cluster-level); the
+/// percentile columns are zero when `hist=false` disabled the latency
+/// histograms; the control-plane columns (`plan_build_s`,
+/// `routing_cache_*`, `routing_warnings`) are zero for controllers that do
+/// not track [`loki_core::ControllerStats`].
+pub const SWEEP_METRICS: [&str; 25] = [
     "on_time",
     "late",
     "dropped",
+    "dropped_deadline",
+    "dropped_reclaimed",
+    "dropped_revoked",
     "slo_violation_ratio",
     "system_accuracy",
     "mean_utilization",
+    "p50_ms",
+    "p90_ms",
+    "p99_ms",
+    "p999_ms",
     "wall_s",
     "gpu_hours",
     "cost_usd",
@@ -178,23 +189,36 @@ pub const SWEEP_METRICS: [&str; 14] = [
     "stockouts",
     "spot_usd",
     "ondemand_usd",
+    "plan_build_s",
+    "routing_cache_consults",
+    "routing_cache_hits",
+    "routing_warnings",
 ];
 
 /// The [`SWEEP_METRICS`] column values of one summary; `wall_s` is the run's
 /// wall-clock (shared by every pipeline of a multi-pipeline point), `cost`
-/// the run's fleet billing (elastic runs only).
+/// the run's fleet billing (elastic runs only), `stats` the control-plane
+/// statistics of whichever controller produced the summary.
 fn summary_metrics(
     s: &loki_sim::RunSummary,
     wall_s: f64,
     cost: Option<&loki_sim::CostSummary>,
-) -> [f64; 14] {
+    stats: Option<&loki_core::ControllerStats>,
+) -> [f64; 25] {
     [
         s.total_on_time as f64,
         s.total_late as f64,
         s.total_dropped as f64,
+        s.total_dropped_deadline as f64,
+        s.total_dropped_reclaimed as f64,
+        s.total_dropped_revoked as f64,
         s.slo_violation_ratio,
         s.system_accuracy,
         s.mean_utilization,
+        s.p50_ms,
+        s.p90_ms,
+        s.p99_ms,
+        s.p999_ms,
         wall_s,
         cost.map_or(0.0, |c| c.gpu_hours()),
         cost.map_or(0.0, |c| c.total_dollars),
@@ -203,11 +227,20 @@ fn summary_metrics(
         cost.map_or(0.0, |c| c.stockouts as f64),
         cost.map_or(0.0, |c| c.spot_dollars),
         cost.map_or(0.0, |c| c.ondemand_dollars),
+        stats.map_or(0.0, |st| st.plan_build_time_s),
+        stats.map_or(0.0, |st| st.routing_cache_consults as f64),
+        stats.map_or(0.0, |st| st.routing_cache_hits as f64),
+        stats.map_or(0.0, |st| st.routing_warnings_total as f64),
     ]
 }
 
-fn metric_values(point: &PointResult) -> [f64; 14] {
-    summary_metrics(&point.result.summary, point.wall_s, point.cost.as_ref())
+fn metric_values(point: &PointResult) -> [f64; 25] {
+    summary_metrics(
+        &point.result.summary,
+        point.wall_s,
+        point.cost.as_ref(),
+        point.controller_stats.as_ref(),
+    )
 }
 
 /// One axis point of a sweep (every knob except the seed), aggregated across
@@ -219,10 +252,10 @@ pub struct AxisAggregate {
     /// Seeds aggregated, in grid order.
     pub seeds: Vec<u64>,
     /// Per-metric means, ordered as [`SWEEP_METRICS`].
-    pub mean: [f64; 14],
+    pub mean: [f64; 25],
     /// Per-metric sample standard deviations (0 for a single seed), ordered as
     /// [`SWEEP_METRICS`].
-    pub stddev: [f64; 14],
+    pub stddev: [f64; 25],
 }
 
 /// The grouping key of an axis point: everything the grid varies except the
@@ -267,7 +300,7 @@ pub fn aggregate_sweep(points: &[RunPoint], results: &[PointResult]) -> Vec<Axis
         key: AxisKey,
         label: String,
         seeds: Vec<u64>,
-        rows: Vec<[f64; 14]>,
+        rows: Vec<[f64; 25]>,
     }
     let mut groups: Vec<Group> = Vec::new();
     for (point, result) in points.iter().zip(results) {
@@ -293,8 +326,8 @@ pub fn aggregate_sweep(points: &[RunPoint], results: &[PointResult]) -> Vec<Axis
                  label, seeds, rows, ..
              }| {
                 let n = rows.len() as f64;
-                let mut mean = [0.0; 14];
-                let mut stddev = [0.0; 14];
+                let mut mean = [0.0; 25];
+                let mut stddev = [0.0; 25];
                 for row in &rows {
                     for (m, v) in mean.iter_mut().zip(row) {
                         *m += v / n;
@@ -421,7 +454,10 @@ pub fn sweep_csv(scenario: &str, points: &[RunPoint], results: &[PointResult]) -
             row.push(format!("{}", point.cfg.seed));
             row.push(format!("{}", s.total_arrivals));
             // Cost is cluster-level; per-pipeline rows carry zeros.
-            row.extend(summary_metrics(s, result.wall_s, None).map(|v| format!("{v}")));
+            row.extend(
+                summary_metrics(s, result.wall_s, None, lane.controller_stats.as_ref())
+                    .map(|v| format!("{v}")),
+            );
             csv_row(&mut out, &row);
         }
     }

@@ -385,6 +385,9 @@ pub struct PipelineSummary {
     /// The lane's control-plane statistics, when its controller tracks them
     /// (threaded out through `MultiSimulation::into_pipelines`).
     pub controller_stats: Option<ControllerStats>,
+    /// The lane's engine self-profile (host seconds per dispatch phase) —
+    /// `Some` only for `profile=true` runs, next to `lane_wall_s`.
+    pub profile: Option<loki_sim::PhaseProfile>,
 }
 
 /// Cluster-arbitration statistics of a multi-pipeline point.
@@ -627,6 +630,7 @@ impl RunPoint {
                         lane_wall_s,
                         barrier_wait_s,
                         controller_stats: stats.clone(),
+                        profile: p.result.profile,
                     },
                 )
                 .collect(),

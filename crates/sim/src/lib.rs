@@ -39,6 +39,7 @@ pub mod par;
 pub mod routing;
 mod shard;
 pub mod slab;
+pub mod trace;
 pub mod types;
 pub mod worker;
 
@@ -57,6 +58,10 @@ pub use multi::{
 pub use par::par_map;
 pub use routing::{AliasTable, CompiledPlan, PlanBuilder};
 pub use slab::{Slab, SlotRef};
+pub use trace::{
+    CriticalPath, Histogram, LatencyStats, ObserveConfig, PhaseProfile, RootTrace, Span, SpanKind,
+    TraceLog,
+};
 pub use types::{
     AllocationPlan, BackupWorker, CompiledLinkDelays, Controller, DropPolicy, HopBudgets,
     InstanceSpec, LinkDelayModel, ObservedState, Query, RouteMode, RoutingPlan, SimConfig,

@@ -16,7 +16,17 @@ pub struct IntervalMetrics {
     /// Root queries that completed but missed their SLO.
     pub completed_late: u64,
     /// Root queries dropped (preemptively or because their workers were reclaimed).
+    /// Always `dropped_deadline + dropped_reclaimed + dropped_revoked`.
     pub dropped: u64,
+    /// Of `dropped`: deadline-expired drops — drop policies firing, failed
+    /// reroutes, unroutable queries, and roots still in flight at run end.
+    pub dropped_deadline: u64,
+    /// Of `dropped`: queries lost because their worker was reclaimed by a
+    /// rebalance/repartition (orphan re-home failed).
+    pub dropped_reclaimed: u64,
+    /// Of `dropped`: queries lost to spot-market revocations (forced drains
+    /// and revocation-deadline batch kills whose re-queue failed).
+    pub dropped_revoked: u64,
     /// Sum of the end-to-end accuracy experienced by queries served in this interval
     /// (averaged over the paths each query actually took).
     pub accuracy_sum: f64,
@@ -84,6 +94,12 @@ pub struct RunSummary {
     pub total_late: u64,
     /// Total dropped.
     pub total_dropped: u64,
+    /// Of `total_dropped`: deadline-expired drops.
+    pub total_dropped_deadline: u64,
+    /// Of `total_dropped`: drops caused by rebalance worker reclaims.
+    pub total_dropped_reclaimed: u64,
+    /// Of `total_dropped`: drops caused by spot-market revocations.
+    pub total_dropped_revoked: u64,
     /// System accuracy: average accuracy over all *served* queries.
     pub system_accuracy: f64,
     /// Overall SLO violation ratio: (late + dropped) / finished.
@@ -104,6 +120,17 @@ pub struct RunSummary {
     /// derived from intervals); the denominator for simulator-throughput
     /// benchmarks.
     pub events_processed: u64,
+    /// Median end-to-end latency of served roots, milliseconds (0 when the
+    /// latency histograms were disabled or nothing was served). Set by the
+    /// engine from the run's [`crate::trace::LatencyStats`], not derived from
+    /// intervals.
+    pub p50_ms: f64,
+    /// 90th-percentile end-to-end latency, milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile end-to-end latency, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th-percentile end-to-end latency, milliseconds.
+    pub p999_ms: f64,
 }
 
 impl RunSummary {
@@ -122,6 +149,9 @@ impl RunSummary {
             s.total_on_time += m.completed_on_time;
             s.total_late += m.completed_late;
             s.total_dropped += m.dropped;
+            s.total_dropped_deadline += m.dropped_deadline;
+            s.total_dropped_reclaimed += m.dropped_reclaimed;
+            s.total_dropped_revoked += m.dropped_revoked;
             s.total_rerouted += m.rerouted;
             accuracy_sum += m.accuracy_sum;
             accuracy_count += m.accuracy_count;
@@ -223,6 +253,9 @@ mod tests {
             completed_on_time: on_time,
             completed_late: late,
             dropped,
+            dropped_deadline: dropped,
+            dropped_reclaimed: 0,
+            dropped_revoked: 0,
             accuracy_sum: acc * (on_time + late) as f64,
             accuracy_count: on_time + late,
             active_workers: active,
@@ -257,6 +290,8 @@ mod tests {
         assert_eq!(s.total_on_time, 140);
         assert_eq!(s.total_late, 30);
         assert_eq!(s.total_dropped, 30);
+        assert_eq!(s.total_dropped_deadline, 30);
+        assert_eq!(s.total_dropped_reclaimed, 0);
         assert!((s.slo_violation_ratio - 0.3).abs() < 1e-12);
         // accuracy: (95*1.0 + 75*0.9) / 170
         let expected_acc = (95.0 + 67.5) / 170.0;

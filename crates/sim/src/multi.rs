@@ -209,6 +209,11 @@ pub struct MultiSimResult {
     /// cost lives here and on the [`MultiSimResult::aggregate`] result, not
     /// on the per-pipeline ones).
     pub cost: Option<CostSummary>,
+    /// Cluster-driver self-profile (rebalance/elastic/market/swap phases) —
+    /// `Some` only when `observe.profile` was on. Per-lane dispatch phases
+    /// live on the individual [`PipelineResult`]s; [`MultiSimResult::aggregate`]
+    /// merges both into one profile.
+    pub profile: Option<crate::trace::PhaseProfile>,
 }
 
 impl MultiSimResult {
@@ -241,6 +246,9 @@ impl MultiSimResult {
                 agg.completed_on_time += m.completed_on_time;
                 agg.completed_late += m.completed_late;
                 agg.dropped += m.dropped;
+                agg.dropped_deadline += m.dropped_deadline;
+                agg.dropped_reclaimed += m.dropped_reclaimed;
+                agg.dropped_revoked += m.dropped_revoked;
                 agg.accuracy_sum += m.accuracy_sum;
                 agg.accuracy_count += m.accuracy_count;
                 agg.rerouted += m.rerouted;
@@ -253,10 +261,49 @@ impl MultiSimResult {
         let name = format!("multi({})", self.arbiter);
         let mut summary = RunSummary::from_intervals(&name, &intervals);
         summary.events_processed = self.total_events;
+        // Latency histograms merge exactly (fixed bucket layout), so the
+        // aggregate percentiles are the true cluster-level percentiles, not an
+        // average of per-pipeline ones.
+        let mut latency: Option<crate::trace::LatencyStats> = None;
+        for p in &self.pipelines {
+            if let Some(l) = &p.result.latency {
+                match &mut latency {
+                    Some(agg) => agg.merge(l),
+                    None => latency = Some(l.clone()),
+                }
+            }
+        }
+        if let Some(l) = &latency {
+            [
+                summary.p50_ms,
+                summary.p90_ms,
+                summary.p99_ms,
+                summary.p999_ms,
+            ] = l.e2e.percentiles_ms();
+        }
+        // Sampled traces concatenate in registration order (each root records
+        // its lane, so provenance survives the merge).
+        let mut roots = Vec::new();
+        for p in &self.pipelines {
+            if let Some(t) = &p.result.trace {
+                roots.extend(t.roots.iter().cloned());
+            }
+        }
+        let trace = (!roots.is_empty()).then_some(crate::trace::TraceLog { roots });
+        // Lane dispatch phases plus the cluster driver's phases, merged.
+        let mut profile = self.profile;
+        for p in &self.pipelines {
+            if let Some(lane) = &p.result.profile {
+                profile.get_or_insert_with(Default::default).merge(lane);
+            }
+        }
         SimResult {
             intervals,
             summary,
             cost: self.cost.clone(),
+            latency,
+            trace,
+            profile,
         }
     }
 }
@@ -407,6 +454,7 @@ impl<'a, C: Controller + 'a> MultiSimulation<'a, C> {
             rebalances: engine.rebalances(),
             migrations: engine.migrations(),
             cost: engine.take_cost(),
+            profile: engine.take_cluster_profile(),
         })
     }
 

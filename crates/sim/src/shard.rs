@@ -48,6 +48,16 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// not yet re-granted).
 pub(crate) const FREE: u32 = u32::MAX;
 
+// Phase tags of the dispatch loop's self-profiler (indices into
+// [`crate::trace::PhaseProfile`]'s lane-side fields).
+const PHASE_ARRIVAL: u8 = 0;
+const PHASE_DELIVERY: u8 = 1;
+const PHASE_BATCH: u8 = 2;
+const PHASE_CONTROL: u8 = 3;
+const PHASE_ROUTING: u8 = 4;
+const PHASE_METRICS: u8 = 5;
+const PHASE_SWAP: u8 = 6;
+
 /// The shared worker fleet. Interior mutability with *external* synchronization:
 /// see the module docs for the aliasing contract that makes the unsafe `Sync`
 /// impl and the `&self` mutators sound.
@@ -121,15 +131,36 @@ pub(crate) enum LaneEvent {
     Delivery { worker: WorkerId, query: Query },
 }
 
+/// Why a root (or one of its branches) was dropped. The *first* cause sticks:
+/// a root that loses a branch to a revocation and later expires is a
+/// revocation loss, not a deadline miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum DropCause {
+    /// Deadline-expired: drop policies firing, failed reroutes, unroutable
+    /// queries, and roots still in flight when the run ends.
+    Deadline = 1,
+    /// The query's worker was reclaimed by a rebalance/repartition and no
+    /// fallback worker could take it.
+    Reclaimed = 2,
+    /// Lost to a spot-market revocation (forced drain or revocation-deadline
+    /// batch kill) with no surviving worker to re-queue on.
+    Revoked = 3,
+}
+
 /// Tracking state of a root (client) request while any of its sub-queries are in
 /// flight.
 #[derive(Debug, Clone)]
 pub(crate) struct RootState {
-    deadline_us: SimTime,
+    pub(crate) deadline_us: SimTime,
     outstanding: usize,
     accuracy_sum: f64,
-    accuracy_count: usize,
-    any_dropped: bool,
+    pub(crate) accuracy_count: usize,
+    /// First [`DropCause`] that hit any branch of this root (0 = none).
+    pub(crate) drop_cause: u8,
+    /// Slot in the lane's [`crate::trace::LaneTracer`] when this root is
+    /// sampled for tracing; `u32::MAX` otherwise.
+    pub(crate) trace_slot: u32,
 }
 
 /// One pipeline to serve: its graph, arrival trace, and initial demand hint.
@@ -188,6 +219,13 @@ pub(crate) struct LaneState<'a> {
     // signal for fleet-scaling policies; unused when elastic is off).
     pub(crate) window_on_time: u64,
     pub(crate) window_finished: u64,
+
+    // Observability (see `crate::trace`): all observation-only — none of these
+    // consume RNG draws or change event ordering.
+    /// Latency histograms (`observe.histograms`, on by default).
+    pub(crate) hists: Option<Box<crate::trace::LatencyStats>>,
+    /// Sampled query tracer (`observe.trace_sample > 0`).
+    pub(crate) tracer: Option<Box<crate::trace::LaneTracer>>,
 
     // Metrics.
     pub(crate) current: crate::metrics::IntervalMetrics,
@@ -258,6 +296,16 @@ impl<'a> LaneState<'a> {
             first_control_tick: true,
             window_on_time: 0,
             window_finished: 0,
+            hists: config.observe.histograms.then(|| {
+                let num_classes = config
+                    .elastic
+                    .as_ref()
+                    .map(|e| e.catalog.len())
+                    .unwrap_or(1);
+                Box::new(crate::trace::LatencyStats::new(num_tasks, num_classes))
+            }),
+            tracer: (config.observe.trace_sample > 0)
+                .then(|| Box::new(crate::trace::LaneTracer::new(config.observe.trace_sample))),
             current: crate::metrics::IntervalMetrics::default(),
             intervals: Vec::new(),
             events_processed: 0,
@@ -336,6 +384,9 @@ pub(crate) struct Shard<'a> {
     /// worker threads than lanes this overstates waiting, since queued shards
     /// also accrue the gap).
     pub(crate) barrier_wait_s: f64,
+    /// Per-phase wall-clock attribution of this shard's dispatch loop
+    /// (`observe.profile`; `None` means no timer calls at all).
+    pub(crate) profile: Option<Box<crate::trace::PhaseProfile>>,
 }
 
 impl<'a> Shard<'a> {
@@ -364,6 +415,10 @@ impl<'a> Shard<'a> {
             wall_s: 0.0,
             epoch_wall_s: 0.0,
             barrier_wait_s: 0.0,
+            profile: config
+                .observe
+                .profile
+                .then(|| Box::new(crate::trace::PhaseProfile::default())),
         };
         shard.push(0, LaneEvent::ControlTick);
         shard.push(0, LaneEvent::RoutingTick);
@@ -434,6 +489,11 @@ impl<'a> Shard<'a> {
                 break;
             }
             self.now = time;
+            // Self-profiling: two `Instant::now` calls per event, only when
+            // `observe.profile` is on (`phase_start` is `None` otherwise and
+            // the hot loop pays a single branch).
+            let phase_start = self.profile.as_ref().map(|_| std::time::Instant::now());
+            let mut phase = PHASE_ARRIVAL;
             match source {
                 Source::Arrival => {
                     self.lane.events_processed += 1;
@@ -449,6 +509,7 @@ impl<'a> Shard<'a> {
                     self.on_arrival(ctx, idx)?;
                 }
                 Source::Batch => {
+                    phase = PHASE_BATCH;
                     let worker = match self.batch_completions.pop() {
                         Some(std::cmp::Reverse((_, _, worker))) => worker,
                         None => {
@@ -471,6 +532,7 @@ impl<'a> Shard<'a> {
                         })?;
                     match payload {
                         LaneEvent::SwapDone(worker) => {
+                            phase = PHASE_SWAP;
                             // The worker may have left the lane since the swap
                             // was scheduled (migrated or retired): only the
                             // current owner may batch on it.
@@ -485,23 +547,40 @@ impl<'a> Shard<'a> {
                             }
                         }
                         LaneEvent::ControlTick => {
+                            phase = PHASE_CONTROL;
                             self.lane.events_processed += 1;
                             self.on_control_tick(ctx, controller)?;
                         }
                         LaneEvent::RoutingTick => {
+                            phase = PHASE_ROUTING;
                             self.lane.events_processed += 1;
                             self.on_routing_tick(ctx, controller);
                         }
                         LaneEvent::MetricsTick => {
+                            phase = PHASE_METRICS;
                             self.lane.events_processed += 1;
                             self.on_metrics_tick(ctx);
                         }
                         LaneEvent::Delivery { worker, query } => {
+                            phase = PHASE_DELIVERY;
                             self.lane.events_processed += 1;
                             self.on_delivered(ctx, query, worker)?;
                         }
                     }
                 }
+            }
+            if let Some(start) = phase_start {
+                let dt = start.elapsed().as_secs_f64();
+                let p = self.profile.as_mut().expect("profile on when timing");
+                *match phase {
+                    PHASE_ARRIVAL => &mut p.arrival_s,
+                    PHASE_DELIVERY => &mut p.delivery_s,
+                    PHASE_BATCH => &mut p.batch_s,
+                    PHASE_CONTROL => &mut p.control_s,
+                    PHASE_ROUTING => &mut p.routing_s,
+                    PHASE_METRICS => &mut p.metrics_s,
+                    _ => &mut p.swap_s,
+                } += dt;
             }
         }
         self.epoch_wall_s = started.elapsed().as_secs_f64();
@@ -522,13 +601,22 @@ impl<'a> Shard<'a> {
         lane.current.arrivals += 1;
         lane.arrivals_this_interval += 1;
 
+        // Deterministic trace sampling on the lane-local arrival index: no RNG
+        // draw, and the index stream is identical for every `jobs` value, so
+        // serial and parallel runs sample (and trace) the same roots.
+        let trace_slot = match lane.tracer.as_deref_mut() {
+            Some(t) if t.samples(idx as u64) => t.begin_root(self.li, idx as u64, arrival_time),
+            _ => u32::MAX,
+        };
+
         let deadline = arrival_time + lane.slo_us;
         let root_ref = lane.roots.insert(RootState {
             deadline_us: deadline,
             outstanding: 1,
             accuracy_sum: 0.0,
             accuracy_count: 0,
-            any_dropped: false,
+            drop_cause: 0,
+            trace_slot,
         });
         let query = Query {
             root: root_ref.pack(),
@@ -540,10 +628,25 @@ impl<'a> Shard<'a> {
         match self.pick_frontend_worker(ctx) {
             Some(worker) => {
                 let deliver_at = self.now + self.lane.link.frontend_us(worker);
+                if trace_slot != u32::MAX {
+                    let task = self.lane.root_task as u32;
+                    if let Some(t) = self.lane.tracer.as_deref_mut() {
+                        t.span(
+                            trace_slot,
+                            crate::trace::Span {
+                                kind: crate::trace::SpanKind::Frontend,
+                                start_us: self.now,
+                                end_us: deliver_at,
+                                task,
+                                worker: worker.index() as u32,
+                            },
+                        );
+                    }
+                }
                 self.push_delivery(deliver_at, query, worker);
                 Ok(())
             }
-            None => self.drop_query(&query),
+            None => self.drop_query(&query, DropCause::Deadline),
         }
     }
 
@@ -574,7 +677,7 @@ impl<'a> Shard<'a> {
             }
         };
         let Some(target) = target else {
-            return self.drop_query(&q);
+            return self.drop_query(&q, DropCause::Deadline);
         };
 
         // Last-task dropping: when the query reaches the final task and its leftover
@@ -591,7 +694,7 @@ impl<'a> Shard<'a> {
                 0.0
             };
             if remaining_ms < expected_ms {
-                return self.drop_query(&q);
+                return self.drop_query(&q, DropCause::Deadline);
             }
         }
 
@@ -619,7 +722,7 @@ impl<'a> Shard<'a> {
             // an unexpected scheduler state — in which case don't lose the
             // queries.
             for q in batch.drain(..) {
-                self.drop_query(&q)?;
+                self.drop_query(&q, DropCause::Deadline)?;
             }
             self.batch_scratch = batch;
             if ctx.fleet.get(worker_id.index()).lifecycle == Lifecycle::Draining {
@@ -643,9 +746,55 @@ impl<'a> Shard<'a> {
         };
         let num_tasks = self.lane.num_tasks;
         let drop_policy = self.lane.drop_policy;
+        // Observability inputs shared by every query of the batch: when it
+        // started executing (splits queue wait from execution) and the
+        // worker's catalog class (per-class histogram bucket).
+        let (batch_started_us, worker_class) = {
+            let w = ctx.fleet.get(worker_id.index());
+            (w.batch_started_us, w.class as usize)
+        };
 
         for q in batch.drain(..) {
             let path_accuracy = q.path_accuracy * variant.accuracy;
+
+            // Per-task / per-class latency histograms: the query's whole stay
+            // at this worker (queue wait + execution).
+            if let Some(h) = self.lane.hists.as_deref_mut() {
+                let at_task_us = self.now - q.enqueued_us;
+                h.per_task[variant_id.task].record(at_task_us);
+                h.per_class[worker_class].record(at_task_us);
+            }
+            // Queue-wait and execution spans of sampled roots.
+            let trace_slot = self.trace_slot_of(q.root);
+            if trace_slot != u32::MAX {
+                let t = self
+                    .lane
+                    .tracer
+                    .as_deref_mut()
+                    .expect("slot implies tracer");
+                if batch_started_us > q.enqueued_us {
+                    t.span(
+                        trace_slot,
+                        crate::trace::Span {
+                            kind: crate::trace::SpanKind::Queue,
+                            start_us: q.enqueued_us,
+                            end_us: batch_started_us,
+                            task: variant_id.task as u32,
+                            worker: worker_id.index() as u32,
+                        },
+                    );
+                }
+                t.span(
+                    trace_slot,
+                    crate::trace::Span {
+                        kind: crate::trace::SpanKind::Exec,
+                        start_us: batch_started_us.max(q.enqueued_us),
+                        end_us: self.now,
+                        task: variant_id.task as u32,
+                        worker: worker_id.index() as u32,
+                    },
+                );
+            }
 
             // Sink queries need no budget bookkeeping — they complete here.
             if children.is_empty() {
@@ -658,7 +807,7 @@ impl<'a> Shard<'a> {
 
             // Per-task dropping: the query exceeded this task's budget, drop it now.
             if drop_policy == DropPolicy::PerTask && overrun_ms > 0.0 {
-                self.drop_query(&q)?;
+                self.drop_query(&q, DropCause::Deadline)?;
                 continue;
             }
 
@@ -690,6 +839,35 @@ impl<'a> Shard<'a> {
                                     target,
                                     child_task,
                                 );
+                            if trace_slot != u32::MAX {
+                                let t = self
+                                    .lane
+                                    .tracer
+                                    .as_deref_mut()
+                                    .expect("slot implies tracer");
+                                if matches!(outcome, RouteOutcome::Rerouted(_)) {
+                                    t.span(
+                                        trace_slot,
+                                        crate::trace::Span {
+                                            kind: crate::trace::SpanKind::Reroute,
+                                            start_us: self.now,
+                                            end_us: self.now,
+                                            task: child_task as u32,
+                                            worker: target.index() as u32,
+                                        },
+                                    );
+                                }
+                                t.span(
+                                    trace_slot,
+                                    crate::trace::Span {
+                                        kind: crate::trace::SpanKind::Hop,
+                                        start_us: self.now,
+                                        end_us: deliver_at,
+                                        task: child_task as u32,
+                                        worker: target.index() as u32,
+                                    },
+                                );
+                            }
                             self.push_delivery(
                                 deliver_at,
                                 Query {
@@ -713,7 +891,7 @@ impl<'a> Shard<'a> {
             if spawned == 0 {
                 if any_child_dropped {
                     // All children were dropped: the request cannot be fully served.
-                    self.drop_query(&q)?;
+                    self.drop_query(&q, DropCause::Deadline)?;
                 } else {
                     // The model legitimately produced no downstream work (e.g. no
                     // objects detected): the query completes here.
@@ -725,8 +903,8 @@ impl<'a> Shard<'a> {
             // Replace this query's contribution to `outstanding` with its children.
             if let Some(root) = self.lane.roots.get_mut(SlotRef::unpack(q.root)) {
                 root.outstanding += spawned - 1;
-                if any_child_dropped {
-                    root.any_dropped = true;
+                if any_child_dropped && root.drop_cause == 0 {
+                    root.drop_cause = DropCause::Deadline as u8;
                 }
             }
         }
@@ -1021,15 +1199,62 @@ impl<'a> Shard<'a> {
         RouteOutcome::To(default_choice)
     }
 
-    fn drop_query(&mut self, q: &Query) -> Result<(), EngineError> {
-        self.drop_root_child(q.root)
+    fn drop_query(&mut self, q: &Query, cause: DropCause) -> Result<(), EngineError> {
+        self.drop_root_child(q.root, cause)
     }
 
-    pub(crate) fn drop_root_child(&mut self, root_packed: u64) -> Result<(), EngineError> {
+    /// The trace slot of a root, or `u32::MAX` when the root is unsampled (or
+    /// tracing is off — the tracer-off path is a `None` check and a return).
+    #[inline]
+    fn trace_slot_of(&self, root_packed: u64) -> u32 {
+        if self.lane.tracer.is_none() {
+            return u32::MAX;
+        }
+        self.lane
+            .roots
+            .get(SlotRef::unpack(root_packed))
+            .map(|r| r.trace_slot)
+            .unwrap_or(u32::MAX)
+    }
+
+    /// Append a zero-length marker span to a sampled root at the current time
+    /// (requeue/reroute annotations from re-home paths — also called by the
+    /// engine's barrier-time handlers).
+    pub(crate) fn trace_marker(
+        &mut self,
+        root_packed: u64,
+        kind: crate::trace::SpanKind,
+        worker: WorkerId,
+    ) {
+        let slot = self.trace_slot_of(root_packed);
+        if slot != u32::MAX {
+            let now = self.now;
+            if let Some(t) = self.lane.tracer.as_deref_mut() {
+                t.span(
+                    slot,
+                    crate::trace::Span {
+                        kind,
+                        start_us: now,
+                        end_us: now,
+                        task: crate::trace::NO_ID,
+                        worker: worker.index() as u32,
+                    },
+                );
+            }
+        }
+    }
+
+    pub(crate) fn drop_root_child(
+        &mut self,
+        root_packed: u64,
+        cause: DropCause,
+    ) -> Result<(), EngineError> {
         let lane = &mut self.lane;
         let root_ref = SlotRef::unpack(root_packed);
         if let Some(root) = lane.roots.get_mut(root_ref) {
-            root.any_dropped = true;
+            if root.drop_cause == 0 {
+                root.drop_cause = cause as u8;
+            }
             root.outstanding = root.outstanding.saturating_sub(1);
             if root.outstanding == 0 {
                 let state = lane
@@ -1207,10 +1432,11 @@ impl<'a> Shard<'a> {
                 Some(target) => {
                     let mut q = q;
                     q.enqueued_us = self.now;
+                    self.trace_marker(q.root, crate::trace::SpanKind::Requeue, target);
                     ctx.fleet.get_mut(target.index()).enqueue(q);
                     self.kick(ctx, target);
                 }
-                None => self.drop_query(&q)?,
+                None => self.drop_query(&q, DropCause::Reclaimed)?,
             }
         }
         Ok(())
@@ -1282,8 +1508,36 @@ impl<'a> Shard<'a> {
 
 pub(crate) fn finalize_root(lane: &mut LaneState<'_>, now: SimTime, state: RootState) {
     lane.window_finished += 1;
-    if state.any_dropped || state.accuracy_count == 0 {
+    let dropped = state.drop_cause != 0 || state.accuracy_count == 0;
+    if state.trace_slot != u32::MAX {
+        if let Some(t) = lane.tracer.as_deref_mut() {
+            let kind = if dropped {
+                crate::trace::SpanKind::Drop
+            } else {
+                crate::trace::SpanKind::Complete
+            };
+            t.span(
+                state.trace_slot,
+                crate::trace::Span {
+                    kind,
+                    start_us: now,
+                    end_us: now,
+                    task: crate::trace::NO_ID,
+                    worker: crate::trace::NO_ID,
+                },
+            );
+            t.finish(state.trace_slot, now, dropped);
+        }
+    }
+    if dropped {
         lane.current.dropped += 1;
+        match state.drop_cause {
+            c if c == DropCause::Reclaimed as u8 => lane.current.dropped_reclaimed += 1,
+            c if c == DropCause::Revoked as u8 => lane.current.dropped_revoked += 1,
+            // Cause 0 with nothing served (a root whose every branch vanished
+            // without an explicit drop) reads as a deadline loss.
+            _ => lane.current.dropped_deadline += 1,
+        }
         return;
     }
     let accuracy = state.accuracy_sum / state.accuracy_count as f64;
@@ -1292,6 +1546,11 @@ pub(crate) fn finalize_root(lane: &mut LaneState<'_>, now: SimTime, state: RootS
         lane.window_on_time += 1;
     } else {
         lane.current.completed_late += 1;
+    }
+    if let Some(h) = lane.hists.as_deref_mut() {
+        // End-to-end latency of a served root: arrival (deadline − SLO) → now.
+        h.e2e
+            .record(now.saturating_sub(state.deadline_us - lane.slo_us));
     }
     lane.current.accuracy_sum += accuracy;
     lane.current.accuracy_count += 1;

@@ -803,6 +803,11 @@ pub struct SimConfig {
     /// fleet a dynamic, heterogeneous, billed resource built from the catalog
     /// (and `cluster_size` is ignored in favour of the initial fleet).
     pub elastic: Option<crate::elastic::ElasticSimConfig>,
+    /// Observability configuration: latency histograms (on by default),
+    /// sampled query tracing, and per-phase self-profiling (both off by
+    /// default). Observation-only — no setting here changes simulated
+    /// results (see [`crate::trace`]).
+    pub observe: crate::trace::ObserveConfig,
 }
 
 impl Default for SimConfig {
@@ -820,6 +825,7 @@ impl Default for SimConfig {
             initial_demand_hint: None,
             drain_s: 30.0,
             elastic: None,
+            observe: crate::trace::ObserveConfig::default(),
         }
     }
 }

@@ -53,6 +53,10 @@ pub struct Worker {
     pub in_flight_variant: Option<VariantId>,
     /// Time until which the worker is busy processing the in-flight batch.
     pub busy_until: SimTime,
+    /// When the in-flight batch started executing (meaningful only while
+    /// [`Worker::has_in_flight`]); lets the tracer split a query's time at a
+    /// worker into queue wait vs. execution without storing per-query state.
+    pub batch_started_us: SimTime,
     /// Time until which the worker is loading a new model (cannot process).
     pub swap_until: SimTime,
     /// Accumulated busy time (for utilization accounting).
@@ -80,6 +84,7 @@ impl Worker {
             in_flight: Vec::new(),
             in_flight_variant: None,
             busy_until: 0,
+            batch_started_us: 0,
             swap_until: 0,
             busy_time_us: 0,
             processed: 0,
@@ -175,6 +180,7 @@ impl Worker {
                 self.in_flight_variant = Some(variant);
                 let duration = crate::types::ms_to_us(latency_ms);
                 self.busy_until = now + duration;
+                self.batch_started_us = now;
                 self.busy_time_us += duration;
                 self.processed += 1;
                 return Some((self.busy_until, 1));
@@ -261,6 +267,7 @@ impl Worker {
         self.in_flight_variant = Some(variant);
         let duration = crate::types::ms_to_us(latency_ms);
         self.busy_until = now + duration;
+        self.batch_started_us = now;
         self.busy_time_us += duration;
         self.processed += take as u64;
         Some((self.busy_until, take))
