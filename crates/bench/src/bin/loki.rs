@@ -26,7 +26,7 @@ const USAGE: &str = "loki — the Loki evaluation harness
 
 USAGE:
   loki list   [--json]                                 list registered scenarios
-  loki run    <scenario> [key=value ...] [--json] [--jobs N] [--trace PATH]
+  loki run    <scenario> [key=value ...] [--json] [--jobs N] [--trace PATH] [--timeline PATH]
   loki sweep  <scenario> [axis=v1,v2,...] [key=value ...] [--json] [--csv] [--jobs N] [--serial]
   loki report [out=PATH] [runs=N] [skip_large=1] [skip_stress=1] [--jobs N]
   loki help
@@ -38,11 +38,17 @@ static-mean, autoscale), classes (uniform, mixed), spot (true/false),
 revoke (spot revocations per worker-hour), stockout (probability),
 provisioner (reactive, forecast), route (accuracy, link-aware),
 trace (sample every Nth root query; 0 = off), profile (engine phase
-timers, true/false), hist (latency histograms, default true).
+timers, true/false), hist (latency histograms, default true), timeline
+(cluster event journal + windowed histogram deltas, true/false).
 
 `run --trace PATH` executes the scenario's canonical point with tracing on
 (trace=100 unless overridden) and writes Chrome trace-event JSON to PATH —
 load it in Perfetto (ui.perfetto.dev) or chrome://tracing.
+`run --timeline PATH` executes the canonical point with timeline=true and
+writes the windowed time-series export: JSON (interval rows interleaved with
+journal events, plus the SLO burn analysis) to PATH and the flat per-interval
+CSV next to it (.json swapped for .csv). Timeline files record simulated time
+only and are byte-identical for every jobs= value.
 Sweep axes (comma-separated lists): controllers, slo, peak, cluster, links,
 route, elastic, spot, revoke, stockout, provisioner, jobs, seed.
 Multi-seed sweeps report cross-seed mean/stddev per axis point; --csv emits one
@@ -63,6 +69,8 @@ struct Flags {
     serial: bool,
     /// Output path for Chrome trace-event JSON (`run` only).
     trace: Option<String>,
+    /// Output path for the windowed timeline export (`run` only).
+    timeline: Option<String>,
     /// Remaining `key=value` operands.
     kv: Vec<String>,
 }
@@ -74,6 +82,7 @@ fn parse_flags(args: &[String]) -> Flags {
         jobs: None,
         serial: false,
         trace: None,
+        timeline: None,
         kv: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -96,6 +105,12 @@ fn parse_flags(args: &[String]) -> Flags {
                     fail("--trace requires an output path");
                 };
                 flags.trace = Some(value.clone());
+            }
+            "--timeline" => {
+                let Some(value) = iter.next() else {
+                    fail("--timeline requires an output path");
+                };
+                flags.timeline = Some(value.clone());
             }
             other if other.starts_with("--") => fail(&format!("unknown flag {other:?}")),
             other => flags.kv.push(other.to_string()),
@@ -129,6 +144,9 @@ fn cmd_list(args: &[String]) {
     }
     if flags.trace.is_some() {
         fail("--trace is only available for run");
+    }
+    if flags.timeline.is_some() {
+        fail("--timeline is only available for run");
     }
     if !flags.kv.is_empty() {
         fail(&format!("list takes no operands, got {:?}", flags.kv));
@@ -221,8 +239,15 @@ fn cmd_run(args: &[String]) {
     if let Err(message) = cfg.apply_overrides(overrides.iter().map(String::as_str)) {
         fail(&message);
     }
+    if flags.trace.is_some() && flags.timeline.is_some() {
+        fail("--trace and --timeline are mutually exclusive");
+    }
     if let Some(path) = &flags.trace {
         cmd_run_traced(sc, cfg, path, &flags);
+        return;
+    }
+    if let Some(path) = &flags.timeline {
+        cmd_run_timeline(sc, cfg, path, &flags);
         return;
     }
     let runner = runner_from_flags(&flags);
@@ -274,6 +299,84 @@ fn cmd_run_traced(sc: &Scenario, mut cfg: loki_bench::ExperimentConfig, path: &s
     }
 }
 
+/// Sibling CSV path of a `--timeline` JSON path: swap a `.json` suffix for
+/// `.csv`, else append `.csv`.
+fn timeline_csv_path(path: &str) -> String {
+    match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.csv"),
+        None => format!("{path}.csv"),
+    }
+}
+
+/// `run --timeline PATH`: execute the scenario's canonical point once with the
+/// timeline channel on and write the windowed time-series export — JSON at
+/// PATH (interval rows interleaved with journal events + the burn analysis)
+/// and the flat per-interval CSV next to it. Skips the kind-specific executor:
+/// the timeline is the deliverable, not the figure.
+fn cmd_run_timeline(
+    sc: &Scenario,
+    mut cfg: loki_bench::ExperimentConfig,
+    path: &str,
+    flags: &Flags,
+) {
+    cfg.timeline = true;
+    let runner = runner_from_flags(flags);
+    let mut results = runner.run(vec![scenario::scenario_point(sc, &cfg)]);
+    let point = results.remove(0);
+    let json = loki_bench::timeline::timeline_json(sc.name, &point);
+    if let Err(err) = std::fs::write(path, &json) {
+        fail(&format!("cannot write timeline to {path:?}: {err}"));
+    }
+    let csv_path = timeline_csv_path(path);
+    let csv = loki_bench::timeline::timeline_csv(&point);
+    if let Err(err) = std::fs::write(&csv_path, &csv) {
+        fail(&format!("cannot write timeline to {csv_path:?}: {err}"));
+    }
+    let events = point.result.journal.as_ref().map_or(0, |j| j.len());
+    let intervals = point.result.intervals.len();
+    let lanes = point.per_pipeline.len().max(1);
+    if flags.json {
+        let mut obj = Json::object();
+        obj.push("scenario", sc.name.into())
+            .push("timeline_path", path.into())
+            .push("timeline_csv_path", csv_path.as_str().into())
+            .push("intervals", Json::UInt(intervals as u64))
+            .push("lanes", Json::UInt(lanes as u64))
+            .push("journal_events", Json::UInt(events as u64));
+        if let Some(burn) = &point.burn {
+            obj.push("burn_episodes", Json::UInt(burn.episodes.len() as u64))
+                .push("budget_consumed", burn.budget_consumed.into())
+                .push("worst_burn_rate", burn.worst_burn_rate.into());
+        }
+        print!("{}", obj.render());
+    } else {
+        println!(
+            "timeline {}: {} intervals x {} lane(s), {} journal events -> {} (+ {})",
+            sc.name, intervals, lanes, events, path, csv_path
+        );
+        if let Some(burn) = &point.burn {
+            println!(
+                "slo budget: {:.1}% consumed, worst burn rate {:.2}x, {} episode(s)",
+                burn.budget_consumed * 100.0,
+                burn.worst_burn_rate,
+                burn.episodes.len()
+            );
+            for ep in &burn.episodes {
+                println!(
+                    "  [{:.0}s..{:.0}s] {}: peak {:.1}x, {} bad queries ({:.1}% of budget) — {}",
+                    ep.start_s,
+                    ep.end_s,
+                    ep.cause.name(),
+                    ep.peak_burn_rate,
+                    ep.bad_queries,
+                    ep.budget_consumed_pct,
+                    ep.evidence
+                );
+            }
+        }
+    }
+}
+
 fn cmd_sweep(args: &[String]) {
     let flags = parse_flags(args);
     if flags.json && flags.csv {
@@ -281,6 +384,9 @@ fn cmd_sweep(args: &[String]) {
     }
     if flags.trace.is_some() {
         fail("--trace is only available for run");
+    }
+    if flags.timeline.is_some() {
+        fail("--timeline is only available for run");
     }
     let Some((name, operands)) = flags.kv.split_first() else {
         fail("sweep requires a scenario name");
@@ -348,6 +454,9 @@ fn cmd_sweep(args: &[String]) {
                             if let Some(cost) = &point.cost {
                                 obj.push("cost", figures::cost_json(cost));
                             }
+                            if let Some(burn) = &point.burn {
+                                obj.push("burn", loki_bench::timeline::burn_json(burn));
+                            }
                             if !point.per_pipeline.is_empty() {
                                 obj.push(
                                     "pipelines",
@@ -400,35 +509,58 @@ fn cmd_sweep(args: &[String]) {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<40} {:>10} {:>10} {:>8} {:>8} {:>10} {:>10}",
-        "point", "arrivals", "on_time", "late", "dropped", "slo_viol", "accuracy"
+        "{:<40} {:>10} {:>10} {:>8} {:>8} {:>10} {:>10} {:>8} {:>9}",
+        "point",
+        "arrivals",
+        "on_time",
+        "late",
+        "dropped",
+        "slo_viol",
+        "accuracy",
+        "budget%",
+        "max_burn"
     );
+    // SLO error-budget columns: fraction of the (1 - slo_target) budget the
+    // run consumed, and the worst fast-window burn rate (see loki_sim::burn).
+    let burn_cols = |burn: Option<&loki_sim::BurnReport>| match burn {
+        Some(b) => (
+            format!("{:.1}", b.budget_consumed * 100.0),
+            format!("{:.2}", b.worst_burn_rate),
+        ),
+        None => (String::from("-"), String::from("-")),
+    };
     for point in &results {
         let s = &point.result.summary;
+        let (budget, worst) = burn_cols(point.burn.as_ref());
         let _ = writeln!(
             out,
-            "{:<40} {:>10} {:>10} {:>8} {:>8} {:>10.4} {:>10.4}",
+            "{:<40} {:>10} {:>10} {:>8} {:>8} {:>10.4} {:>10.4} {:>8} {:>9}",
             point.label,
             s.total_arrivals,
             s.total_on_time,
             s.total_late,
             s.total_dropped,
             s.slo_violation_ratio,
-            s.system_accuracy
+            s.system_accuracy,
+            budget,
+            worst
         );
         // Multi-pipeline points: one indented row per pipeline on the cluster.
         for lane in &point.per_pipeline {
             let s = &lane.summary;
+            let (budget, worst) = burn_cols(lane.burn.as_ref());
             let _ = writeln!(
                 out,
-                "{:<40} {:>10} {:>10} {:>8} {:>8} {:>10.4} {:>10.4}",
+                "{:<40} {:>10} {:>10} {:>8} {:>8} {:>10.4} {:>10.4} {:>8} {:>9}",
                 format!("  └ {}", lane.name),
                 s.total_arrivals,
                 s.total_on_time,
                 s.total_late,
                 s.total_dropped,
                 s.slo_violation_ratio,
-                s.system_accuracy
+                s.system_accuracy,
+                budget,
+                worst
             );
         }
     }
@@ -469,6 +601,9 @@ fn cmd_report(args: &[String]) {
     }
     if flags.trace.is_some() {
         fail("--trace is only available for run");
+    }
+    if flags.timeline.is_some() {
+        fail("--timeline is only available for run");
     }
     let mut out_path = "BENCH_sim.json".to_string();
     let mut skip_large = false;

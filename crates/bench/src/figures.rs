@@ -162,7 +162,8 @@ pub fn config_json(cfg: &ExperimentConfig) -> Json {
         .push("route", cfg.route.label().into())
         .push("trace", cfg.trace_sample.into())
         .push("profile", cfg.profile.into())
-        .push("hist", cfg.hist.into());
+        .push("hist", cfg.hist.into())
+        .push("timeline", cfg.timeline.into());
     obj
 }
 
@@ -736,7 +737,7 @@ fn spot_family(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Scenar
     );
     let _ = writeln!(
         text,
-        "{:<18} {:>9} {:>9} {:>9} {:>8} {:>9} {:>7} {:>11} {:>9} {:>8}",
+        "{:<18} {:>9} {:>9} {:>9} {:>8} {:>9} {:>7} {:>11} {:>9} {:>8} {:>8} {:>7}",
         "fleet",
         "cost_usd",
         "spot_usd",
@@ -746,15 +747,18 @@ fn spot_family(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Scenar
         "fleet",
         "slo_attain",
         "cost/1k",
-        "dropped"
+        "dropped",
+        "budget%",
+        "burn_ep"
     );
     let mut rows = Vec::new();
     for point in &results {
         let s = &point.result.summary;
         let cost = point.cost.as_ref().expect("spot modes report cost");
+        let burn = point.burn.as_ref().expect("burn analysis always runs");
         let _ = writeln!(
             text,
-            "{:<18} {:>9.2} {:>9.2} {:>9.2} {:>8} {:>9} {:>7} {:>11.4} {:>9.4} {:>8}",
+            "{:<18} {:>9.2} {:>9.2} {:>9.2} {:>8} {:>9} {:>7} {:>11.4} {:>9.4} {:>8} {:>8.1} {:>7}",
             point.label,
             cost.total_dollars,
             cost.spot_dollars,
@@ -765,12 +769,15 @@ fn spot_family(sc: &Scenario, cfg: &ExperimentConfig, runner: &Runner) -> Scenar
             slo_attainment(s),
             cost.cost_per_1k_queries,
             s.total_dropped,
+            burn.budget_consumed * 100.0,
+            burn.episodes.len(),
         );
         let mut row = Json::object();
         row.push("fleet", point.label.as_str().into())
             .push("slo_attainment", slo_attainment(s).into())
             .push("cost", cost_json(cost))
-            .push("summary", summary_json(s));
+            .push("summary", summary_json(s))
+            .push("burn", crate::timeline::burn_json(burn));
         rows.push(row);
     }
 
@@ -898,6 +905,22 @@ pub fn throughput_entry_json(name: &str, runs: usize, point: &PointResult) -> Js
         .push("p999_ms", s.p999_ms.into());
     if let Some(cost) = &point.cost {
         entry.push("cost", cost_json(cost));
+    }
+    // Shard timings of a multi-pipeline run: how the engine's lane threads
+    // spent the wall-clock (Section 6.5 load-imbalance signal).
+    if !point.per_pipeline.is_empty() {
+        let lanes = point
+            .per_pipeline
+            .iter()
+            .map(|lane| {
+                let mut row = Json::object();
+                row.push("name", lane.name.as_str().into())
+                    .push("lane_wall_s", lane.lane_wall_s.into())
+                    .push("barrier_wait_s", lane.barrier_wait_s.into());
+                row
+            })
+            .collect();
+        entry.push("per_pipeline", Json::Arr(lanes));
     }
     entry
 }

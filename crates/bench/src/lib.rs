@@ -25,6 +25,7 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
+pub mod timeline;
 
 use loki_baselines::{InferLineController, ProteusController};
 use loki_core::{
@@ -306,6 +307,12 @@ pub struct ExperimentConfig {
     /// Latency histograms (p50/p90/p99/p999) per task, worker class, and
     /// end-to-end (`hist=` key; on by default, `false` to disable).
     pub hist: bool,
+    /// Timeline telemetry (`timeline=` key, `true`/`false`): the cluster
+    /// event journal plus per-interval windowed histogram deltas. Records
+    /// simulated time only, so the channel is bit-identical for every `jobs=`
+    /// value and never perturbs the run. The `--timeline PATH` CLI flag turns
+    /// this on and exports the windowed series + journal to disk.
+    pub timeline: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -332,6 +339,7 @@ impl Default for ExperimentConfig {
             trace_sample: 0,
             profile: false,
             hist: true,
+            timeline: false,
         }
     }
 }
@@ -413,9 +421,10 @@ impl ExperimentConfig {
             "trace" => self.trace_sample = parse(key, value)?,
             "profile" => self.profile = parse(key, value)?,
             "hist" => self.hist = parse(key, value)?,
+            "timeline" => self.timeline = parse(key, value)?,
             _ => {
                 return Err(format!(
-                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, jobs, links, elastic, classes, spot, revoke, stockout, provisioner, route, trace, profile, hist)"
+                    "unknown key {key:?} (known: cluster, slo, duration, peak, base, seed, bucket, drain, runs, jobs, links, elastic, classes, spot, revoke, stockout, provisioner, route, trace, profile, hist, timeline)"
                 ))
             }
         }
@@ -652,6 +661,7 @@ pub fn sim_config(cfg: &ExperimentConfig, trace: &Trace) -> SimConfig {
             trace_sample: cfg.trace_sample,
             profile: cfg.profile,
             histograms: cfg.hist,
+            timeline: cfg.timeline,
         },
         ..SimConfig::default()
     }

@@ -166,8 +166,10 @@ impl From<bool> for Json {
 /// percentile columns are zero when `hist=false` disabled the latency
 /// histograms; the control-plane columns (`plan_build_s`,
 /// `routing_cache_*`, `routing_warnings`) are zero for controllers that do
-/// not track [`loki_core::ControllerStats`].
-pub const SWEEP_METRICS: [&str; 25] = [
+/// not track [`loki_core::ControllerStats`]; the shard-timing columns
+/// (`lane_wall_s`, `barrier_wait_s`) are populated only on `stat=pipeline`
+/// rows (they are per-lane host timings, zero at cluster level).
+pub const SWEEP_METRICS: [&str; 30] = [
     "on_time",
     "late",
     "dropped",
@@ -193,18 +195,28 @@ pub const SWEEP_METRICS: [&str; 25] = [
     "routing_cache_consults",
     "routing_cache_hits",
     "routing_warnings",
+    "budget_consumed",
+    "worst_burn_rate",
+    "burn_episodes",
+    "lane_wall_s",
+    "barrier_wait_s",
 ];
 
 /// The [`SWEEP_METRICS`] column values of one summary; `wall_s` is the run's
 /// wall-clock (shared by every pipeline of a multi-pipeline point), `cost`
 /// the run's fleet billing (elastic runs only), `stats` the control-plane
-/// statistics of whichever controller produced the summary.
+/// statistics of whichever controller produced the summary, `burn` the SLO
+/// error-budget analysis of the summary's interval series, and the shard
+/// timings come from the lane on `stat=pipeline` rows (zero at cluster level).
 fn summary_metrics(
     s: &loki_sim::RunSummary,
     wall_s: f64,
     cost: Option<&loki_sim::CostSummary>,
     stats: Option<&loki_core::ControllerStats>,
-) -> [f64; 25] {
+    burn: Option<&loki_sim::BurnReport>,
+    lane_wall_s: f64,
+    barrier_wait_s: f64,
+) -> [f64; 30] {
     [
         s.total_on_time as f64,
         s.total_late as f64,
@@ -231,15 +243,23 @@ fn summary_metrics(
         stats.map_or(0.0, |st| st.routing_cache_consults as f64),
         stats.map_or(0.0, |st| st.routing_cache_hits as f64),
         stats.map_or(0.0, |st| st.routing_warnings_total as f64),
+        burn.map_or(0.0, |b| b.budget_consumed),
+        burn.map_or(0.0, |b| b.worst_burn_rate),
+        burn.map_or(0.0, |b| b.episodes.len() as f64),
+        lane_wall_s,
+        barrier_wait_s,
     ]
 }
 
-fn metric_values(point: &PointResult) -> [f64; 25] {
+fn metric_values(point: &PointResult) -> [f64; 30] {
     summary_metrics(
         &point.result.summary,
         point.wall_s,
         point.cost.as_ref(),
         point.controller_stats.as_ref(),
+        point.burn.as_ref(),
+        0.0,
+        0.0,
     )
 }
 
@@ -252,10 +272,10 @@ pub struct AxisAggregate {
     /// Seeds aggregated, in grid order.
     pub seeds: Vec<u64>,
     /// Per-metric means, ordered as [`SWEEP_METRICS`].
-    pub mean: [f64; 25],
+    pub mean: [f64; 30],
     /// Per-metric sample standard deviations (0 for a single seed), ordered as
     /// [`SWEEP_METRICS`].
-    pub stddev: [f64; 25],
+    pub stddev: [f64; 30],
 }
 
 /// The grouping key of an axis point: everything the grid varies except the
@@ -300,7 +320,7 @@ pub fn aggregate_sweep(points: &[RunPoint], results: &[PointResult]) -> Vec<Axis
         key: AxisKey,
         label: String,
         seeds: Vec<u64>,
-        rows: Vec<[f64; 25]>,
+        rows: Vec<[f64; 30]>,
     }
     let mut groups: Vec<Group> = Vec::new();
     for (point, result) in points.iter().zip(results) {
@@ -326,8 +346,8 @@ pub fn aggregate_sweep(points: &[RunPoint], results: &[PointResult]) -> Vec<Axis
                  label, seeds, rows, ..
              }| {
                 let n = rows.len() as f64;
-                let mut mean = [0.0; 25];
-                let mut stddev = [0.0; 25];
+                let mut mean = [0.0; 30];
+                let mut stddev = [0.0; 30];
                 for row in &rows {
                     for (m, v) in mean.iter_mut().zip(row) {
                         *m += v / n;
@@ -355,7 +375,7 @@ pub fn aggregate_sweep(points: &[RunPoint], results: &[PointResult]) -> Vec<Axis
 }
 
 /// Render one CSV field, quoting only when the content requires it.
-fn csv_field(out: &mut String, field: &str) {
+pub(crate) fn csv_field(out: &mut String, field: &str) {
     if field.contains([',', '"', '\n', '\r']) {
         out.push('"');
         for c in field.chars() {
@@ -370,7 +390,7 @@ fn csv_field(out: &mut String, field: &str) {
     }
 }
 
-fn csv_row(out: &mut String, fields: &[String]) {
+pub(crate) fn csv_row(out: &mut String, fields: &[String]) {
     for (i, field) in fields.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -455,8 +475,16 @@ pub fn sweep_csv(scenario: &str, points: &[RunPoint], results: &[PointResult]) -
             row.push(format!("{}", s.total_arrivals));
             // Cost is cluster-level; per-pipeline rows carry zeros.
             row.extend(
-                summary_metrics(s, result.wall_s, None, lane.controller_stats.as_ref())
-                    .map(|v| format!("{v}")),
+                summary_metrics(
+                    s,
+                    result.wall_s,
+                    None,
+                    lane.controller_stats.as_ref(),
+                    lane.burn.as_ref(),
+                    lane.lane_wall_s,
+                    lane.barrier_wait_s,
+                )
+                .map(|v| format!("{v}")),
             );
             csv_row(&mut out, &row);
         }

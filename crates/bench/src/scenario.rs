@@ -13,9 +13,9 @@ use loki_baselines::{InferLineController, ProteusController};
 use loki_core::{ControllerStats, LokiConfig, LokiController, ResourceManager};
 use loki_pipeline::{zoo, PipelineGraph};
 use loki_sim::{
-    AllocationPlan, CompiledPlan, Controller, CostSummary, DropPolicy, LinkDelayModel,
-    MultiPipeline, MultiSimConfig, MultiSimulation, ObservedState, ResourceArbiter, RouteMode,
-    RunSummary, SimResult, Simulation, StaticPartition,
+    analyze_burn, AllocationPlan, BurnConfig, BurnReport, CompiledPlan, Controller, CostSummary,
+    DropPolicy, IntervalMetrics, LinkDelayModel, MultiPipeline, MultiSimConfig, MultiSimulation,
+    ObservedState, ResourceArbiter, RouteMode, RunSummary, SimResult, Simulation, StaticPartition,
 };
 use loki_workload::{generate_arrivals, ArrivalProcess, Trace, TraceSpec};
 use std::time::Instant;
@@ -388,6 +388,15 @@ pub struct PipelineSummary {
     /// The lane's engine self-profile (host seconds per dispatch phase) —
     /// `Some` only for `profile=true` runs, next to `lane_wall_s`.
     pub profile: Option<loki_sim::PhaseProfile>,
+    /// The lane's per-interval metrics series (simulated time; feeds the
+    /// timeline export's per-lane rows).
+    pub intervals: Vec<IntervalMetrics>,
+    /// Per-interval end-to-end latency histogram deltas (`timeline=true` runs
+    /// only) — windowed percentiles are exact, not approximations.
+    pub window: Option<Vec<loki_sim::Histogram>>,
+    /// The lane's SLO error-budget analysis against its own interval series
+    /// (cluster journal shared for causal attribution).
+    pub burn: Option<BurnReport>,
 }
 
 /// Cluster-arbitration statistics of a multi-pipeline point.
@@ -423,6 +432,11 @@ pub struct PointResult {
     pub multi_stats: Option<MultiStats>,
     /// Fleet cost accounting (elastic points only).
     pub cost: Option<CostSummary>,
+    /// SLO error-budget analysis of the point's (cluster-level) interval
+    /// series: budget consumed, worst burn rate, and causally attributed burn
+    /// episodes. Always computed — attribution falls back to the interval drop
+    /// counters when the run carries no journal.
+    pub burn: Option<BurnReport>,
 }
 
 impl RunPoint {
@@ -477,9 +491,16 @@ impl RunPoint {
             result = Some(run);
         }
         let result = result.expect("runs >= 1");
+        let burn = analyze_burn(
+            &result.intervals,
+            config.metrics_interval_s,
+            result.journal.as_ref(),
+            &BurnConfig::default(),
+        );
         PointResult {
             label: self.label.clone(),
             cost: result.cost.clone(),
+            burn: Some(burn),
             result,
             wall_s: best_wall_s,
             arrivals: arrivals.len(),
@@ -611,10 +632,21 @@ impl RunPoint {
             a.routing_warnings_total += b.routing_warnings_total;
             a
         });
+        let result = outcome.aggregate(cfg.cluster_size);
+        // Burn analysis: the cluster series against the cluster journal, and
+        // each lane's own series against the same (shared) journal — one
+        // revocation storm can burn several lanes' budgets at once.
+        let interval_s = outcome.metrics_interval_s;
+        let burn = analyze_burn(
+            &result.intervals,
+            interval_s,
+            result.journal.as_ref(),
+            &BurnConfig::default(),
+        );
         PointResult {
             label: self.label.clone(),
             cost: outcome.cost.clone(),
-            result: outcome.aggregate(cfg.cluster_size),
+            result,
             wall_s: best_wall_s,
             arrivals: total_arrivals,
             controller_stats,
@@ -631,6 +663,14 @@ impl RunPoint {
                         barrier_wait_s,
                         controller_stats: stats.clone(),
                         profile: p.result.profile,
+                        intervals: p.result.intervals.clone(),
+                        window: p.result.window.clone(),
+                        burn: Some(analyze_burn(
+                            &p.result.intervals,
+                            interval_s,
+                            outcome.journal.as_ref(),
+                            &BurnConfig::default(),
+                        )),
                     },
                 )
                 .collect(),
@@ -639,6 +679,7 @@ impl RunPoint {
                 rebalances: outcome.rebalances,
                 migrations: outcome.migrations,
             }),
+            burn: Some(burn),
         }
     }
 }

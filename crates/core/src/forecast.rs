@@ -19,7 +19,7 @@
 //! error subsides.
 
 use crate::provisioner::{AutoscalerConfig, ReactiveAutoscaler};
-use loki_sim::{ElasticAction, ElasticObservation, ElasticPolicy};
+use loki_sim::{DecisionReason, ElasticAction, ElasticObservation, ElasticPolicy};
 use loki_workload::SeasonalEstimator;
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +96,9 @@ pub struct ForecastingProvisioner {
     /// Scale-ups taken while the forecast exceeded observed demand — the
     /// pre-boots the policy exists for.
     pre_boots: u64,
+    /// Why each action of the last `decide` call was taken (index-aligned);
+    /// drained by [`ElasticPolicy::last_reasons`] for the timeline journal.
+    last_reasons: Vec<DecisionReason>,
 }
 
 impl Default for ForecastingProvisioner {
@@ -135,6 +138,7 @@ impl ForecastingProvisioner {
             scale_downs: 0,
             fallbacks: 0,
             pre_boots: 0,
+            last_reasons: Vec::new(),
         }
     }
 
@@ -243,6 +247,7 @@ impl ElasticPolicy for ForecastingProvisioner {
         let demand: f64 = observation.demand_qps.iter().sum();
         self.estimator.observe(observation.now_s, demand);
         self.observe_market(observation);
+        self.last_reasons.clear();
         let cfg = &self.config.autoscaler;
 
         // Forecast-error spike: prediction has stopped earning its keep
@@ -251,7 +256,9 @@ impl ElasticPolicy for ForecastingProvisioner {
         if self.estimator.scored() && self.estimator.error() > self.config.fallback_error {
             self.fallbacks += 1;
             self.idle_since_s = None;
-            return self.reactive.decide(observation);
+            let actions = self.reactive.decide(observation);
+            self.last_reasons = self.reactive.last_reasons();
+            return actions;
         }
 
         let warm = observation.total_warm();
@@ -313,14 +320,27 @@ impl ElasticPolicy for ForecastingProvisioner {
         let backlogged = warm > 0 && queued as f64 / warm as f64 > cfg.backlog_per_worker;
         let booting: usize = observation.provisioning.iter().sum();
         let mut target_eq = desired_eq;
+        let mut up_reason = if forecast > demand {
+            DecisionReason::Forecast
+        } else {
+            DecisionReason::DemandTrack
+        };
         if (worst_attainment < cfg.attainment_floor || backlogged) && booting == 0 {
             let mut step = ((live as f64 * cfg.up_step_fraction).ceil() as usize).max(1);
-            if worst_attainment < cfg.attainment_floor - 0.05
-                || (warm > 0 && queued as f64 / warm as f64 > 3.0 * cfg.backlog_per_worker)
-            {
+            let severe = worst_attainment < cfg.attainment_floor - 0.05
+                || (warm > 0 && queued as f64 / warm as f64 > 3.0 * cfg.backlog_per_worker);
+            if severe {
                 step *= 2;
             }
-            target_eq = target_eq.max(live_eq + step as f64);
+            let kicked = live_eq + step as f64;
+            if kicked > target_eq {
+                target_eq = kicked;
+                up_reason = if severe {
+                    DecisionReason::SevereOverload
+                } else {
+                    DecisionReason::PressureKick
+                };
+            }
         }
 
         let missing_eq = target_eq - live_eq;
@@ -366,6 +386,7 @@ impl ElasticPolicy for ForecastingProvisioner {
                 if forecast > demand {
                     self.pre_boots += 1;
                 }
+                self.last_reasons = vec![up_reason; actions.len()];
                 return actions;
             }
         }
@@ -447,7 +468,18 @@ impl ElasticPolicy for ForecastingProvisioner {
         }
         self.idle_since_s = Some(observation.now_s);
         self.scale_downs += 1;
+        self.last_reasons.push(if spot_over {
+            DecisionReason::RevocationHedge
+        } else if self.estimator.scored() && forecast < 0.8 * demand {
+            DecisionReason::Forecast
+        } else {
+            DecisionReason::SustainedIdle
+        });
         vec![ElasticAction::Drain { class, count }]
+    }
+
+    fn last_reasons(&mut self) -> Vec<DecisionReason> {
+        std::mem::take(&mut self.last_reasons)
     }
 }
 

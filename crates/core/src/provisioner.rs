@@ -40,7 +40,7 @@
 //! (price x latency scale) unless pinned; drains retire the most expensive
 //! effective class first.
 
-use loki_sim::{ElasticAction, ElasticObservation, ElasticPolicy};
+use loki_sim::{DecisionReason, ElasticAction, ElasticObservation, ElasticPolicy};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the [`ReactiveAutoscaler`].
@@ -110,6 +110,9 @@ pub struct ReactiveAutoscaler {
     scale_ups: u64,
     /// Scale-down decisions taken.
     scale_downs: u64,
+    /// Why each action of the last `decide` call was taken (index-aligned);
+    /// drained by [`ElasticPolicy::last_reasons`] for the timeline journal.
+    last_reasons: Vec<DecisionReason>,
 }
 
 impl Default for ReactiveAutoscaler {
@@ -139,6 +142,7 @@ impl ReactiveAutoscaler {
             idle_since_s: None,
             scale_ups: 0,
             scale_downs: 0,
+            last_reasons: Vec::new(),
         }
     }
 
@@ -189,6 +193,7 @@ impl ElasticPolicy for ReactiveAutoscaler {
     }
 
     fn decide(&mut self, observation: &ElasticObservation<'_>) -> Vec<ElasticAction> {
+        self.last_reasons.clear();
         let cfg = &self.config;
         let warm = observation.total_warm();
         let live = observation.total_live();
@@ -226,18 +231,27 @@ impl ElasticPolicy for ReactiveAutoscaler {
         // a single dip into a provisioning spiral.
         let booting: usize = observation.provisioning.iter().sum();
         let mut target_eq = desired_eq;
+        let mut up_reason = DecisionReason::DemandTrack;
         if pressured && booting == 0 {
             let mut step = ((live as f64 * cfg.up_step_fraction).ceil() as usize).max(1);
             // Severe pressure (attainment far under the floor, or a deep
             // backlog) doubles the kick: waiting another boot delay to
             // discover the first step was too small costs more than the
             // extra workers.
-            if worst_attainment < cfg.attainment_floor - 0.05
-                || (warm > 0 && queued as f64 / warm as f64 > 3.0 * cfg.backlog_per_worker)
-            {
+            let severe = worst_attainment < cfg.attainment_floor - 0.05
+                || (warm > 0 && queued as f64 / warm as f64 > 3.0 * cfg.backlog_per_worker);
+            if severe {
                 step *= 2;
             }
-            target_eq = target_eq.max(live_eq + step as f64);
+            let kicked = live_eq + step as f64;
+            if kicked > target_eq {
+                target_eq = kicked;
+                up_reason = if severe {
+                    DecisionReason::SevereOverload
+                } else {
+                    DecisionReason::PressureKick
+                };
+            }
         }
         let missing_eq = target_eq - live_eq;
         if missing_eq > 1e-9 && live < cap {
@@ -269,6 +283,7 @@ impl ElasticPolicy for ReactiveAutoscaler {
                 .min(slots);
             self.idle_since_s = None;
             self.scale_ups += 1;
+            self.last_reasons.push(up_reason);
             return vec![ElasticAction::Provision { class, count }];
         }
 
@@ -309,6 +324,7 @@ impl ElasticPolicy for ReactiveAutoscaler {
                 let count = step.min(observation.warm[class]);
                 self.idle_since_s = None;
                 self.scale_ups += 1;
+                self.last_reasons.push(DecisionReason::ClassUpgrade);
                 return vec![ElasticAction::Drain { class, count }];
             }
         }
@@ -356,7 +372,12 @@ impl ElasticPolicy for ReactiveAutoscaler {
         // window, so a long valley walks the fleet down one step per window.
         self.idle_since_s = Some(observation.now_s);
         self.scale_downs += 1;
+        self.last_reasons.push(DecisionReason::SustainedIdle);
         vec![ElasticAction::Drain { class, count }]
+    }
+
+    fn last_reasons(&mut self) -> Vec<DecisionReason> {
+        std::mem::take(&mut self.last_reasons)
     }
 }
 

@@ -77,6 +77,9 @@ pub struct ResourceManager {
     epochs: u64,
     /// Proposals dropped by the hysteresis band.
     held_by_hysteresis: u64,
+    /// Why the most recent accepted repartition went through; surfaced on the
+    /// cluster journal's rebalance events.
+    last_reason: Option<&'static str>,
 }
 
 impl ResourceManager {
@@ -91,6 +94,7 @@ impl ResourceManager {
             config,
             epochs: 0,
             held_by_hysteresis: 0,
+            last_reason: None,
         }
     }
 
@@ -201,7 +205,16 @@ impl ResourceArbiter for ResourceManager {
             self.held_by_hysteresis += 1;
             return None;
         }
+        self.last_reason = Some(if starved && moved <= band {
+            "starvation-override"
+        } else {
+            "demand-weighted"
+        });
         Some(target)
+    }
+
+    fn decision_reason(&self) -> Option<&'static str> {
+        self.last_reason
     }
 }
 

@@ -293,6 +293,46 @@ pub enum ElasticAction {
     },
 }
 
+/// Why a fleet-scaling policy acted: the reason enum journaled next to each
+/// [`ElasticAction`] (see [`crate::journal::JournalKind::AutoscaleDecision`]),
+/// so burn-episode attribution can tell a demand-tracking scale-up from a
+/// revocation hedge without re-deriving the policy's logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionReason {
+    /// Provisioning to track the demand estimate (steady-state sizing).
+    DemandTrack,
+    /// Scale-up kicked by backlog/attainment pressure.
+    PressureKick,
+    /// Emergency scale-up on severe overload (attainment collapse).
+    SevereOverload,
+    /// Draining a slower class to replace it with a better one.
+    ClassUpgrade,
+    /// Draining sustained-idle headroom.
+    SustainedIdle,
+    /// Forecast-driven pre-provisioning ahead of predicted demand.
+    Forecast,
+    /// Extra spot capacity provisioned to hedge observed revocations.
+    RevocationHedge,
+    /// The policy reported no reason for this action.
+    Unspecified,
+}
+
+impl DecisionReason {
+    /// Stable lowercase name used in reports and exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionReason::DemandTrack => "demand_track",
+            DecisionReason::PressureKick => "pressure_kick",
+            DecisionReason::SevereOverload => "severe_overload",
+            DecisionReason::ClassUpgrade => "class_upgrade",
+            DecisionReason::SustainedIdle => "sustained_idle",
+            DecisionReason::Forecast => "forecast",
+            DecisionReason::RevocationHedge => "revocation_hedge",
+            DecisionReason::Unspecified => "unspecified",
+        }
+    }
+}
+
 /// A fleet-scaling policy: the cloud-provisioner control loop plugged into the
 /// simulator. Invoked every [`ElasticSimConfig::decide_interval_s`] seconds.
 pub trait ElasticPolicy {
@@ -302,6 +342,16 @@ pub trait ElasticPolicy {
     /// Decide fleet actions from the current observation. Returning an empty
     /// vector keeps the fleet as is.
     fn decide(&mut self, observation: &ElasticObservation<'_>) -> Vec<ElasticAction>;
+
+    /// The reasons behind the actions the latest [`ElasticPolicy::decide`]
+    /// returned, index-aligned with that action vector (missing entries read
+    /// as [`DecisionReason::Unspecified`]). Purely observational: the engine
+    /// only calls this when the event journal is on, and a policy that never
+    /// overrides it still works — its decisions are just journaled without a
+    /// stated cause.
+    fn last_reasons(&mut self) -> Vec<DecisionReason> {
+        Vec::new()
+    }
 }
 
 /// The static baseline: never scales. With an [`ElasticSimConfig`] attached,

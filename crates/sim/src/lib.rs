@@ -29,9 +29,11 @@
 //! The simulator is fully deterministic for a given seed, which is what makes the
 //! figure-regeneration harness in `loki-bench` reproducible.
 
+pub mod burn;
 pub mod calendar;
 pub mod elastic;
 pub mod engine;
+pub mod journal;
 pub mod market;
 pub mod metrics;
 pub mod multi;
@@ -43,12 +45,14 @@ pub mod trace;
 pub mod types;
 pub mod worker;
 
+pub use burn::{analyze as analyze_burn, BurnCause, BurnConfig, BurnEpisode, BurnReport};
 pub use calendar::{CalendarGeometry, CalendarQueue};
 pub use elastic::{
-    cheapest_effective, ElasticAction, ElasticObservation, ElasticPolicy, ElasticSimConfig,
-    StaticFleet, WorkerClass, WorkerClassCatalog,
+    cheapest_effective, DecisionReason, ElasticAction, ElasticObservation, ElasticPolicy,
+    ElasticSimConfig, StaticFleet, WorkerClass, WorkerClassCatalog,
 };
 pub use engine::{EngineError, SimResult, Simulation};
+pub use journal::{Journal, JournalEvent, JournalKind, CLUSTER_LANE};
 pub use market::MarketConfig;
 pub use metrics::{ClassCost, CostSummary, IntervalMetrics, RunSummary};
 pub use multi::{

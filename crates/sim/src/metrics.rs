@@ -134,8 +134,16 @@ pub struct RunSummary {
 }
 
 impl RunSummary {
-    /// Build a summary from the per-interval series.
-    pub fn from_intervals(controller: &str, intervals: &[IntervalMetrics]) -> Self {
+    /// Build a summary from the per-interval series. `interval_s` is the
+    /// configured metrics-interval length ([`crate::SimConfig`]'s
+    /// `metrics_interval_s`): the run duration is the last interval's start
+    /// plus one interval, so it must match the cadence the series was
+    /// collected at.
+    pub fn from_intervals(
+        controller: &str,
+        intervals: &[IntervalMetrics],
+        interval_s: f64,
+    ) -> Self {
         let mut s = RunSummary {
             controller: controller.to_string(),
             min_active_workers: usize::MAX,
@@ -179,7 +187,10 @@ impl RunSummary {
         } else {
             util_sum / intervals.len() as f64
         };
-        s.duration_s = intervals.last().map(|m| m.start_s + 1.0).unwrap_or(0.0);
+        s.duration_s = intervals
+            .last()
+            .map(|m| m.start_s + interval_s)
+            .unwrap_or(0.0);
         s
     }
 }
@@ -285,7 +296,7 @@ mod tests {
     #[test]
     fn summary_aggregates_intervals() {
         let intervals = vec![interval(90, 5, 5, 1.0, 5), interval(50, 25, 25, 0.9, 20)];
-        let s = RunSummary::from_intervals("test", &intervals);
+        let s = RunSummary::from_intervals("test", &intervals, 1.0);
         assert_eq!(s.total_arrivals, 200);
         assert_eq!(s.total_on_time, 140);
         assert_eq!(s.total_late, 30);
@@ -304,8 +315,23 @@ mod tests {
     }
 
     #[test]
+    fn summary_duration_respects_the_configured_interval() {
+        // Two 60-second intervals starting at 0 and 60 cover 120 simulated
+        // seconds — the old hardcoded `start_s + 1.0` reported 61.
+        let mut first = interval(90, 5, 5, 1.0, 5);
+        first.start_s = 0.0;
+        let mut second = interval(50, 25, 25, 0.9, 20);
+        second.start_s = 60.0;
+        let s = RunSummary::from_intervals("test", &[first, second], 60.0);
+        assert!((s.duration_s - 120.0).abs() < 1e-12, "{}", s.duration_s);
+        // The 1-second cadence keeps its historical durations.
+        let one = RunSummary::from_intervals("test", &[interval(1, 0, 0, 1.0, 1)], 1.0);
+        assert!((one.duration_s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn summary_of_empty_run() {
-        let s = RunSummary::from_intervals("empty", &[]);
+        let s = RunSummary::from_intervals("empty", &[], 1.0);
         assert_eq!(s.total_arrivals, 0);
         assert_eq!(s.system_accuracy, 0.0);
         assert_eq!(s.min_active_workers, 0);

@@ -65,6 +65,14 @@ pub trait ResourceArbiter {
     /// partition. Entries must match the pipeline count; the engine trims
     /// over-subscribed targets to the physical cluster.
     fn partition(&mut self, observation: &ArbiterObservation<'_>) -> Option<Vec<usize>>;
+
+    /// A short label for *why* the last [`ResourceArbiter::partition`] call
+    /// returned the target it did, journaled with the rebalance event when
+    /// `observe.timeline` is on. Purely observational — defaulted to `None`
+    /// so existing arbiters need no change.
+    fn decision_reason(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// Largest-remainder apportionment of `total` workers over non-negative
@@ -214,6 +222,13 @@ pub struct MultiSimResult {
     /// live on the individual [`PipelineResult`]s; [`MultiSimResult::aggregate`]
     /// merges both into one profile.
     pub profile: Option<crate::trace::PhaseProfile>,
+    /// The merged cluster event journal — `Some` only when `observe.timeline`
+    /// was on. Cluster-level (one journal for the shared fleet);
+    /// [`MultiSimResult::aggregate`] clones it onto the aggregate result.
+    pub journal: Option<crate::journal::Journal>,
+    /// The run's metrics-interval length in seconds, carried so aggregation
+    /// can reconstruct durations from interval counts.
+    pub metrics_interval_s: f64,
 }
 
 impl MultiSimResult {
@@ -259,7 +274,7 @@ impl MultiSimResult {
             intervals.push(agg);
         }
         let name = format!("multi({})", self.arbiter);
-        let mut summary = RunSummary::from_intervals(&name, &intervals);
+        let mut summary = RunSummary::from_intervals(&name, &intervals, self.metrics_interval_s);
         summary.events_processed = self.total_events;
         // Latency histograms merge exactly (fixed bucket layout), so the
         // aggregate percentiles are the true cluster-level percentiles, not an
@@ -297,6 +312,20 @@ impl MultiSimResult {
                 profile.get_or_insert_with(Default::default).merge(lane);
             }
         }
+        // Windowed histograms merge element-wise across lanes (same fixed
+        // bucket layout), row-aligned with the aggregate intervals.
+        let mut window: Option<Vec<crate::trace::Histogram>> = None;
+        for p in &self.pipelines {
+            if let Some(rows) = &p.result.window {
+                let agg = window.get_or_insert_with(Vec::new);
+                if agg.len() < rows.len() {
+                    agg.resize_with(rows.len(), crate::trace::Histogram::default);
+                }
+                for (into, row) in agg.iter_mut().zip(rows) {
+                    into.merge(row);
+                }
+            }
+        }
         SimResult {
             intervals,
             summary,
@@ -304,6 +333,8 @@ impl MultiSimResult {
             latency,
             trace,
             profile,
+            window,
+            journal: self.journal.clone(),
         }
     }
 }
@@ -455,6 +486,8 @@ impl<'a, C: Controller + 'a> MultiSimulation<'a, C> {
             migrations: engine.migrations(),
             cost: engine.take_cost(),
             profile: engine.take_cluster_profile(),
+            journal: engine.take_journal(),
+            metrics_interval_s: self.config.sim.metrics_interval_s,
         })
     }
 

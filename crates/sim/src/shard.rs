@@ -226,6 +226,15 @@ pub(crate) struct LaneState<'a> {
     pub(crate) hists: Option<Box<crate::trace::LatencyStats>>,
     /// Sampled query tracer (`observe.trace_sample > 0`).
     pub(crate) tracer: Option<Box<crate::trace::LaneTracer>>,
+    /// The current interval's end-to-end latency histogram
+    /// (`observe.timeline`): records in parallel with `hists.e2e` and is
+    /// swapped out at each metrics flush, so per-interval deltas are exact.
+    pub(crate) window_hist: Option<Box<crate::trace::Histogram>>,
+    /// Closed per-interval histogram deltas, index-aligned with `intervals`.
+    pub(crate) window_hists: Vec<crate::trace::Histogram>,
+    /// This lane's journal (`observe.timeline`): plan installs only — every
+    /// other journaled incident is cluster-level and recorded by the driver.
+    pub(crate) journal: Option<Box<crate::journal::Journal>>,
 
     // Metrics.
     pub(crate) current: crate::metrics::IntervalMetrics,
@@ -306,6 +315,15 @@ impl<'a> LaneState<'a> {
             }),
             tracer: (config.observe.trace_sample > 0)
                 .then(|| Box::new(crate::trace::LaneTracer::new(config.observe.trace_sample))),
+            window_hist: config
+                .observe
+                .timeline
+                .then(|| Box::new(crate::trace::Histogram::default())),
+            window_hists: Vec::new(),
+            journal: config
+                .observe
+                .timeline
+                .then(|| Box::new(crate::journal::Journal::new())),
             current: crate::metrics::IntervalMetrics::default(),
             intervals: Vec::new(),
             events_processed: 0,
@@ -364,11 +382,11 @@ pub(crate) struct Shard<'a> {
     pub(crate) unowned_events: u64,
 
     /// Mid-epoch retirements to merge into the cluster's elastic accounting at
-    /// the next barrier: `(class, billed_from_us, retired_at_us)` per retired
-    /// worker. A `billed_from_us` of `SimTime::MAX` marks a worker the market
-    /// revoked (billing already stopped; lifecycle counts move out of the
-    /// revoked pool, not the voluntary draining pool).
-    pub(crate) retirements: Vec<(u32, SimTime, SimTime)>,
+    /// the next barrier: `(worker, class, billed_from_us, retired_at_us)` per
+    /// retired worker. A `billed_from_us` of `SimTime::MAX` marks a worker the
+    /// market revoked (billing already stopped; lifecycle counts move out of
+    /// the revoked pool, not the voluntary draining pool).
+    pub(crate) retirements: Vec<(u32, u32, SimTime, SimTime)>,
 
     // Scratch buffers, reused across events/ticks.
     views_scratch: Vec<WorkerView>,
@@ -938,6 +956,12 @@ impl<'a> Shard<'a> {
         };
         if let Some(plan) = plan {
             self.apply_allocation(ctx, &plan)?;
+            // Journal the install lane-side (the one lane-recorded kind): the
+            // end-of-run merge sorts it into the global order.
+            let (now, li, epoch) = (self.now, self.li, self.lane.assignments_epoch);
+            if let Some(j) = self.lane.journal.as_deref_mut() {
+                j.record(now, li, crate::journal::JournalKind::PlanInstall { epoch });
+            }
         }
         // Refresh routing right after a (possible) re-allocation so it reflects the new
         // worker assignments.
@@ -1039,6 +1063,12 @@ impl<'a> Shard<'a> {
         finished.cluster_size = warm;
         lane.intervals.push(finished);
         lane.current.cluster_size = warm;
+        // Close the interval's latency-histogram delta: swap the recorder for
+        // a fresh one, so re-merging the deltas reproduces the whole-run
+        // histogram exactly (reset-based, not snapshot subtraction).
+        if let Some(h) = lane.window_hist.as_deref_mut() {
+            lane.window_hists.push(std::mem::take(h));
+        }
     }
 
     // ---- controller observation ---------------------------------------------------
@@ -1481,7 +1511,8 @@ impl<'a> Shard<'a> {
             w.unassign();
             (class, billed_from)
         };
-        self.retirements.push((class, billed_from, self.now));
+        self.retirements
+            .push((wi as u32, class, billed_from, self.now));
         let lane = ctx.owner[wi].load(Ordering::Relaxed);
         debug_assert_eq!(lane, self.li, "a shard retires only its own workers");
         if lane == self.li {
@@ -1547,10 +1578,15 @@ pub(crate) fn finalize_root(lane: &mut LaneState<'_>, now: SimTime, state: RootS
     } else {
         lane.current.completed_late += 1;
     }
+    let e2e_us = now.saturating_sub(state.deadline_us - lane.slo_us);
     if let Some(h) = lane.hists.as_deref_mut() {
         // End-to-end latency of a served root: arrival (deadline − SLO) → now.
-        h.e2e
-            .record(now.saturating_sub(state.deadline_us - lane.slo_us));
+        h.e2e.record(e2e_us);
+    }
+    // The timeline's windowed recorder sees the exact same value, so merging
+    // the per-interval deltas reproduces `hists.e2e` bit-for-bit.
+    if let Some(h) = lane.window_hist.as_deref_mut() {
+        h.record(e2e_us);
     }
     lane.current.accuracy_sum += accuracy;
     lane.current.accuracy_count += 1;

@@ -54,6 +54,15 @@ pub struct ObserveConfig {
     /// On by default — recording is a couple of array increments per query,
     /// which the 1M-arrival bench guard pins as inside its wall budget.
     pub histograms: bool,
+    /// Record the timeline layer: the structured cluster event journal
+    /// ([`crate::journal::Journal`]) plus per-metrics-interval windowed
+    /// latency histograms ([`crate::SimResult::window`]). Off by default.
+    /// Observation-only like everything else here: journal recording happens
+    /// at hooks that already exist (it consumes no RNG draws and schedules no
+    /// events), and the windowed recorder is a second histogram recorded in
+    /// parallel with the whole-run one, swapped out at each interval flush —
+    /// so the per-interval deltas re-merge *exactly* to the run histogram.
+    pub timeline: bool,
 }
 
 impl Default for ObserveConfig {
@@ -62,6 +71,7 @@ impl Default for ObserveConfig {
             trace_sample: 0,
             profile: false,
             histograms: true,
+            timeline: false,
         }
     }
 }

@@ -143,6 +143,7 @@ fn dense_tracing() -> ObserveConfig {
         trace_sample: 3,
         profile: true,
         histograms: true,
+        timeline: true,
     }
 }
 
@@ -205,6 +206,73 @@ fn observability_does_not_perturb_the_simulation() {
     }
     assert_eq!(plain.total_events, observed.total_events, "event count");
     assert_eq!(plain.migrations, observed.migrations, "migrations");
+}
+
+/// The timeline channel (cluster journal + per-interval histogram deltas)
+/// records simulated time only, so it must be bit-identical for every `jobs`
+/// value — even under a migration-heavy arbiter.
+#[test]
+fn timeline_is_bit_identical_across_jobs() {
+    for seed in [7, 42] {
+        let serial = four_lane_run(seed, 1, dense_tracing());
+        let parallel = four_lane_run(seed, 2, dense_tracing());
+        let ja = serial.journal.as_ref().expect("serial journal");
+        let jb = parallel.journal.as_ref().expect("parallel journal");
+        assert!(
+            !ja.is_empty(),
+            "seed {seed}: the seesaw arbiter must journal rebalances"
+        );
+        assert!(
+            ja.count_matching(|k| matches!(k, loki_sim::JournalKind::Migration { .. })) > 0,
+            "seed {seed}: migrations must be journaled"
+        );
+        assert_eq!(ja.events, jb.events, "seed {seed}: journal event streams");
+        for (a, b) in serial.pipelines.iter().zip(&parallel.pipelines) {
+            assert_eq!(
+                a.result.window, b.result.window,
+                "seed {seed}: lane {} windowed histograms",
+                a.name
+            );
+        }
+    }
+}
+
+/// The windowed recorder is reset-based: merging every per-interval delta must
+/// reproduce the whole-run end-to-end histogram exactly (same counts, same
+/// min/max), per lane and for the aggregate.
+#[test]
+fn window_deltas_remerge_to_the_run_histogram() {
+    let run = four_lane_run(11, 2, dense_tracing());
+    for lane in &run.pipelines {
+        let rows = lane.result.window.as_ref().expect("lane window rows");
+        assert_eq!(
+            rows.len(),
+            lane.result.intervals.len(),
+            "lane {}: one histogram delta per interval",
+            lane.name
+        );
+        let mut merged = loki_sim::Histogram::new();
+        for row in rows {
+            merged.merge(row);
+        }
+        let e2e = &lane.result.latency.as_ref().expect("lane histograms").e2e;
+        assert_eq!(
+            &merged, e2e,
+            "lane {}: re-merged deltas differ from the run histogram",
+            lane.name
+        );
+    }
+    let agg = run.aggregate(16);
+    let rows = agg.window.as_ref().expect("aggregate window rows");
+    let mut merged = loki_sim::Histogram::new();
+    for row in rows {
+        merged.merge(row);
+    }
+    assert_eq!(
+        &merged,
+        &agg.latency.as_ref().expect("aggregate histograms").e2e,
+        "aggregate: re-merged deltas differ from the merged run histogram"
+    );
 }
 
 #[test]
